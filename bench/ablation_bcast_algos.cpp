@@ -1,0 +1,83 @@
+// Ablation: broadcast algorithms over the WAN. Compares the binomial
+// tree (topology-unaware schedule), scatter + ring allgather (the
+// large-message default), and the WAN-aware hierarchical tree across
+// sizes and delays — the detailed collective study the paper's future
+// work calls for.
+#include <memory>
+
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+
+namespace {
+
+enum class Algo { kBinomial, kScatterRing, kHierarchical };
+
+double bcast_us(Algo algo, std::uint64_t bytes, sim::Duration delay,
+                int per_cluster, int iters) {
+  core::Testbed tb(per_cluster, delay);
+  mpi::Job job(tb.fabric(),
+               mpi::Job::split_placement(tb.fabric(), per_cluster));
+  const int acker = 2 * per_cluster - 1;
+  auto t0 = std::make_shared<sim::Time>(0);
+  auto t1 = std::make_shared<sim::Time>(0);
+  job.execute([=](mpi::Rank& r) -> sim::Coro<void> {
+    co_await r.barrier();
+    if (r.rank() == 0) *t0 = r.sim().now();
+    for (int it = 0; it < iters; ++it) {
+      switch (algo) {
+        case Algo::kBinomial:
+          co_await r.bcast_binomial(0, bytes);
+          break;
+        case Algo::kScatterRing:
+          co_await r.bcast_scatter_allgather(0, bytes);
+          break;
+        case Algo::kHierarchical:
+          co_await r.bcast_hierarchical(0, bytes);
+          break;
+      }
+      if (r.rank() == acker) {
+        co_await r.send(0, 4, 1 << 21);
+      } else if (r.rank() == 0) {
+        co_await r.recv(acker, 1 << 21);
+        *t1 = r.sim().now();
+      }
+    }
+  });
+  return sim::to_microseconds(*t1 - *t0) / iters;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Ablation: broadcast algorithms over IB WAN (latency us, "
+      "2 x 32 processes)");
+
+  const int per_cluster = 32;
+  const int iters = 2 * bench::scale();
+  int part = 0;
+  for (sim::Duration delay : {100_us, 1000_us}) {
+    core::Table table(delay == 100_us ? "(a) 100us delay"
+                                      : "(b) 1000us delay",
+                      "msg_bytes");
+    for (std::uint64_t size : {1u << 10, 16u << 10, 128u << 10, 1u << 20}) {
+      const double x = static_cast<double>(size);
+      table.add("binomial", x,
+                bcast_us(Algo::kBinomial, size, delay, per_cluster, iters));
+      table.add("scatter+ring", x,
+                bcast_us(Algo::kScatterRing, size, delay, per_cluster,
+                         iters));
+      table.add("hierarchical", x,
+                bcast_us(Algo::kHierarchical, size, delay, per_cluster,
+                         iters));
+    }
+    static const char* names[] = {"ablation_bcast_100us",
+                                  "ablation_bcast_1000us"};
+    bench::finish(table, names[part++]);
+  }
+  return 0;
+}

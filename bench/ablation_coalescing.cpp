@@ -1,0 +1,50 @@
+// Ablation: MPI small-message coalescing — the paper's "transferring
+// data using large messages (message coalescing)" optimization, made
+// concrete: consecutive small eager sends to the same destination ride
+// one verbs message, spending one in-flight window slot instead of many.
+//
+// Expected shape: at short range coalescing is near-neutral (the wire
+// is never the constraint); over WAN delays it multiplies the
+// achievable small-message rate, because the RC window carries bundles
+// instead of single messages.
+#include "bench_common.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/testbed.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+
+int main() {
+  core::banner(
+      "Ablation: eager-message coalescing, aggregate message rate "
+      "(Million messages/s, 8 pairs, 64 B messages)");
+
+  const int iters = 6 * bench::scale();
+  core::Table table("message rate by coalescing setting", "delay_us");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const double x = static_cast<double>(delay) / 1000.0;
+    {
+      core::Testbed tb(8, delay);
+      table.add("off", x,
+                core::mpibench::multi_pair_message_rate(
+                    tb, 8,
+                    {.msg_size = 64, .window = 64, .iterations = iters}));
+    }
+    {
+      core::Testbed tb(8, delay);
+      table.add("on", x,
+                core::mpibench::multi_pair_message_rate(
+                    tb, 8,
+                    {.msg_size = 64,
+                     .window = 64,
+                     .iterations = iters,
+                     .coalescing = true}));
+    }
+  }
+  bench::finish(table, "ablation_coalescing");
+  std::printf(
+      "\nReading: a bundle occupies one transport window slot, so the\n"
+      "rate over a long pipe scales by the bundling factor — the paper's\n"
+      "large-message recommendation applied inside the MPI library.\n");
+  return 0;
+}

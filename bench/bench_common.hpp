@@ -1,0 +1,46 @@
+// Shared bench scaffolding: the paper's delay grid, scaling control, and
+// CSV output location.
+//
+// Each bench binary regenerates one table or figure of the paper. By
+// default the per-point transfer volumes are sized for quick runs;
+// setting IBWAN_FULL=1 in the environment multiplies the measured
+// volume (more iterations, tighter statistics, same shapes).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/report.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::bench {
+
+/// The emulated one-way delays the paper sweeps (Table 1 distances).
+inline std::vector<sim::Duration> delay_grid() {
+  return {0, 10'000, 100'000, 1'000'000, 10'000'000};
+}
+
+inline std::string delay_label(sim::Duration d) {
+  if (d == 0) return "no-delay";
+  return std::to_string(d / 1000) + "us-delay";
+}
+
+/// Volume multiplier: 1 for quick runs, larger with IBWAN_FULL=1.
+inline int scale() {
+  const char* full = std::getenv("IBWAN_FULL");
+  return (full != nullptr && full[0] == '1') ? 8 : 1;
+}
+
+/// Writes the CSV next to the binary's working directory.
+inline void finish(core::Table& table, const std::string& csv_name) {
+  table.print();
+  const std::string path = csv_name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("  [csv: %s]\n", path.c_str());
+  }
+}
+
+}  // namespace ibwan::bench

@@ -1,0 +1,60 @@
+// Extension: an RDMA key-value service across the WAN — the
+// "data-centers" future-work context from the paper's conclusions.
+// Closed-loop GET-heavy workload; latency tracks the round trip, and
+// the paper's parallel-streams lesson reappears as client concurrency.
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "ib/hca.hpp"
+#include "kv/kv.hpp"
+#include "rpc/rpc.hpp"
+
+using namespace ibwan;
+
+namespace {
+
+kv::KvResult run_kv(sim::Duration delay, int clients,
+                    std::uint64_t value_bytes, int ops_per_client) {
+  core::Testbed tb(1, delay);
+  ib::Hca server_hca(tb.fabric().node(tb.node_a()), {});
+  ib::Hca client_hca(tb.fabric().node(tb.node_b()), {});
+  rpc::RdmaRpcServer rpc_server(server_hca);
+  rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
+  kv::KvServer server(tb.sim());
+  rpc_server.set_handler(server.handler());
+  for (std::uint64_t k = 0; k < 256; ++k) server.preload(k, value_bytes);
+  kv::KvClient client(rpc_client);
+  return kv::run_kv_workload(tb.sim(), client,
+                             {.clients = clients,
+                              .ops_per_client = ops_per_client,
+                              .get_fraction = 0.9,
+                              .value_bytes = value_bytes,
+                              .key_space = 256});
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Extension: RDMA key-value service over IB WAN "
+      "(90% GET, 4 KB values)");
+
+  const int ops = 50 * bench::scale();
+
+  core::Table lat("mean operation latency (us), 4 clients", "delay_us");
+  core::Table thr("throughput (K ops/s) by client count", "delay_us");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const double x = static_cast<double>(delay) / 1000.0;
+    for (std::uint64_t vb : {128ull, 4096ull, 65536ull}) {
+      const auto r = run_kv(delay, 4, vb, ops);
+      lat.add(std::to_string(vb) + "B-values", x, r.avg_latency_us);
+    }
+    for (int clients : {1, 4, 16}) {
+      const auto r = run_kv(delay, clients, 4096, ops);
+      thr.add(std::to_string(clients) + "-clients", x, r.kops_per_sec);
+    }
+  }
+  lat.print();
+  lat.write_csv("ext_kv_latency.csv");
+  bench::finish(thr, "ext_kv_throughput");
+  return 0;
+}

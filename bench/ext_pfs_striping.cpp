@@ -1,0 +1,73 @@
+// Extension: parallel-filesystem striping over IB WAN — the paper's
+// "parallel file-systems" future-work context (cf. the Lustre /
+// UltraScienceNet study in its related work [6]).
+//
+// Expected shape: each stripe adds an independent in-flight window, so
+// aggregate read bandwidth scales with stripe count until the SDR WAN
+// link saturates — the file-system version of Figures 6(b)/7(b).
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/calibration.hpp"
+#include "core/testbed.hpp"
+#include "ib/hca.hpp"
+#include "nfs/nfs.hpp"
+#include "pfs/pfs.hpp"
+#include "rpc/rpc.hpp"
+
+using namespace ibwan;
+
+namespace {
+
+double striped_read_mbps(int servers, sim::Duration delay,
+                         std::uint64_t file_bytes) {
+  core::Testbed tb(servers, 1, delay);
+  ib::Hca client_hca(
+      tb.fabric().node(tb.fabric().node_id(net::Cluster::kB, 0)), {});
+  std::vector<std::unique_ptr<ib::Hca>> hcas;
+  std::vector<std::unique_ptr<rpc::RdmaRpcServer>> rpcs;
+  std::vector<std::unique_ptr<rpc::RdmaRpcClient>> rpc_clients;
+  std::vector<std::unique_ptr<nfs::NfsServer>> servers_;
+  std::vector<std::unique_ptr<nfs::NfsClient>> clients_;
+  std::vector<nfs::NfsClient*> mounts;
+  for (int s = 0; s < servers; ++s) {
+    hcas.push_back(std::make_unique<ib::Hca>(
+        tb.fabric().node(tb.fabric().node_id(net::Cluster::kA, s)),
+        core::nfs_server_hca()));
+    rpcs.push_back(std::make_unique<rpc::RdmaRpcServer>(*hcas.back()));
+    rpc_clients.push_back(
+        std::make_unique<rpc::RdmaRpcClient>(client_hca, *rpcs.back()));
+    servers_.push_back(std::make_unique<nfs::NfsServer>(
+        tb.sim(), core::nfs_rdma_defaults()));
+    servers_.back()->add_file(1, file_bytes);
+    rpcs.back()->set_handler(servers_.back()->handler());
+    clients_.push_back(
+        std::make_unique<nfs::NfsClient>(*rpc_clients.back()));
+    mounts.push_back(clients_.back().get());
+  }
+  pfs::StripedFile file(tb.sim(), mounts, 1, {.stripe_bytes = 1 << 20});
+  return pfs::run_striped_read(tb.sim(), file, file_bytes, 4 << 20, 2)
+      .mbytes_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Extension: striped parallel-filesystem reads over IB WAN "
+      "(MillionBytes/s)");
+
+  const std::uint64_t file_bytes = (32ull << 20) * bench::scale();
+  core::Table table("aggregate read bandwidth by stripe count",
+                    "delay_us");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const double x = static_cast<double>(delay) / 1000.0;
+    for (int stripes : {1, 2, 4, 8}) {
+      table.add(std::to_string(stripes) + "-stripes", x,
+                striped_read_mbps(stripes, delay, file_bytes));
+    }
+  }
+  bench::finish(table, "ext_pfs_striping");
+  return 0;
+}

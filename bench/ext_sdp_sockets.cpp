@@ -1,0 +1,68 @@
+// Extension: Sockets Direct Protocol vs IPoIB across WAN delays
+// (the related-work comparison [19], regenerated on this stack).
+//
+// Expected shape: SDP runs near verbs bandwidth at short range (zero
+// copy), then falls onto the RC window bound over long delays, while
+// IPoIB stays stack-limited everywhere.
+#include "bench_common.hpp"
+#include "core/tcp_bench.hpp"
+#include "core/testbed.hpp"
+#include "ib/hca.hpp"
+#include "sdp/sdp.hpp"
+
+using namespace ibwan;
+
+namespace {
+
+double sdp_throughput(core::Testbed& tb, std::uint64_t bytes) {
+  ib::Hca hca_a(tb.fabric().node(tb.node_a()), {});
+  ib::Hca hca_b(tb.fabric().node(tb.node_b()), {});
+  sdp::SdpStack client(hca_a);
+  sdp::SdpStack server(hca_b);
+  server.listen(22, [](sdp::SdpConnection&) {});
+  sdp::SdpConnection& c = client.connect(server, 22);
+  c.send(bytes);
+  sim::Time done = 0;
+  c.set_on_acked([&](std::uint64_t acked) {
+    if (acked == bytes) done = tb.sim().now();
+  });
+  tb.sim().run();
+  return static_cast<double>(bytes) / sim::to_seconds(done) / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Extension: sockets over IB WAN — SDP vs IPoIB (MillionBytes/s)");
+
+  const std::uint64_t volume = (32ull << 20) * bench::scale();
+  core::Table table("single-stream socket throughput", "delay_us");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const double x = static_cast<double>(delay) / 1000.0;
+    {
+      core::Testbed tb(1, delay);
+      table.add("SDP", x, sdp_throughput(tb, volume));
+    }
+    {
+      core::Testbed tb(1, delay);
+      table.add("IPoIB-UD", x,
+                core::tcpbench::tcp_throughput(
+                    tb, {.device = core::ipoib_ud(),
+                         .tcp = core::tcp_window(),
+                         .streams = 1,
+                         .bytes_per_stream = volume}));
+    }
+    {
+      core::Testbed tb(1, delay);
+      table.add("IPoIB-RC-64K", x,
+                core::tcpbench::tcp_throughput(
+                    tb, {.device = core::ipoib_rc(ipoib::kConnectedIpMtu),
+                         .tcp = core::tcp_window(),
+                         .streams = 1,
+                         .bytes_per_stream = volume}));
+    }
+  }
+  bench::finish(table, "ext_sdp_sockets");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 10: aggregate multi-pair message rate (osu_mbw_mr pattern) for
+// 4/8/16 pairs at (a) 10 us, (b) 1 ms, (c) 10 ms delay.
+//
+// Expected shape: for small messages the rate grows proportionally with
+// the pair count; at higher delays extra pairs also lift medium message
+// sizes — parallelism fills the long pipe.
+#include "bench_common.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/testbed.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+
+int main() {
+  core::banner(
+      "Figure 10: Multi-pair aggregate message rate "
+      "(Million messages/s)");
+
+  const std::vector<std::uint64_t> sizes = {4,    64,        1u << 10,
+                                            4u << 10, 16u << 10, 32u << 10};
+  const std::pair<const char*, sim::Duration> delays[] = {
+      {"(a) 10us delay", 10_us},
+      {"(b) 1ms delay", 1000_us},
+      {"(c) 10ms delay", 10'000_us},
+  };
+
+  int part = 0;
+  for (const auto& [title, delay] : delays) {
+    core::Table table(title, "msg_bytes");
+    for (int pairs : {4, 8, 16}) {
+      for (std::uint64_t size : sizes) {
+        core::Testbed tb(pairs, delay);
+        const int iters =
+            std::max(2, (size <= 1024 ? 8 : 4) * bench::scale() / 2);
+        const double rate = core::mpibench::multi_pair_message_rate(
+            tb, pairs,
+            {.msg_size = size, .window = 64, .iterations = iters});
+        table.add(std::to_string(pairs) + "-pairs",
+                  static_cast<double>(size), rate);
+      }
+    }
+    static const char* names[] = {"fig10a_rate_10us", "fig10b_rate_1ms",
+                                  "fig10c_rate_10ms"};
+    bench::finish(table, names[part++]);
+  }
+  return 0;
+}

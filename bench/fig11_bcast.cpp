@@ -1,0 +1,60 @@
+// Figure 11: MPI broadcast latency over IB WAN — the library default
+// ("Original": binomial / scatter+ring-allgather, topology-agnostic)
+// against the WAN-aware hierarchical broadcast ("Modified": one WAN
+// crossing, then per-cluster trees) at 10 us / 100 us / 1000 us delay.
+//
+// The paper runs 2 x 64 processes; we place one rank per node, 64 nodes
+// per cluster (DESIGN.md notes the substitution). Expected shape: the
+// modified algorithm wins for medium and large messages, with the gap
+// widening as delay grows; small messages are comparable.
+#include "bench_common.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/testbed.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+
+int main() {
+  core::banner(
+      "Figure 11: MPI broadcast latency, Original vs Modified "
+      "(hierarchical), 2 x 64 processes (us)");
+
+  const int per_cluster = 64;
+  const int iters = 3;
+  const std::vector<std::uint64_t> sizes = {
+      4, 1u << 10, 8u << 10, 32u << 10, 128u << 10};
+  const std::pair<const char*, sim::Duration> delays[] = {
+      {"(a) 10us delay", 10_us},
+      {"(b) 100us delay", 100_us},
+      {"(c) 1000us delay", 1000_us},
+  };
+
+  int part = 0;
+  for (const auto& [title, delay] : delays) {
+    core::Table table(title, "msg_bytes");
+    for (std::uint64_t size : sizes) {
+      {
+        core::Testbed tb(per_cluster, delay);
+        table.add("Original", static_cast<double>(size),
+                  core::mpibench::bcast_latency_us(
+                      tb, {.ranks_per_cluster = per_cluster,
+                           .msg_size = size,
+                           .iterations = iters,
+                           .hierarchical = false}));
+      }
+      {
+        core::Testbed tb(per_cluster, delay);
+        table.add("Modified", static_cast<double>(size),
+                  core::mpibench::bcast_latency_us(
+                      tb, {.ranks_per_cluster = per_cluster,
+                           .msg_size = size,
+                           .iterations = iters,
+                           .hierarchical = true}));
+      }
+    }
+    static const char* names[] = {"fig11a_bcast_10us", "fig11b_bcast_100us",
+                                  "fig11c_bcast_1000us"};
+    bench::finish(table, names[part++]);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 12: NAS class-B benchmarks across the WAN, 2 x 32 processes,
+// runtime vs emulated delay (normalized to the 0-delay run).
+//
+// Expected shape: IS and FT stay near 1.0 out to ~1 ms (their traffic is
+// dominated by large messages: 100% and 83% respectively per the
+// paper's profile); CG degrades markedly (latency-bound dot-product
+// allreduces); EP is flat. Timed iterations are truncated and projected
+// per iteration (IBWAN_FULL=1 runs more).
+#include "apps/nas.hpp"
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace ibwan;
+
+int main() {
+  core::banner(
+      "Figure 12: NAS class-B benchmarks, 2 x 32 processes "
+      "(projected runtime, s; and ratio vs 0-delay)");
+
+  const int per_cluster = 32;
+  const int iters = bench::scale() > 1 ? 4 : 2;
+  apps::NasConfig cfg{.cls = apps::NasClass::kB, .iterations = iters};
+  const apps::NasBenchmark benches[] = {
+      apps::make_is(cfg), apps::make_ft(cfg), apps::make_cg(cfg),
+      apps::make_mg(cfg), apps::make_ep(cfg), apps::make_lu(cfg),
+      apps::make_bt(cfg)};
+
+  core::Table runtime("projected runtime (s)", "delay_us");
+  core::Table ratio("runtime ratio vs 0-delay", "delay_us");
+  for (const auto& bench : benches) {
+    double base = 0;
+    for (sim::Duration delay : bench::delay_grid()) {
+      core::Testbed tb(per_cluster, delay);
+      mpi::Job job(tb.fabric(),
+                   mpi::Job::split_placement(tb.fabric(), per_cluster));
+      const double secs = apps::run_nas(job, bench);
+      if (delay == 0) base = secs;
+      runtime.add(bench.name, static_cast<double>(delay) / 1000.0, secs);
+      ratio.add(bench.name, static_cast<double>(delay) / 1000.0,
+                base > 0 ? secs / base : 0.0);
+    }
+  }
+  bench::finish(runtime, "fig12_nas_runtime");
+  ratio.print("%12.3f");
+  ratio.write_csv("fig12_nas_ratio.csv");
+  return 0;
+}

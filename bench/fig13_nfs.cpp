@@ -1,0 +1,74 @@
+// Figure 13: NFS read throughput (IOzone, 512 MB file, 256 KB records,
+// single server, 1-8 client threads).
+//  (a) NFS/RDMA: LAN baseline plus WAN at 0/100/1000/10000 us;
+//  (b) NFS/RDMA vs NFS/IPoIB-RC vs NFS/IPoIB-UD at 100 us;
+//  (c) the same comparison at 1000 us.
+//
+// Expected shape: (a) WAN costs ~35% vs LAN (SDR vs DDR) and the 4 KB
+// RDMA chunking collapses throughput as delay grows. (b) at 100 us,
+// RDMA > IPoIB-RC > IPoIB-UD. (c) at 1000 us IPoIB-RC wins — TCP
+// windows over the 64 KB MTU pipeline better than 4 KB chunks.
+#include "bench_common.hpp"
+#include "core/nfs_bench.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+using core::nfsbench::NfsBenchConfig;
+using core::nfsbench::Transport;
+
+namespace {
+
+double read_bw(Transport t, sim::Duration delay, bool lan, int threads,
+               std::uint64_t file_bytes) {
+  return core::nfsbench::run(NfsBenchConfig{.transport = t,
+                                            .wan_delay = delay,
+                                            .lan = lan,
+                                            .threads = threads,
+                                            .file_bytes = file_bytes})
+      .mbytes_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Figure 13: NFS read throughput, IOzone-style, 256 KB records "
+      "(MillionBytes/s)");
+
+  const std::uint64_t file_bytes = (64ull << 20) * bench::scale();
+  const int threads_grid[] = {1, 2, 4, 8};
+
+  core::Table a("(a) NFS/RDMA: LAN and WAN delays", "threads");
+  for (int threads : threads_grid) {
+    a.add("LAN", threads,
+          read_bw(Transport::kRdma, 0, /*lan=*/true, threads, file_bytes));
+    for (sim::Duration d : {sim::Duration{0}, 100_us, 1000_us, 10'000_us}) {
+      a.add(bench::delay_label(d), threads,
+            read_bw(Transport::kRdma, d, false, threads, file_bytes));
+    }
+  }
+  bench::finish(a, "fig13a_nfs_rdma");
+
+  core::Table b("(b) transports at 100 us delay", "threads");
+  for (int threads : threads_grid) {
+    b.add("RDMA", threads,
+          read_bw(Transport::kRdma, 100_us, false, threads, file_bytes));
+    b.add("IPoIB-RC", threads,
+          read_bw(Transport::kIpoibRc, 100_us, false, threads, file_bytes));
+    b.add("IPoIB-UD", threads,
+          read_bw(Transport::kIpoibUd, 100_us, false, threads, file_bytes));
+  }
+  bench::finish(b, "fig13b_nfs_100us");
+
+  core::Table c("(c) transports at 1000 us delay", "threads");
+  for (int threads : threads_grid) {
+    c.add("RDMA", threads,
+          read_bw(Transport::kRdma, 1000_us, false, threads, file_bytes));
+    c.add("IPoIB-RC", threads,
+          read_bw(Transport::kIpoibRc, 1000_us, false, threads, file_bytes));
+    c.add("IPoIB-UD", threads,
+          read_bw(Transport::kIpoibUd, 1000_us, false, threads, file_bytes));
+  }
+  bench::finish(c, "fig13c_nfs_1000us");
+  return 0;
+}

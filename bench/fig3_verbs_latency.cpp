@@ -1,0 +1,56 @@
+// Figure 3: verbs-level small-message latency for Send/Recv over UD,
+// Send/Recv over RC, and RDMA Write over RC — through the Longbow pair
+// at zero emulated delay — against back-to-back connected nodes.
+//
+// Expected shape: the Longbow pair adds ~5 us; RDMA Write stays below
+// Send/Recv; both clusters are DDR so back-to-back latency is low.
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+#include "net/fabric.hpp"
+
+using namespace ibwan;
+using ib::perftest::Op;
+using ib::perftest::Transport;
+
+namespace {
+
+double through_longbows(Transport t, Op op, std::uint32_t size, int iters) {
+  core::Testbed tb(1, 0);
+  return ib::perftest::run_latency(tb.fabric(), tb.node_a(), tb.node_b(), t,
+                                   op, {.msg_size = size, .iterations = iters})
+      .avg_us;
+}
+
+double back_to_back(Transport t, Op op, std::uint32_t size, int iters) {
+  sim::Simulator sim;
+  net::Fabric fabric(sim, {.nodes_a = 1, .nodes_b = 1, .back_to_back = true});
+  return ib::perftest::run_latency(fabric, 0, 1, t, op,
+                                   {.msg_size = size, .iterations = iters})
+      .avg_us;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Figure 3: Verbs-level latency (us), Longbow pair at 0 km vs "
+      "back-to-back");
+
+  const int iters = 200 * bench::scale();
+  core::Table table("one-way latency (us) by message size", "msg_bytes");
+  for (std::uint32_t size : {1u, 8u, 64u, 256u, 1024u}) {
+    table.add("SendRecv/UD", size,
+              through_longbows(Transport::kUd, Op::kSendRecv, size, iters));
+    table.add("SendRecv/RC", size,
+              through_longbows(Transport::kRc, Op::kSendRecv, size, iters));
+    table.add("RDMAWrite/RC", size,
+              through_longbows(Transport::kRc, Op::kRdmaWrite, size, iters));
+    table.add("BackToBack-SR/RC", size,
+              back_to_back(Transport::kRc, Op::kSendRecv, size, iters));
+    table.add("BackToBack-Write/RC", size,
+              back_to_back(Transport::kRc, Op::kRdmaWrite, size, iters));
+  }
+  bench::finish(table, "fig3_verbs_latency");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 4: verbs-level UD throughput vs message size, one curve per
+// emulated WAN delay. (a) unidirectional, (b) bidirectional.
+//
+// Expected shape: curves for every delay coincide — UD has no
+// acknowledgements, so the pipe is always full; peak ~967 MB/s at 2 KB
+// and ~1930 MB/s bidirectional.
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+
+using namespace ibwan;
+using ib::perftest::Transport;
+
+int main() {
+  core::banner("Figure 4: Verbs-level throughput using UD (MillionBytes/s)");
+
+  core::Table uni("(a) UD bandwidth", "msg_bytes");
+  core::Table bidir("(b) UD bidirectional bandwidth", "msg_bytes");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const std::string label = bench::delay_label(delay);
+    for (std::uint32_t size : {2u, 16u, 128u, 512u, 1024u, 2048u}) {
+      const int iters = ib::perftest::iters_for_bytes(
+          (4u << 20) * bench::scale(), size, 256, 8192);
+      {
+        core::Testbed tb(1, delay);
+        uni.add(label, size,
+                ib::perftest::run_bandwidth(
+                    tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
+                    {.msg_size = size, .iterations = iters})
+                    .mbytes_per_sec);
+      }
+      {
+        core::Testbed tb(1, delay);
+        bidir.add(label, size,
+                  ib::perftest::run_bidir_bandwidth(
+                      tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
+                      {.msg_size = size, .iterations = iters})
+                      .mbytes_per_sec);
+      }
+    }
+  }
+  bench::finish(uni, "fig4a_ud_bw");
+  bench::finish(bidir, "fig4b_ud_bibw");
+  return 0;
+}

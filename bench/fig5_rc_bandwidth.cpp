@@ -1,0 +1,50 @@
+// Figure 5: verbs-level RC throughput vs message size, one curve per
+// emulated WAN delay. (a) unidirectional, (b) bidirectional.
+//
+// Expected shape: peak ~985 MB/s; small/medium messages degrade
+// progressively with delay (the bounded in-flight window cannot fill
+// the long pipe) while large messages recover the peak — the knee moves
+// right as delay grows.
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+
+using namespace ibwan;
+using ib::perftest::Transport;
+
+int main() {
+  core::banner("Figure 5: Verbs-level throughput using RC (MillionBytes/s)");
+
+  const std::vector<std::uint32_t> sizes = {
+      1u << 10, 4u << 10, 16u << 10, 64u << 10,
+      256u << 10, 1u << 20, 4u << 20};
+
+  core::Table uni("(a) RC bandwidth", "msg_bytes");
+  core::Table bidir("(b) RC bidirectional bandwidth", "msg_bytes");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const std::string label = bench::delay_label(delay);
+    for (std::uint32_t size : sizes) {
+      const int iters = ib::perftest::iters_for_bytes(
+          (32u << 20) * bench::scale(), size, 32, 4096);
+      {
+        core::Testbed tb(1, delay);
+        uni.add(label, size,
+                ib::perftest::run_bandwidth(
+                    tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
+                    {.msg_size = size, .iterations = iters})
+                    .mbytes_per_sec);
+      }
+      {
+        core::Testbed tb(1, delay);
+        bidir.add(label, size,
+                  ib::perftest::run_bidir_bandwidth(
+                      tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
+                      {.msg_size = size, .iterations = iters})
+                      .mbytes_per_sec);
+      }
+    }
+  }
+  bench::finish(uni, "fig5a_rc_bw");
+  bench::finish(bidir, "fig5b_rc_bibw");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7: IPoIB-RC (connected mode) TCP throughput across WAN delays.
+//  (a) single stream with varying IP MTU (2K/16K/64K);
+//  (b) parallel streams (1..8) at the 64K MTU.
+//
+// Expected shape: the 64 KB MTU wins (~890 MB/s — fewer host-stack
+// traversals per byte); single-stream bandwidth drops sharply past
+// ~100 us (the verbs-level medium-message cliff plus TCP windowing);
+// two or more streams sustain bandwidth over a wider delay range.
+#include "bench_common.hpp"
+#include "core/tcp_bench.hpp"
+#include "core/testbed.hpp"
+
+using namespace ibwan;
+
+int main() {
+  core::banner("Figure 7: IPoIB-RC TCP throughput (MillionBytes/s)");
+
+  const std::uint64_t volume = (48ull << 20) * bench::scale();
+
+  core::Table single("(a) single stream, MTU sweep", "delay_us");
+  const std::pair<const char*, std::uint32_t> mtus[] = {
+      {"2K-MTU", 2044u},
+      {"16K-MTU", 16u << 10},
+      {"64K-MTU", ipoib::kConnectedIpMtu},
+  };
+  for (sim::Duration delay : bench::delay_grid()) {
+    for (const auto& [name, mtu] : mtus) {
+      core::Testbed tb(1, delay);
+      const double mbps = core::tcpbench::tcp_throughput(
+          tb, {.device = core::ipoib_rc(mtu),
+               .tcp = core::tcp_window(1u << 20),
+               .streams = 1,
+               .bytes_per_stream = volume});
+      single.add(name, static_cast<double>(delay) / 1000.0, mbps);
+    }
+  }
+  bench::finish(single, "fig7a_ipoib_rc_mtu");
+
+  core::Table parallel("(b) parallel streams, 64K MTU", "delay_us");
+  for (sim::Duration delay : bench::delay_grid()) {
+    for (int streams : {1, 2, 4, 6, 8}) {
+      core::Testbed tb(1, delay);
+      const double mbps = core::tcpbench::tcp_throughput(
+          tb, {.device = core::ipoib_rc(ipoib::kConnectedIpMtu),
+               .tcp = core::tcp_window(1u << 20),
+               .streams = streams,
+               .bytes_per_stream = volume / streams});
+      parallel.add(std::to_string(streams) + "-streams",
+                   static_cast<double>(delay) / 1000.0, mbps);
+    }
+  }
+  bench::finish(parallel, "fig7b_ipoib_rc_streams");
+  return 0;
+}

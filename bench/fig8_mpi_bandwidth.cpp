@@ -1,0 +1,50 @@
+// Figure 8: MPI-level throughput (MVAPICH2-style library) vs message
+// size, one curve per WAN delay. (a) osu_bw, (b) osu_bibw.
+//
+// Expected shape: mirrors the verbs RC curves (peak ~969 MB/s) with an
+// additional dip for medium messages — the rendezvous handshake costs a
+// round trip, which is what Figure 9 then tunes away.
+#include "bench_common.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/testbed.hpp"
+
+using namespace ibwan;
+
+int main() {
+  core::banner(
+      "Figure 8: MPI-level throughput using MVAPICH2-style library "
+      "(MillionBytes/s)");
+
+  const std::vector<std::uint64_t> sizes = {
+      1u << 10, 4u << 10, 16u << 10, 64u << 10,
+      256u << 10, 1u << 20, 4u << 20};
+
+  core::Table uni("(a) MPI bandwidth", "msg_bytes");
+  core::Table bidir("(b) MPI bidirectional bandwidth", "msg_bytes");
+  for (sim::Duration delay : bench::delay_grid()) {
+    const std::string label = bench::delay_label(delay);
+    for (std::uint64_t size : sizes) {
+      const int window = size >= (1u << 20) ? 16 : 64;
+      const int iters =
+          std::max<int>(2, static_cast<int>(((8u << 20) * bench::scale()) /
+                                            (size * window)));
+      {
+        core::Testbed tb(1, delay);
+        uni.add(label, static_cast<double>(size),
+                core::mpibench::osu_bw(tb, {.msg_size = size,
+                                            .window = window,
+                                            .iterations = iters}));
+      }
+      {
+        core::Testbed tb(1, delay);
+        bidir.add(label, static_cast<double>(size),
+                  core::mpibench::osu_bibw(tb, {.msg_size = size,
+                                                .window = window,
+                                                .iterations = iters}));
+      }
+    }
+  }
+  bench::finish(uni, "fig8a_mpi_bw");
+  bench::finish(bidir, "fig8b_mpi_bibw");
+  return 0;
+}

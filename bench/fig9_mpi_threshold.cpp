@@ -1,0 +1,72 @@
+// Figure 9: MPI protocol-threshold tuning at 1 ms WAN delay.
+//  (a) osu_bw, original (8 KB rendezvous threshold) vs tuned (64 KB);
+//  (b) osu_bibw, threshold 8 KB vs 64 KB.
+//
+// Expected shape: the tuned threshold keeps 8-32 KB messages on the
+// eager path, avoiding the RTS/CTS round trip; the paper reports ~40%
+// for 8 KB unidirectional and up to 83% bidirectional. Also prints the
+// threshold the adaptive policy (core/wan_opt.hpp) would pick.
+#include "bench_common.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/testbed.hpp"
+#include "core/wan_opt.hpp"
+
+using namespace ibwan;
+using namespace ibwan::sim::literals;
+
+int main() {
+  core::banner(
+      "Figure 9: MPI threshold tuning at 1 ms delay (MillionBytes/s)");
+
+  const sim::Duration delay = 1000_us;
+  const core::AdaptiveRendezvousThreshold policy;
+  std::printf("adaptive policy threshold for RTT=2ms: %llu bytes\n",
+              static_cast<unsigned long long>(
+                  policy.threshold_for_rtt(2 * delay)));
+
+  const int iters = 4 * bench::scale();
+
+  core::Table uni("(a) bandwidth, original vs tuned threshold",
+                  "msg_bytes");
+  for (std::uint64_t size : {1u << 10, 2u << 10, 4u << 10, 8u << 10,
+                             16u << 10, 32u << 10}) {
+    {
+      core::Testbed tb(1, delay);
+      uni.add("original(8K)", static_cast<double>(size),
+              core::mpibench::osu_bw(
+                  tb, {.msg_size = size, .window = 64, .iterations = iters}));
+    }
+    {
+      core::Testbed tb(1, delay);
+      uni.add("tuned(64K)", static_cast<double>(size),
+              core::mpibench::osu_bw(tb, {.msg_size = size,
+                                          .window = 64,
+                                          .iterations = iters,
+                                          .rendezvous_threshold = 64u << 10}));
+    }
+  }
+  bench::finish(uni, "fig9a_mpi_threshold_bw");
+
+  core::Table bidir("(b) bidirectional bandwidth, thresh-8K vs thresh-64K",
+                    "msg_bytes");
+  for (std::uint64_t size :
+       {4u << 10, 8u << 10, 16u << 10, 32u << 10, 64u << 10}) {
+    {
+      core::Testbed tb(1, delay);
+      bidir.add("thresh-8k", static_cast<double>(size),
+                core::mpibench::osu_bibw(
+                    tb, {.msg_size = size, .window = 64,
+                         .iterations = iters}));
+    }
+    {
+      core::Testbed tb(1, delay);
+      bidir.add("thresh-64k", static_cast<double>(size),
+                core::mpibench::osu_bibw(
+                    tb, {.msg_size = size, .window = 64,
+                         .iterations = iters,
+                         .rendezvous_threshold = 64u << 10}));
+    }
+  }
+  bench::finish(bidir, "fig9b_mpi_threshold_bibw");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks for the simulator's hot paths (these
+// gate how large a WAN experiment is practical to simulate).
+#include <benchmark/benchmark.h>
+
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/qp.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace ibwan;
+
+void BM_EventSchedule(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      sim.schedule(static_cast<sim::Duration>(i % 97), [&] { ++executed; });
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(executed));
+}
+BENCHMARK(BM_EventSchedule);
+
+void BM_LinkPacketDelivery(benchmark::State& state) {
+  sim::Simulator sim;
+  net::Link link(sim, {.bytes_per_ns = 1.0, .propagation = 100}, "bench");
+  std::uint64_t delivered = 0;
+  link.set_sink([&](net::Packet&&) { ++delivered; });
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      net::Packet p;
+      p.wire_size = 2048;
+      link.send(std::move(p));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(delivered));
+}
+BENCHMARK(BM_LinkPacketDelivery);
+
+void BM_RcMessageTransfer(benchmark::State& state) {
+  const auto msg_size = static_cast<std::uint64_t>(state.range(0));
+  sim::Simulator sim;
+  net::Fabric fabric(sim, {.nodes_a = 1, .nodes_b = 1});
+  ib::Hca ha(fabric.node(0), {});
+  ib::Hca hb(fabric.node(1), {});
+  ib::Cq scq(sim), rcq(sim), scq2(sim), rcq2(sim);
+  ib::RcQp& qa = ha.create_rc_qp(scq, rcq);
+  ib::RcQp& qb = hb.create_rc_qp(scq2, rcq2);
+  qa.connect(hb.lid(), qb.qpn());
+  qb.connect(ha.lid(), qa.qpn());
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    qb.post_recv(ib::RecvWr{});
+    qa.post_send(ib::SendWr{.length = msg_size});
+    sim.run();
+    bytes += msg_size;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RcMessageTransfer)->Arg(2048)->Arg(65536)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Table 1: delay overhead corresponding to wire length (5 us/km), plus a
+// measured verbs-level 1-byte latency column showing the emulated
+// distance is what the wire sees.
+#include "bench_common.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+
+using namespace ibwan;
+
+int main() {
+  core::banner(
+      "Table 1: Delay overhead corresponding to wire length\n"
+      "(Obsidian Longbow XR delay knob; 5 us of one-way delay per km)");
+
+  core::Table table("distance -> delay -> measured verbs latency",
+                    "distance_km");
+  for (double km : {1.0, 2.0, 20.0, 200.0, 2000.0}) {
+    const sim::Duration delay = core::delay_for_km(km);
+    core::Testbed tb(1, delay);
+    const auto lat = ib::perftest::run_latency(
+        tb.fabric(), tb.node_a(), tb.node_b(), ib::perftest::Transport::kRc,
+        ib::perftest::Op::kSendRecv,
+        {.msg_size = 1, .iterations = 50 * bench::scale()});
+    table.add("delay_us", km, static_cast<double>(delay) / 1000.0);
+    table.add("rc_latency_us", km, lat.avg_us);
+  }
+  bench::finish(table, "table1_delay_distance");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Scenario: a lab with two 16-node clusters wants to know which of its
+// production codes can run split across buildings or campuses. Runs the
+// NAS kernels at several separations and reports the slowdown each one
+// tolerates (the Figure 12 question, asked as a deployment decision).
+//
+//   $ ./nas_campaign
+#include <cstdio>
+
+#include "apps/nas.hpp"
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+using namespace ibwan;
+
+int main() {
+  const int per_cluster = 16;
+  const double distances_km[] = {0, 2, 20, 200};
+  apps::NasConfig cfg{.cls = apps::NasClass::kA, .iterations = 3};
+  const apps::NasBenchmark benches[] = {
+      apps::make_is(cfg), apps::make_ft(cfg), apps::make_cg(cfg),
+      apps::make_ep(cfg)};
+
+  std::printf(
+      "NAS class A on 2 x %d processes: slowdown vs same-room placement\n\n",
+      per_cluster);
+  std::printf("%-6s", "code");
+  for (double km : distances_km) std::printf(" %9.0fkm", km);
+  std::printf("\n");
+
+  for (const auto& bench : benches) {
+    std::printf("%-6s", bench.name.c_str());
+    double base = 0;
+    for (double km : distances_km) {
+      core::Testbed tb(per_cluster, core::delay_for_km(km));
+      mpi::Job job(tb.fabric(),
+                   mpi::Job::split_placement(tb.fabric(), per_cluster));
+      const double secs = apps::run_nas(job, bench);
+      if (km == 0) base = secs;
+      std::printf(" %10.2fx", base > 0 ? secs / base : 1.0);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nReading: values near 1.0x mean the code tolerates that "
+      "separation (large-message codes like IS/FT do; latency-bound CG "
+      "does not).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a cluster-of-clusters testbed, dial in a WAN
+// distance, and measure verbs-level latency and bandwidth — the
+// 60-second tour of the library.
+//
+//   $ ./quickstart [distance_km]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+
+using namespace ibwan;
+
+int main(int argc, char** argv) {
+  const double km = argc > 1 ? std::atof(argv[1]) : 200.0;
+
+  std::printf("Two IB clusters joined by an Obsidian Longbow pair,\n");
+  std::printf("emulated separation: %.0f km (%.0f us one-way delay)\n\n",
+              km, static_cast<double>(core::delay_for_km(km)) / 1000.0);
+
+  // A Testbed owns a simulator and the fabric of Figure 2: DDR hosts
+  // around a switch per cluster, SDR WAN link between the Longbows.
+  core::Testbed tb(/*nodes_per_cluster=*/1, core::delay_for_km(km));
+
+  // Verbs-level ping-pong latency between the clusters.
+  const auto lat = ib::perftest::run_latency(
+      tb.fabric(), tb.node_a(), tb.node_b(), ib::perftest::Transport::kRc,
+      ib::perftest::Op::kSendRecv, {.msg_size = 8, .iterations = 100});
+  std::printf("RC send/recv latency (8 B):    %10.2f us one-way\n",
+              lat.avg_us);
+
+  // Streaming bandwidth: medium vs large messages show the WAN window
+  // effect the paper analyzes.
+  for (std::uint32_t size : {16u << 10, 1u << 20}) {
+    core::Testbed fresh(1, core::delay_for_km(km));
+    const auto bw = ib::perftest::run_bandwidth(
+        fresh.fabric(), fresh.node_a(), fresh.node_b(),
+        ib::perftest::Transport::kRc,
+        {.msg_size = size,
+         .iterations = ib::perftest::iters_for_bytes(32 << 20, size)});
+    std::printf("RC bandwidth, %4u KB messages: %10.2f MB/s\n", size >> 10,
+                bw.mbytes_per_sec);
+  }
+
+  std::printf(
+      "\nTry: ./quickstart 2  (machine-room scale)\n"
+      "     ./quickstart 2000 (transcontinental)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: you are planning a cluster-of-clusters deployment and need
+// the full configuration sheet for a given separation: what the wire
+// costs, how to set the MPI protocol threshold, how many TCP streams to
+// provision, which NFS transport to mount, and whether your codes will
+// tolerate the split. Pulls every policy in the library together.
+//
+//   $ ./wan_planner [distance_km]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/mpi_bench.hpp"
+#include "core/nfs_bench.hpp"
+#include "core/testbed.hpp"
+#include "core/wan_opt.hpp"
+#include "ib/perftest.hpp"
+
+using namespace ibwan;
+
+int main(int argc, char** argv) {
+  const double km = argc > 1 ? std::atof(argv[1]) : 100.0;
+  const sim::Duration delay = core::delay_for_km(km);
+
+  std::printf("=== IB WAN deployment plan: %.0f km separation ===\n\n", km);
+
+  // 1. Wire characteristics.
+  core::Testbed probe(1, delay);
+  const auto lat = ib::perftest::run_latency(
+      probe.fabric(), probe.node_a(), probe.node_b(),
+      ib::perftest::Transport::kRc, ib::perftest::Op::kSendRecv,
+      {.msg_size = 8, .iterations = 50});
+  const sim::Duration rtt =
+      static_cast<sim::Duration>(lat.avg_us * 2 * 1000);
+  std::printf("verbs one-way latency: %.1f us (RTT %.2f ms)\n", lat.avg_us,
+              lat.avg_us * 2 / 1000.0);
+
+  core::Testbed bw_tb(1, delay);
+  const auto bw = ib::perftest::run_bandwidth(
+      bw_tb.fabric(), bw_tb.node_a(), bw_tb.node_b(),
+      ib::perftest::Transport::kRc,
+      {.msg_size = 1 << 20,
+       .iterations = ib::perftest::iters_for_bytes(32 << 20, 1 << 20)});
+  std::printf("verbs 1 MB bandwidth:  %.0f MB/s\n\n", bw.mbytes_per_sec);
+
+  // 2. MPI tuning.
+  const core::AdaptiveRendezvousThreshold mpi_policy;
+  std::printf("MPI rendezvous threshold: set to %llu KB (default 8 KB)\n",
+              static_cast<unsigned long long>(
+                  mpi_policy.threshold_for_rtt(rtt) >> 10));
+  std::printf("MPI collectives: use hierarchical (cluster-comm) variants\n");
+  if (delay >= 100'000) {
+    std::printf(
+        "MPI small messages: enable eager coalescing "
+        "(MpiConfig::coalescing)\n");
+  }
+
+  // 3. TCP/IPoIB provisioning.
+  const core::ParallelStreamPolicy stream_policy;
+  for (std::uint32_t window : {256u << 10, 1u << 20}) {
+    std::printf(
+        "TCP with %4u KB sockets: provision %d parallel stream(s)\n",
+        window >> 10, stream_policy.streams_for(rtt, window));
+  }
+
+  // 4. NFS transport choice (measured, 4 threads, 32 MB probe file).
+  std::printf("\nNFS probe (4 threads):\n");
+  double best = 0;
+  const char* best_name = "";
+  const std::pair<const char*, core::nfsbench::Transport> transports[] = {
+      {"NFS/RDMA", core::nfsbench::Transport::kRdma},
+      {"NFS/IPoIB-RC", core::nfsbench::Transport::kIpoibRc},
+  };
+  for (const auto& [name, t] : transports) {
+    const auto r = core::nfsbench::run({.transport = t,
+                                        .wan_delay = delay,
+                                        .threads = 4,
+                                        .file_bytes = 32 << 20});
+    std::printf("  %-14s %8.1f MB/s\n", name, r.mbytes_per_sec);
+    if (r.mbytes_per_sec > best) {
+      best = r.mbytes_per_sec;
+      best_name = name;
+    }
+  }
+  std::printf("mount recommendation: %s\n", best_name);
+
+  // 5. Application guidance from the Figure 12 result.
+  std::printf(
+      "\nApplication guidance:\n"
+      "  bulk-synchronous, large-message codes (IS/FT-like): %s\n"
+      "  latency-bound codes (CG/LU-like): %s\n",
+      delay <= 1'000'000 ? "OK to split across sites"
+                         : "expect noticeable slowdown",
+      delay <= 10'000 ? "OK to split across sites"
+                      : "keep within one site");
+  return 0;
+}

@@ -1,0 +1,416 @@
+#include "apps/nas.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ibwan::apps {
+
+namespace {
+
+/// Problem parameters per class (NPB specification).
+struct IsParams {
+  std::uint64_t keys;
+  int buckets;
+  int iterations;
+};
+IsParams is_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {1u << 16, 1 << 9, 10};
+    case NasClass::kA: return {1u << 23, 1 << 10, 10};
+    case NasClass::kB: return {1u << 25, 1 << 10, 10};
+  }
+  return {1u << 25, 1 << 10, 10};
+}
+
+struct FtParams {
+  std::uint64_t nx, ny, nz;
+  int iterations;
+};
+FtParams ft_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {64, 64, 64, 6};
+    case NasClass::kA: return {256, 256, 128, 6};
+    case NasClass::kB: return {512, 256, 256, 20};
+  }
+  return {512, 256, 256, 20};
+}
+
+struct CgParams {
+  std::uint64_t na;
+  std::uint64_t nonzer;
+  int outer_iterations;  // NPB "niter"
+  int inner_cg_iterations = 25;
+};
+CgParams cg_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {1400, 7, 15};
+    case NasClass::kA: return {14000, 11, 15};
+    case NasClass::kB: return {75000, 13, 75};
+  }
+  return {75000, 13, 75};
+}
+
+struct MgParams {
+  std::uint64_t n;  // grid edge
+  int iterations;
+};
+MgParams mg_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {32, 4};
+    case NasClass::kA: return {256, 4};
+    case NasClass::kB: return {256, 20};
+  }
+  return {256, 20};
+}
+
+sim::Duration flops_time(double flops, double rate) {
+  return sim::duration_ceil(flops / rate * 1e9);
+}
+
+int effective_iters(int standard, int requested) {
+  if (requested <= 0) return standard;
+  return std::min(standard, requested);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IS — integer sort. Per iteration: local ranking, an allreduce on the
+// bucket histogram, an alltoall of per-destination counts, then an
+// alltoallv redistributing essentially all keys (large messages).
+// ---------------------------------------------------------------------------
+NasBenchmark make_is(const NasConfig& cfg) {
+  const IsParams p = is_params(cfg.cls);
+  const int iters = effective_iters(p.iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const std::uint64_t local_keys = p.keys / np;
+    // Key counting + bucket ranking: a handful of passes over the keys,
+    // but random-access memory-bound — ~100 effective "ops" per key at
+    // the nominal flop rate.
+    const sim::Duration rank_time =
+        flops_time(static_cast<double>(local_keys) * 100.0, rate);
+    // Uniform random keys: each process ships (local_keys/np) 4-byte
+    // keys to every other process.
+    const std::uint64_t per_pair = local_keys / np * 4;
+    std::vector<std::uint64_t> dist(np, per_pair);
+    dist[r.rank()] = 0;
+    for (int it = 0; it < iters; ++it) {
+      co_await r.compute(rank_time);
+      co_await r.allreduce(static_cast<std::uint64_t>(p.buckets) * 4);
+      co_await r.alltoall(4 * sizeof(std::uint64_t));  // send counts
+      co_await r.alltoallv(dist);
+      // Local re-rank of received keys.
+      co_await r.compute(rank_time / 2);
+    }
+    // Full verification.
+    co_await r.allreduce(8);
+  };
+  return {"IS", p.iterations, iters, program};
+}
+
+// ---------------------------------------------------------------------------
+// FT — 3-D FFT. Per iteration: local 2-D FFT planes, then the global
+// transpose (alltoall moving the full grid: per-pair = grid/(np^2)),
+// then local 1-D FFTs and a checksum allreduce.
+// ---------------------------------------------------------------------------
+NasBenchmark make_ft(const NasConfig& cfg) {
+  const FtParams p = ft_params(cfg.cls);
+  const int iters = effective_iters(p.iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const std::uint64_t points = p.nx * p.ny * p.nz;
+    const std::uint64_t grid_bytes = points * 16;  // double complex
+    const std::uint64_t per_pair =
+        grid_bytes / static_cast<std::uint64_t>(np) / np;
+    // 5 N log2(N) flops for the FFT passes, split across processes.
+    const double fft_flops = 5.0 * static_cast<double>(points) *
+                             std::log2(static_cast<double>(points)) /
+                             static_cast<double>(np);
+    // Warm-up: initial field evolution (untimed in NPB; kept small).
+    co_await r.compute(flops_time(fft_flops / 4, rate));
+    for (int it = 0; it < iters; ++it) {
+      co_await r.compute(flops_time(fft_flops / 2, rate));
+      co_await r.alltoall(per_pair);  // global transpose
+      co_await r.compute(flops_time(fft_flops / 2, rate));
+      co_await r.allreduce(16);  // checksum
+    }
+  };
+  return {"FT", p.iterations, iters, program};
+}
+
+// ---------------------------------------------------------------------------
+// CG — conjugate gradient. Processes form a 2-D grid. Each CG iteration
+// does a sparse matvec (row-group reductions exchanging vector segments
+// of na/row_len doubles, plus a transpose exchange) and two dot-product
+// allreduces of 8 bytes — the latency-bound part that makes CG the
+// paper's delay-sensitive case.
+// ---------------------------------------------------------------------------
+NasBenchmark make_cg(const NasConfig& cfg) {
+  const CgParams p = cg_params(cfg.cls);
+  const int iters = effective_iters(p.outer_iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const int rows = static_cast<int>(std::sqrt(static_cast<double>(np)));
+    const int row_len = np / rows;
+    const std::uint64_t seg_bytes =
+        p.na / static_cast<std::uint64_t>(row_len) * 8;
+    // Nonzeros per row ~ nonzer * (nonzer + 1); flops = 2 * nnz / np.
+    const double nnz = static_cast<double>(p.na) *
+                       static_cast<double>(p.nonzer) *
+                       (static_cast<double>(p.nonzer) + 1.0);
+    const sim::Duration matvec_time = flops_time(2.0 * nnz / np, rate);
+    const int row_steps = std::max(
+        1, static_cast<int>(std::log2(static_cast<double>(row_len))));
+    for (int outer = 0; outer < iters; ++outer) {
+      for (int inner = 0; inner < p.inner_cg_iterations; ++inner) {
+        co_await r.compute(matvec_time);
+        // Row-group sum of the matvec result: log(row_len) exchanges.
+        for (int s = 0; s < row_steps; ++s) {
+          const int partner = r.rank() ^ (1 << s);
+          if (partner < np) {
+            mpi::Request sreq = r.isend(partner, seg_bytes, 1000 + s);
+            mpi::Request rreq = r.irecv(partner, 1000 + s);
+            co_await r.wait(sreq);
+            co_await r.wait(rreq);
+          }
+        }
+        // Two dot products per CG iteration: tiny, latency-bound.
+        co_await r.allreduce(8);
+        co_await r.allreduce(8);
+      }
+      co_await r.allreduce(8);  // residual norm
+    }
+  };
+  return {"CG", p.outer_iterations, iters, program};
+}
+
+// ---------------------------------------------------------------------------
+// MG — multigrid V-cycles: halo exchanges that shrink with each level
+// (face = (n/level)^2 doubles with 6 neighbours), plus tiny coarse-grid
+// traffic. A mix of medium and small messages.
+// ---------------------------------------------------------------------------
+NasBenchmark make_mg(const NasConfig& cfg) {
+  const MgParams p = mg_params(cfg.cls);
+  const int iters = effective_iters(p.iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const std::uint64_t points = p.n * p.n * p.n;
+    const sim::Duration smooth_time =
+        flops_time(15.0 * static_cast<double>(points) / np, rate);
+    const int levels = static_cast<int>(std::log2(p.n)) - 1;
+    for (int it = 0; it < iters; ++it) {
+      for (int level = 0; level < levels; ++level) {
+        const std::uint64_t edge = std::max<std::uint64_t>(p.n >> level, 2);
+        // Face area per process, 8 B/point; 3 dimension exchanges.
+        const std::uint64_t face =
+            std::max<std::uint64_t>(edge * edge * 8 / np, 16);
+        co_await r.compute(smooth_time >> level);
+        for (int d = 0; d < 3; ++d) {
+          // XOR pairing is symmetric only while in range; out-of-range
+          // partners are skipped on both sides.
+          const int partner = r.rank() ^ (1 << d);
+          if (partner >= np || partner == r.rank()) continue;
+          mpi::Request sreq = r.isend(partner, face, 2000 + level * 4 + d);
+          mpi::Request rreq = r.irecv(partner, 2000 + level * 4 + d);
+          co_await r.wait(sreq);
+          co_await r.wait(rreq);
+        }
+      }
+      co_await r.allreduce(8);  // norm
+    }
+  };
+  return {"MG", p.iterations, iters, program};
+}
+
+// ---------------------------------------------------------------------------
+// EP — embarrassingly parallel: heavy local compute, three small
+// allreduces at the end. The delay-insensitive control.
+// ---------------------------------------------------------------------------
+NasBenchmark make_ep(const NasConfig& cfg) {
+  const std::uint64_t pairs = cfg.cls == NasClass::kB   ? 1ull << 30
+                              : cfg.cls == NasClass::kA ? 1ull << 28
+                                                        : 1ull << 24;
+  const double rate = cfg.flops_per_second;
+  auto program = [pairs, rate](mpi::Rank& r) -> sim::Coro<void> {
+    co_await r.compute(
+        flops_time(30.0 * static_cast<double>(pairs) / r.size(), rate));
+    for (int i = 0; i < 3; ++i) co_await r.allreduce(80);
+  };
+  return {"EP", 1, 1, program};
+}
+
+// ---------------------------------------------------------------------------
+// LU — SSOR with wavefront pipelining. Ranks form a 2-D grid; each of
+// the nz k-planes is computed after receiving the plane's boundary rows
+// from the north and west neighbours and is then forwarded south/east.
+// The messages are tiny and strictly dependent, so every WAN crossing
+// sits on the critical path twice per plane — the suite's most
+// delay-sensitive pattern.
+// ---------------------------------------------------------------------------
+namespace {
+struct LuParams {
+  std::uint64_t n;  // grid edge (cubic)
+  int iterations;
+};
+LuParams lu_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {12, 50};
+    case NasClass::kA: return {64, 250};
+    case NasClass::kB: return {102, 250};
+  }
+  return {102, 250};
+}
+
+/// Largest divisor of np that is <= sqrt(np): the process-grid width.
+int grid_cols(int np) {
+  int best = 1;
+  for (int d = 1; d * d <= np; ++d) {
+    if (np % d == 0) best = d;
+  }
+  return best;
+}
+}  // namespace
+
+NasBenchmark make_lu(const NasConfig& cfg) {
+  const LuParams p = lu_params(cfg.cls);
+  const int iters = effective_iters(p.iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const int cols = grid_cols(np);
+    const int rows = np / cols;
+    const int my_row = r.rank() / cols;
+    const int my_col = r.rank() % cols;
+    const int north = my_row > 0 ? r.rank() - cols : -1;
+    const int south = my_row < rows - 1 ? r.rank() + cols : -1;
+    const int west = my_col > 0 ? r.rank() - 1 : -1;
+    const int east = my_col < cols - 1 ? r.rank() + 1 : -1;
+    // Boundary row per plane: (n / cols) points x 5 doubles.
+    const std::uint64_t row_bytes = std::max<std::uint64_t>(
+        p.n / static_cast<std::uint64_t>(cols) * 5 * 8, 40);
+    const std::uint64_t nz = p.n;
+    // ~150 flops per point per SSOR sweep pair, split over planes.
+    const sim::Duration plane_time = flops_time(
+        150.0 * static_cast<double>(p.n * p.n) / np, rate);
+    for (int it = 0; it < iters; ++it) {
+      // Lower-triangular sweep: waves flow from (0,0) to (rows-1,cols-1).
+      for (std::uint64_t k = 0; k < nz; ++k) {
+        const int tag = static_cast<int>(k % 64);
+        if (north >= 0) co_await r.recv(north, 100 + tag);
+        if (west >= 0) co_await r.recv(west, 200 + tag);
+        co_await r.compute(plane_time);
+        if (south >= 0) co_await r.send(south, row_bytes, 100 + tag);
+        if (east >= 0) co_await r.send(east, row_bytes, 200 + tag);
+      }
+      // Upper-triangular sweep: waves flow back.
+      for (std::uint64_t k = 0; k < nz; ++k) {
+        const int tag = static_cast<int>(k % 64);
+        if (south >= 0) co_await r.recv(south, 300 + tag);
+        if (east >= 0) co_await r.recv(east, 400 + tag);
+        co_await r.compute(plane_time);
+        if (north >= 0) co_await r.send(north, row_bytes, 300 + tag);
+        if (west >= 0) co_await r.send(west, row_bytes, 400 + tag);
+      }
+      co_await r.allreduce(40);  // residual norms
+    }
+  };
+  return {"LU", p.iterations, iters, program};
+}
+
+// ---------------------------------------------------------------------------
+// BT — block-tridiagonal line solves in each dimension plus face halo
+// exchanges: medium pipelined messages (a middle ground between FT's
+// bulk and LU's trickle).
+// ---------------------------------------------------------------------------
+namespace {
+struct BtParams {
+  std::uint64_t n;
+  int iterations;
+};
+BtParams bt_params(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return {12, 20};
+    case NasClass::kA: return {64, 200};
+    case NasClass::kB: return {102, 200};
+  }
+  return {102, 200};
+}
+}  // namespace
+
+NasBenchmark make_bt(const NasConfig& cfg) {
+  const BtParams p = bt_params(cfg.cls);
+  const int iters = effective_iters(p.iterations, cfg.iterations);
+  const double rate = cfg.flops_per_second;
+  auto program = [p, iters, rate](mpi::Rank& r) -> sim::Coro<void> {
+    const int np = r.size();
+    const int cols = grid_cols(np);
+    const int rows = np / cols;
+    const int my_row = r.rank() / cols;
+    const int my_col = r.rank() % cols;
+    // Interface block shipped along a solve line: 25 doubles per cell
+    // over the local face.
+    const std::uint64_t line_bytes = std::max<std::uint64_t>(
+        p.n * p.n / static_cast<std::uint64_t>(np) * 25 * 8, 200);
+    const std::uint64_t face_bytes = std::max<std::uint64_t>(
+        p.n * p.n / static_cast<std::uint64_t>(np) * 5 * 8, 200);
+    const sim::Duration rhs_time = flops_time(
+        500.0 * static_cast<double>(p.n * p.n * p.n) / np / 3.0, rate);
+    for (int it = 0; it < iters; ++it) {
+      co_await r.compute(rhs_time);
+      // x-sweep along my row, forward then back-substitution.
+      for (int phase = 0; phase < 2; ++phase) {
+        const bool fwd = phase == 0;
+        const int prev = fwd ? (my_col > 0 ? r.rank() - 1 : -1)
+                             : (my_col < cols - 1 ? r.rank() + 1 : -1);
+        const int next = fwd ? (my_col < cols - 1 ? r.rank() + 1 : -1)
+                             : (my_col > 0 ? r.rank() - 1 : -1);
+        if (prev >= 0) co_await r.recv(prev, 500 + phase);
+        co_await r.compute(rhs_time / 4);
+        if (next >= 0) co_await r.send(next, line_bytes, 500 + phase);
+      }
+      // y-sweep along my column.
+      for (int phase = 0; phase < 2; ++phase) {
+        const bool fwd = phase == 0;
+        const int prev = fwd ? (my_row > 0 ? r.rank() - cols : -1)
+                             : (my_row < rows - 1 ? r.rank() + cols : -1);
+        const int next = fwd ? (my_row < rows - 1 ? r.rank() + cols : -1)
+                             : (my_row > 0 ? r.rank() - cols : -1);
+        if (prev >= 0) co_await r.recv(prev, 510 + phase);
+        co_await r.compute(rhs_time / 4);
+        if (next >= 0) co_await r.send(next, line_bytes, 510 + phase);
+      }
+      // Halo exchange of cell faces with the four grid neighbours.
+      std::vector<mpi::Request> reqs;
+      auto exchange = [&](int partner, int tag) {
+        if (partner < 0) return;
+        reqs.push_back(r.isend(partner, face_bytes, tag));
+        reqs.push_back(r.irecv(partner, tag));
+      };
+      exchange(my_col > 0 ? r.rank() - 1 : -1, 520);
+      exchange(my_col < cols - 1 ? r.rank() + 1 : -1, 520);
+      exchange(my_row > 0 ? r.rank() - cols : -1, 521);
+      exchange(my_row < rows - 1 ? r.rank() + cols : -1, 521);
+      co_await r.wait_all(std::move(reqs));
+    }
+  };
+  return {"BT", p.iterations, iters, program};
+}
+
+double run_nas(mpi::Job& job, const NasBenchmark& bench) {
+  const double measured = job.execute(bench.program);
+  if (bench.run_iterations <= 0 || bench.standard_iterations <= 0 ||
+      bench.run_iterations >= bench.standard_iterations) {
+    return measured;
+  }
+  return measured * static_cast<double>(bench.standard_iterations) /
+         static_cast<double>(bench.run_iterations);
+}
+
+}  // namespace ibwan::apps

@@ -1,0 +1,59 @@
+// NAS Parallel Benchmark kernels (communication-accurate models).
+//
+// Each benchmark issues the *communication pattern and message sizes* of
+// the real NPB code (class sizes from the NPB 2.4/3.x specification) and
+// models computation as calibrated busy time. This reproduces what
+// Figure 12 measures: IS and FT move mostly large messages (bandwidth
+// robust across the WAN), CG mixes medium vector exchanges with
+// latency-bound dot-product allreduces (degrades with delay), EP hardly
+// communicates at all.
+//
+// The paper profiles exactly this: "IS and FT involve a high percentage
+// (100% and 83%) of large messages while CG has ... small and medium".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mpi/mpi.hpp"
+
+namespace ibwan::apps {
+
+enum class NasClass { kS, kA, kB };
+
+struct NasConfig {
+  NasClass cls = NasClass::kB;
+  /// 0 = the benchmark's standard iteration count; smaller values run a
+  /// truncated-but-representative number of timed iterations (results
+  /// scale per-iteration).
+  int iterations = 0;
+  /// Per-process sustained compute speed (2007-era Xeon core).
+  double flops_per_second = 4e9;
+};
+
+/// A runnable NAS kernel: program + metadata.
+struct NasBenchmark {
+  std::string name;
+  int standard_iterations = 0;
+  int run_iterations = 0;
+  mpi::Job::Program program;
+};
+
+NasBenchmark make_is(const NasConfig& cfg = {});
+NasBenchmark make_ft(const NasConfig& cfg = {});
+NasBenchmark make_cg(const NasConfig& cfg = {});
+NasBenchmark make_mg(const NasConfig& cfg = {});
+NasBenchmark make_ep(const NasConfig& cfg = {});
+/// LU (SSOR wavefront): tiny pipelined messages — the most
+/// latency-sensitive pattern in the suite.
+NasBenchmark make_lu(const NasConfig& cfg = {});
+/// BT (block-tridiagonal line solves): medium pipelined messages plus
+/// face halo exchanges.
+NasBenchmark make_bt(const NasConfig& cfg = {});
+
+/// Runs the kernel on the job and returns the projected full-run time in
+/// seconds (measured time scaled from run_iterations to
+/// standard_iterations).
+double run_nas(mpi::Job& job, const NasBenchmark& bench);
+
+}  // namespace ibwan::apps

@@ -1,0 +1,159 @@
+#include "core/mpi_bench.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "core/calibration.hpp"
+
+namespace ibwan::core::mpibench {
+
+namespace {
+
+/// Streams `iters` windows of isends from `me` to `peer` and waits for
+/// the peer's final 4-byte ack.
+sim::Coro<void> bw_sender(mpi::Rank& r, int peer, const OsuConfig& cfg) {
+  for (int it = 0; it < cfg.warmup + cfg.iterations; ++it) {
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(cfg.window);
+    for (int w = 0; w < cfg.window; ++w) {
+      reqs.push_back(r.isend(peer, cfg.msg_size, it));
+    }
+    co_await r.wait_all(std::move(reqs));
+  }
+  co_await r.recv(peer, 1 << 20);  // final handshake
+}
+
+sim::Coro<void> bw_receiver(mpi::Rank& r, int peer, const OsuConfig& cfg) {
+  for (int it = 0; it < cfg.warmup + cfg.iterations; ++it) {
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(cfg.window);
+    for (int w = 0; w < cfg.window; ++w) {
+      reqs.push_back(r.irecv(peer, it));
+    }
+    co_await r.wait_all(std::move(reqs));
+  }
+  co_await r.send(peer, 4, 1 << 20);
+}
+
+struct Timed {
+  sim::Time t0 = 0;
+  sim::Time t1 = 0;
+  double seconds() const { return sim::to_seconds(t1 - t0); }
+};
+
+mpi::MpiConfig job_config(const OsuConfig& cfg) {
+  mpi::MpiConfig mc = mpi_defaults();
+  mc.coalescing = cfg.coalescing;
+  return mc;
+}
+
+}  // namespace
+
+double osu_bw(Testbed& tb, const OsuConfig& cfg) {
+  mpi::Job job(tb.fabric(), {tb.node_a(), tb.node_b()}, job_config(cfg));
+  auto timed = std::make_shared<Timed>();
+  job.execute([cfg, timed](mpi::Rank& r) -> sim::Coro<void> {
+    if (cfg.rendezvous_threshold != 0) {
+      r.set_rendezvous_threshold(cfg.rendezvous_threshold);
+    }
+    // Untimed warmup runs inside the streaming loops; the timed region
+    // is bounded by barriers.
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t0 = r.sim().now();
+    if (r.rank() == 0) {
+      co_await bw_sender(r, 1, cfg);
+    } else {
+      co_await bw_receiver(r, 0, cfg);
+    }
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t1 = r.sim().now();
+  });
+  const double bytes = static_cast<double>(cfg.msg_size) * cfg.window *
+                       (cfg.warmup + cfg.iterations);
+  return bytes / timed->seconds() / 1e6;
+}
+
+double osu_bibw(Testbed& tb, const OsuConfig& cfg) {
+  mpi::Job job(tb.fabric(), {tb.node_a(), tb.node_b()}, job_config(cfg));
+  auto timed = std::make_shared<Timed>();
+  job.execute([cfg, timed](mpi::Rank& r) -> sim::Coro<void> {
+    if (cfg.rendezvous_threshold != 0) {
+      r.set_rendezvous_threshold(cfg.rendezvous_threshold);
+    }
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t0 = r.sim().now();
+    const int peer = 1 - r.rank();
+    // Both directions at once: stream out while sinking the peer's
+    // traffic (tags partition the two directions).
+    for (int it = 0; it < cfg.warmup + cfg.iterations; ++it) {
+      std::vector<mpi::Request> reqs;
+      reqs.reserve(2 * cfg.window);
+      for (int w = 0; w < cfg.window; ++w) {
+        reqs.push_back(r.isend(peer, cfg.msg_size, it));
+        reqs.push_back(r.irecv(peer, it));
+      }
+      co_await r.wait_all(std::move(reqs));
+    }
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t1 = r.sim().now();
+  });
+  const double bytes = 2.0 * static_cast<double>(cfg.msg_size) *
+                       cfg.window * (cfg.warmup + cfg.iterations);
+  return bytes / timed->seconds() / 1e6;
+}
+
+double multi_pair_message_rate(Testbed& tb, int pairs,
+                               const OsuConfig& cfg) {
+  mpi::Job job(tb.fabric(),
+               mpi::Job::split_placement(tb.fabric(), pairs),
+               job_config(cfg));
+  auto timed = std::make_shared<Timed>();
+  job.execute([cfg, pairs, timed](mpi::Rank& r) -> sim::Coro<void> {
+    if (cfg.rendezvous_threshold != 0) {
+      r.set_rendezvous_threshold(cfg.rendezvous_threshold);
+    }
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t0 = r.sim().now();
+    if (r.rank() < pairs) {
+      co_await bw_sender(r, r.rank() + pairs, cfg);
+    } else {
+      co_await bw_receiver(r, r.rank() - pairs, cfg);
+    }
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t1 = r.sim().now();
+  });
+  const double msgs = static_cast<double>(pairs) * cfg.window *
+                      (cfg.warmup + cfg.iterations);
+  return msgs / timed->seconds() / 1e6;
+}
+
+double bcast_latency_us(Testbed& tb, const BcastConfig& cfg) {
+  mpi::Job job(tb.fabric(),
+               mpi::Job::split_placement(tb.fabric(), cfg.ranks_per_cluster),
+               mpi_defaults());
+  auto timed = std::make_shared<Timed>();
+  const int np = 2 * cfg.ranks_per_cluster;
+  const int acker = np - 1;  // pre-selected greatest-ack-time process
+  job.execute([cfg, acker, timed](mpi::Rank& r) -> sim::Coro<void> {
+    co_await r.barrier();
+    if (r.rank() == 0) timed->t0 = r.sim().now();
+    for (int it = 0; it < cfg.iterations; ++it) {
+      if (cfg.hierarchical) {
+        co_await r.bcast_hierarchical(0, cfg.msg_size);
+      } else {
+        co_await r.bcast(0, cfg.msg_size);
+      }
+      // OSU bcast protocol: the slowest process acks the root, which
+      // then proceeds to the next broadcast.
+      if (r.rank() == acker) {
+        co_await r.send(0, 4, 1 << 21);
+      } else if (r.rank() == 0) {
+        co_await r.recv(acker, 1 << 21);
+        timed->t1 = r.sim().now();
+      }
+    }
+  });
+  return sim::to_microseconds(timed->t1 - timed->t0) / cfg.iterations;
+}
+
+}  // namespace ibwan::core::mpibench

@@ -1,0 +1,47 @@
+// OSU-microbenchmark-style MPI measurement drivers (OMB), used by the
+// Figure 8-11 benches and the integration tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+namespace ibwan::core::mpibench {
+
+struct OsuConfig {
+  std::uint64_t msg_size = 1024;
+  /// Outstanding sends per iteration (osu_bw window).
+  int window = 64;
+  int iterations = 20;
+  int warmup = 2;
+  /// 0 keeps the library default (8 KB); Figure 9 tunes this.
+  std::uint64_t rendezvous_threshold = 0;
+  /// Enable eager-message coalescing in the library under test.
+  bool coalescing = false;
+};
+
+/// osu_bw: rank 0 (cluster A) streams to rank 1 (cluster B). MB/s.
+double osu_bw(Testbed& tb, const OsuConfig& cfg);
+
+/// osu_bibw: both directions concurrently. Aggregate MB/s.
+double osu_bibw(Testbed& tb, const OsuConfig& cfg);
+
+/// osu_mbw_mr: `pairs` sender/receiver pairs across the WAN; aggregate
+/// message rate in million messages per second.
+double multi_pair_message_rate(Testbed& tb, int pairs,
+                               const OsuConfig& cfg);
+
+struct BcastConfig {
+  int ranks_per_cluster = 8;
+  std::uint64_t msg_size = 1024;
+  int iterations = 10;
+  bool hierarchical = false;  // false = the library default ("Original")
+};
+
+/// The paper's OSU bcast benchmark: the root broadcasts and waits for an
+/// ack from the pre-selected slowest process before the next iteration.
+/// Returns average per-broadcast latency in microseconds.
+double bcast_latency_us(Testbed& tb, const BcastConfig& cfg);
+
+}  // namespace ibwan::core::mpibench

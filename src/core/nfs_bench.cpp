@@ -1,0 +1,57 @@
+#include "core/nfs_bench.hpp"
+
+#include <memory>
+
+#include "core/calibration.hpp"
+#include "core/testbed.hpp"
+#include "ib/hca.hpp"
+#include "ipoib/ipoib.hpp"
+#include "rpc/rpc.hpp"
+#include "tcp/tcp.hpp"
+
+namespace ibwan::core::nfsbench {
+
+nfs::IozoneResult run(const NfsBenchConfig& cfg) {
+  // Two hosts per cluster so the LAN baseline can stay on one switch.
+  Testbed tb(2, cfg.wan_delay);
+  const net::NodeId server_node = tb.node_a(0);
+  const net::NodeId client_node = cfg.lan ? tb.node_a(1) : tb.node_b(0);
+
+  nfs::IozoneConfig io;
+  io.file_bytes = cfg.file_bytes;
+  io.record_bytes = cfg.record_bytes;
+  io.threads = cfg.threads;
+  io.write = cfg.write;
+
+  if (cfg.transport == Transport::kRdma) {
+    ib::Hca server_hca(tb.fabric().node(server_node), nfs_server_hca());
+    ib::Hca client_hca(tb.fabric().node(client_node), {});
+    rpc::RdmaRpcServer rpc_server(server_hca);
+    rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
+    nfs::NfsServer server(tb.sim(), nfs_rdma_defaults());
+    server.add_file(io.fh, cfg.file_bytes);
+    rpc_server.set_handler(server.handler());
+    nfs::NfsClient client(rpc_client);
+    return nfs::run_iozone(tb.sim(), client, io);
+  }
+
+  const ipoib::IpoibConfig dev_cfg = cfg.transport == Transport::kIpoibRc
+                                         ? ipoib_rc(ipoib::kConnectedIpMtu)
+                                         : ipoib_ud();
+  ib::Hca server_hca(tb.fabric().node(server_node), {});
+  ib::Hca client_hca(tb.fabric().node(client_node), {});
+  ipoib::IpoibDevice server_dev(server_hca, dev_cfg);
+  ipoib::IpoibDevice client_dev(client_hca, dev_cfg);
+  ipoib::IpoibDevice::link(client_dev, server_dev);
+  tcp::TcpStack server_stack(server_dev, tcp_window());
+  tcp::TcpStack client_stack(client_dev, tcp_window());
+  rpc::TcpRpcServer rpc_server(server_stack, 2049);
+  rpc::TcpRpcClient rpc_client(client_stack, server_stack.lid(), 2049);
+  nfs::NfsServer server(tb.sim(), nfs_ipoib_defaults());
+  server.add_file(io.fh, cfg.file_bytes);
+  rpc_server.set_handler(server.handler());
+  nfs::NfsClient client(rpc_client);
+  return nfs::run_iozone(tb.sim(), client, io);
+}
+
+}  // namespace ibwan::core::nfsbench

@@ -1,0 +1,28 @@
+// NFS read/write throughput driver (the Figure 13 measurement: single
+// server, multi-threaded IOzone client, RDMA vs IPoIB transports).
+#pragma once
+
+#include <cstdint>
+
+#include "nfs/nfs.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::core::nfsbench {
+
+enum class Transport { kRdma, kIpoibRc, kIpoibUd };
+
+struct NfsBenchConfig {
+  Transport transport = Transport::kRdma;
+  sim::Duration wan_delay = 0;
+  /// LAN baseline: server and client in the same cluster (no Longbows).
+  bool lan = false;
+  int threads = 1;
+  std::uint64_t file_bytes = 512ull << 20;
+  std::uint64_t record_bytes = 256 << 10;
+  bool write = false;
+};
+
+/// Builds a fresh testbed, mounts, runs IOzone, returns the result.
+nfs::IozoneResult run(const NfsBenchConfig& cfg);
+
+}  // namespace ibwan::core::nfsbench

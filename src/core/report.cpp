@@ -1,0 +1,80 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ibwan::core {
+
+sim::Series& Table::series(const std::string& name) {
+  for (auto& s : series_) {
+    if (s.name == name) return s;
+  }
+  series_.push_back(sim::Series{name, {}});
+  return series_.back();
+}
+
+std::vector<double> Table::sorted_xs() const {
+  std::set<double> xs;
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) xs.insert(x);
+  }
+  return {xs.begin(), xs.end()};
+}
+
+void Table::print(const char* number_format) const {
+  std::printf("\n%s\n", title_.c_str());
+  std::printf("%-14s", x_label_.c_str());
+  for (const auto& s : series_) std::printf(" %16s", s.name.c_str());
+  std::printf("\n");
+  for (double x : sorted_xs()) {
+    if (x == static_cast<double>(static_cast<long long>(x))) {
+      std::printf("%-14lld", static_cast<long long>(x));
+    } else {
+      std::printf("%-14.2f", x);
+    }
+    for (const auto& s : series_) {
+      const double y = s.at(x);
+      if (std::isnan(y)) {
+        std::printf(" %16s", "-");
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), number_format, y);
+        std::printf(" %16s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%s", x_label_.c_str());
+  for (const auto& s : series_) std::fprintf(f, ",%s", s.name.c_str());
+  std::fprintf(f, "\n");
+  for (double x : sorted_xs()) {
+    std::fprintf(f, "%g", x);
+    for (const auto& s : series_) {
+      const double y = s.at(x);
+      if (std::isnan(y)) {
+        std::fprintf(f, ",");
+      } else {
+        std::fprintf(f, ",%g", y);
+      }
+    }
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+  return true;
+}
+
+void banner(const std::string& text) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", text.c_str());
+  std::printf("============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace ibwan::core

@@ -1,0 +1,43 @@
+// Result reporting: paper-style tables on stdout plus CSV files.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace ibwan::core {
+
+/// A labelled table: one row per x value, one column per series, printed
+/// the way the paper's figures tabulate (x, then each curve).
+class Table {
+ public:
+  Table(std::string title, std::string x_label)
+      : title_(std::move(title)), x_label_(std::move(x_label)) {}
+
+  sim::Series& series(const std::string& name);
+  void add(const std::string& series_name, double x, double y) {
+    series(series_name).add(x, y);
+  }
+
+  /// Prints an aligned table to stdout.
+  void print(const char* number_format = "%12.2f") const;
+
+  /// Writes "x,series1,series2,..." CSV.
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<sim::Series>& all_series() const { return series_; }
+
+ private:
+  std::vector<double> sorted_xs() const;
+
+  std::string title_;
+  std::string x_label_;
+  std::vector<sim::Series> series_;
+};
+
+/// Prints a section banner (one per table/figure in the bench output).
+void banner(const std::string& text);
+
+}  // namespace ibwan::core

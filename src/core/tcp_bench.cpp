@@ -1,0 +1,43 @@
+#include "core/tcp_bench.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "ib/hca.hpp"
+
+namespace ibwan::core::tcpbench {
+
+double tcp_throughput(Testbed& tb, const StreamConfig& cfg) {
+  sim::Simulator& sim = tb.sim();
+  ib::Hca server_hca(tb.fabric().node(tb.node_b()), {});
+  ib::Hca client_hca(tb.fabric().node(tb.node_a()), {});
+  ipoib::IpoibDevice server_dev(server_hca, cfg.device);
+  ipoib::IpoibDevice client_dev(client_hca, cfg.device);
+  ipoib::IpoibDevice::link(client_dev, server_dev);
+  tcp::TcpStack server(server_dev, cfg.tcp);
+  tcp::TcpStack client(client_dev, cfg.tcp);
+
+  server.listen(5001, [](tcp::TcpConnection&) {});
+
+  int done = 0;
+  sim::Time t_end = 0;
+  const sim::Time t0 = sim.now();
+  std::vector<tcp::TcpConnection*> conns;
+  for (int s = 0; s < cfg.streams; ++s) {
+    tcp::TcpConnection& c = client.connect(server.lid(), 5001);
+    c.send(cfg.bytes_per_stream);
+    c.set_on_acked([&, &c = c](std::uint64_t acked) {
+      if (acked == cfg.bytes_per_stream) {
+        if (++done == cfg.streams) t_end = sim.now();
+      }
+    });
+    conns.push_back(&c);
+  }
+  sim.run();
+  const double secs = sim::to_seconds(t_end - t0);
+  const double bytes =
+      static_cast<double>(cfg.bytes_per_stream) * cfg.streams;
+  return secs > 0 ? bytes / secs / 1e6 : 0;
+}
+
+}  // namespace ibwan::core::tcpbench

@@ -1,0 +1,25 @@
+// IPoIB/TCP throughput driver (the Figure 6/7 measurement: single and
+// parallel streams between one host of each cluster).
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+#include "ipoib/ipoib.hpp"
+#include "tcp/tcp.hpp"
+
+namespace ibwan::core::tcpbench {
+
+struct StreamConfig {
+  ipoib::IpoibConfig device{};
+  tcp::TcpConfig tcp{};
+  int streams = 1;
+  /// Application bytes pushed per stream (2 MB application messages in
+  /// the paper; the total just needs to dwarf the handshake).
+  std::uint64_t bytes_per_stream = 32ull << 20;
+};
+
+/// Aggregate acked throughput in MB/s across all streams.
+double tcp_throughput(Testbed& tb, const StreamConfig& cfg);
+
+}  // namespace ibwan::core::tcpbench

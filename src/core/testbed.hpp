@@ -1,0 +1,46 @@
+// The experiment testbed: the paper's two clusters joined by an Obsidian
+// Longbow XR pair (Figure 2), with the delay knob exposed in both
+// microseconds and kilometres.
+#pragma once
+
+#include <memory>
+
+#include "core/calibration.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::core {
+
+/// Owns a fresh Simulator and Fabric per measurement (experiments are
+/// independent runs, as on real hardware after a reboot).
+class Testbed {
+ public:
+  explicit Testbed(int nodes_per_cluster = 1,
+                   sim::Duration wan_delay = 0,
+                   std::uint64_t seed = 42)
+      : Testbed(nodes_per_cluster, nodes_per_cluster, wan_delay, seed) {}
+
+  Testbed(int nodes_a, int nodes_b, sim::Duration wan_delay,
+          std::uint64_t seed = 42)
+      : fabric_(sim_, fabric_defaults(nodes_a, nodes_b)) {
+    sim_.seed(seed);
+    fabric_.set_wan_delay(wan_delay);
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  net::Fabric& fabric() { return fabric_; }
+
+  void set_wan_delay(sim::Duration d) { fabric_.set_wan_delay(d); }
+  void set_distance_km(double km) { fabric_.set_wan_delay(delay_for_km(km)); }
+  sim::Duration wan_delay() const { return fabric_.wan_delay(); }
+
+  /// First host of cluster A / cluster B (the WAN-facing test nodes).
+  net::NodeId node_a(int i = 0) { return fabric_.node_id(net::Cluster::kA, i); }
+  net::NodeId node_b(int i = 0) { return fabric_.node_id(net::Cluster::kB, i); }
+
+ private:
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+};
+
+}  // namespace ibwan::core

@@ -1,0 +1,263 @@
+#include "ib/perftest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/qp.hpp"
+#include "sim/stats.hpp"
+
+namespace ibwan::ib::perftest {
+
+namespace {
+
+/// Per-node verbs context for a two-party test.
+struct Party {
+  explicit Party(net::Node& node, const HcaConfig& cfg)
+      : hca(node, cfg), scq(node.sim()), rcq(node.sim()) {}
+  Hca hca;
+  Cq scq;
+  Cq rcq;
+  RcQp* rc = nullptr;
+  UdQp* ud = nullptr;
+};
+
+struct Pair {
+  Pair(net::Fabric& fabric, net::NodeId a, net::NodeId b, Transport t,
+       const HcaConfig& cfg)
+      : pa(fabric.node(a), cfg), pb(fabric.node(b), cfg) {
+    if (t == Transport::kRc) {
+      pa.rc = &pa.hca.create_rc_qp(pa.scq, pa.rcq);
+      pb.rc = &pb.hca.create_rc_qp(pb.scq, pb.rcq);
+      pa.rc->connect(pb.hca.lid(), pb.rc->qpn());
+      pb.rc->connect(pa.hca.lid(), pa.rc->qpn());
+    } else {
+      pa.ud = &pa.hca.create_ud_qp(pa.scq, pa.rcq);
+      pb.ud = &pb.hca.create_ud_qp(pb.scq, pb.rcq);
+    }
+  }
+  Party pa;
+  Party pb;
+};
+
+}  // namespace
+
+int iters_for_bytes(std::uint64_t target_bytes, std::uint32_t msg_size,
+                    int min_iters, int max_iters) {
+  const std::uint64_t want = target_bytes / std::max<std::uint32_t>(1, msg_size);
+  return static_cast<int>(std::clamp<std::uint64_t>(
+      want, static_cast<std::uint64_t>(min_iters),
+      static_cast<std::uint64_t>(max_iters)));
+}
+
+LatencyResult run_latency(net::Fabric& fabric, net::NodeId a, net::NodeId b,
+                          Transport transport, Op op, const TestConfig& cfg) {
+  sim::Simulator& sim = fabric.sim();
+  Pair pair(fabric, a, b, transport, cfg.hca);
+  Party& pa = pair.pa;
+  Party& pb = pair.pb;
+
+  const int total = cfg.iterations + cfg.warmup;
+  sim::OnlineStats rtt_ns;
+  int done = 0;
+  sim::Time sent_at = 0;
+
+  auto a_send = [&] {
+    sent_at = sim.now();
+    SendWr wr{.wr_id = 1, .length = cfg.msg_size};
+    if (transport == Transport::kRc) {
+      if (op == Op::kRdmaWrite) wr.opcode = Opcode::kRdmaWrite;
+      pa.rc->post_send(wr);
+    } else {
+      pa.ud->post_send(wr, UdDest{pb.hca.lid(), pb.ud->qpn()});
+    }
+  };
+  auto b_send = [&] {
+    SendWr wr{.wr_id = 2, .length = cfg.msg_size};
+    if (transport == Transport::kRc) {
+      if (op == Op::kRdmaWrite) wr.opcode = Opcode::kRdmaWrite;
+      pb.rc->post_send(wr);
+    } else {
+      pb.ud->post_send(wr, UdDest{pa.hca.lid(), pa.ud->qpn()});
+    }
+  };
+
+  auto on_a_gets_reply = [&] {
+    ++done;
+    if (done > cfg.warmup) {
+      rtt_ns.add(static_cast<double>(sim.now() - sent_at));
+    }
+    if (done < total) a_send();
+  };
+
+  if (op == Op::kSendRecv) {
+    for (int i = 0; i < total; ++i) {
+      if (transport == Transport::kRc) {
+        pa.rc->post_recv(RecvWr{.wr_id = 10, .max_length = cfg.msg_size});
+        pb.rc->post_recv(RecvWr{.wr_id = 20, .max_length = cfg.msg_size});
+      } else {
+        pa.ud->post_recv(RecvWr{.wr_id = 10, .max_length = cfg.msg_size});
+        pb.ud->post_recv(RecvWr{.wr_id = 20, .max_length = cfg.msg_size});
+      }
+    }
+    pb.rcq.set_callback([&](const Cqe&) { b_send(); });
+    pa.rcq.set_callback([&](const Cqe&) { on_a_gets_reply(); });
+  } else {
+    assert(transport == Transport::kRc && "RDMA write requires RC");
+    // ib_write_lat style: each side polls its buffer for the peer's write.
+    pb.rc->set_rdma_write_listener(
+        [&](std::uint64_t, std::uint64_t, bool) { b_send(); });
+    pa.rc->set_rdma_write_listener(
+        [&](std::uint64_t, std::uint64_t, bool) { on_a_gets_reply(); });
+  }
+
+  a_send();
+  sim.run();
+  assert(done == total && "latency test did not complete");
+
+  LatencyResult r;
+  r.iterations = cfg.iterations;
+  r.avg_us = rtt_ns.mean() / 2.0 / 1000.0;
+  r.min_us = rtt_ns.min() / 2.0 / 1000.0;
+  r.max_us = rtt_ns.max() / 2.0 / 1000.0;
+  return r;
+}
+
+namespace {
+
+/// Streams `iters` messages from src to dst, keeping at most tx_depth
+/// WQEs outstanding. RC throughput is timed on sender completions (they
+/// are ack-clocked to the true bottleneck, matching ib_send_bw). UD has
+/// no acks — the sender only observes its local DDR host link — so UD is
+/// timed on receiver arrivals, first completion to last (the delivered
+/// rate ib_send_bw reports on the server side).
+class Streamer {
+ public:
+  Streamer(Party& src, Party& dst, Transport t, const TestConfig& cfg,
+           std::function<void()> done)
+      : src_(src), dst_(dst), transport_(t), cfg_(cfg),
+        done_(std::move(done)) {
+    if (t == Transport::kUd) {
+      for (int i = 0; i < cfg_.iterations; ++i) {
+        dst_.ud->post_recv(RecvWr{.max_length = cfg_.msg_size});
+      }
+      dst_.rcq.set_callback([this](const Cqe&) {
+        if (received_ == 0) first_arrival_ = dst_.hca.sim().now();
+        if (++received_ == cfg_.iterations) {
+          last_arrival_ = dst_.hca.sim().now();
+          done_();
+        }
+      });
+      // Send completions only pace the posting loop.
+      src_.scq.set_callback([this](const Cqe&) {
+        if (posted_ < cfg_.iterations) post_one();
+      });
+    } else {
+      for (int i = 0; i < cfg_.iterations; ++i) {
+        dst_.rc->post_recv(RecvWr{.max_length = cfg_.msg_size});
+      }
+      src_.scq.set_callback([this](const Cqe&) {
+        ++completed_;
+        if (posted_ < cfg_.iterations) {
+          post_one();
+        } else if (completed_ == cfg_.iterations) {
+          end_time_ = src_.hca.sim().now();
+          done_();
+        }
+      });
+    }
+  }
+
+  void start() {
+    start_time_ = src_.hca.sim().now();
+    const int burst = std::min(cfg_.tx_depth, cfg_.iterations);
+    for (int i = 0; i < burst; ++i) post_one();
+  }
+
+  /// Measured (bytes, seconds) for this direction once done() has fired.
+  std::pair<std::uint64_t, double> measured() const {
+    if (transport_ == Transport::kUd) {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(cfg_.iterations - 1) * cfg_.msg_size;
+      return {bytes, sim::to_seconds(last_arrival_ - first_arrival_)};
+    }
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(cfg_.iterations) * cfg_.msg_size;
+    return {bytes, sim::to_seconds(end_time_ - start_time_)};
+  }
+
+ private:
+  void post_one() {
+    ++posted_;
+    SendWr wr{.wr_id = static_cast<std::uint64_t>(posted_),
+              .length = cfg_.msg_size};
+    if (transport_ == Transport::kRc) {
+      src_.rc->post_send(wr);
+    } else {
+      src_.ud->post_send(wr, UdDest{dst_.hca.lid(), dst_.ud->qpn()});
+    }
+  }
+
+  Party& src_;
+  Party& dst_;
+  Transport transport_;
+  TestConfig cfg_;
+  std::function<void()> done_;
+  int posted_ = 0;
+  int completed_ = 0;
+  int received_ = 0;
+  sim::Time start_time_ = 0;
+  sim::Time end_time_ = 0;
+  sim::Time first_arrival_ = 0;
+  sim::Time last_arrival_ = 0;
+};
+
+}  // namespace
+
+BandwidthResult run_bandwidth(net::Fabric& fabric, net::NodeId a,
+                              net::NodeId b, Transport transport,
+                              const TestConfig& cfg) {
+  sim::Simulator& sim = fabric.sim();
+  Pair pair(fabric, a, b, transport, cfg.hca);
+  Streamer s(pair.pa, pair.pb, transport, cfg, [] {});
+  s.start();
+  sim.run();
+  const auto [bytes, seconds] = s.measured();
+  BandwidthResult r;
+  r.iterations = cfg.iterations;
+  r.total_bytes = bytes;
+  r.seconds = seconds;
+  r.mbytes_per_sec =
+      seconds > 0 ? static_cast<double>(bytes) / seconds / 1e6 : 0;
+  return r;
+}
+
+BandwidthResult run_bidir_bandwidth(net::Fabric& fabric, net::NodeId a,
+                                    net::NodeId b, Transport transport,
+                                    const TestConfig& cfg) {
+  sim::Simulator& sim = fabric.sim();
+  Pair pair(fabric, a, b, transport, cfg.hca);
+  Streamer fwd(pair.pa, pair.pb, transport, cfg, [] {});
+  Streamer rev(pair.pb, pair.pa, transport, cfg, [] {});
+  fwd.start();
+  rev.start();
+  sim.run();
+  // Aggregate: each direction's delivered rate, summed (both run
+  // concurrently over the same interval).
+  const auto [bytes_f, secs_f] = fwd.measured();
+  const auto [bytes_r, secs_r] = rev.measured();
+  BandwidthResult r;
+  r.iterations = cfg.iterations;
+  r.total_bytes = bytes_f + bytes_r;
+  r.seconds = std::max(secs_f, secs_r);
+  const double rate_f =
+      secs_f > 0 ? static_cast<double>(bytes_f) / secs_f / 1e6 : 0;
+  const double rate_r =
+      secs_r > 0 ? static_cast<double>(bytes_r) / secs_r / 1e6 : 0;
+  r.mbytes_per_sec = rate_f + rate_r;
+  return r;
+}
+
+}  // namespace ibwan::ib::perftest

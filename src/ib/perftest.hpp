@@ -1,0 +1,60 @@
+// Verbs-level micro-benchmarks, mirroring the OFED perftest suite the
+// paper uses for its Section 3.2 evaluation (ib_send_lat / ib_send_bw /
+// ib_write_lat and the bidirectional variants).
+#pragma once
+
+#include <cstdint>
+
+#include "ib/verbs.hpp"
+#include "net/fabric.hpp"
+
+namespace ibwan::ib::perftest {
+
+enum class Transport { kRc, kUd };
+enum class Op { kSendRecv, kRdmaWrite };
+
+struct LatencyResult {
+  double avg_us = 0;  // one-way (half round-trip), perftest convention
+  double min_us = 0;
+  double max_us = 0;
+  int iterations = 0;
+};
+
+struct BandwidthResult {
+  double mbytes_per_sec = 0;  // MillionBytes/s, the paper's unit
+  std::uint64_t total_bytes = 0;
+  double seconds = 0;
+  int iterations = 0;
+};
+
+struct TestConfig {
+  std::uint32_t msg_size = 2;
+  int iterations = 1000;
+  int warmup = 10;
+  /// Sender queue depth (outstanding WQEs), perftest's --tx-depth.
+  int tx_depth = 128;
+  HcaConfig hca{};
+};
+
+/// Ping-pong latency between two fabric nodes. RDMA-write flavour spins
+/// on memory (write listener) instead of consuming receive WQEs.
+LatencyResult run_latency(net::Fabric& fabric, net::NodeId a, net::NodeId b,
+                          Transport transport, Op op, const TestConfig& cfg);
+
+/// Unidirectional streaming bandwidth a -> b (send completions timed).
+BandwidthResult run_bandwidth(net::Fabric& fabric, net::NodeId a,
+                              net::NodeId b, Transport transport,
+                              const TestConfig& cfg);
+
+/// Bidirectional streaming bandwidth (both directions concurrently;
+/// reports aggregate).
+BandwidthResult run_bidir_bandwidth(net::Fabric& fabric, net::NodeId a,
+                                    net::NodeId b, Transport transport,
+                                    const TestConfig& cfg);
+
+/// Picks an iteration count that moves ~`target_bytes` per measurement
+/// while staying within [min_iters, max_iters].
+int iters_for_bytes(std::uint64_t target_bytes, std::uint32_t msg_size,
+                    int min_iters = 64, int max_iters = 16384);
+
+}  // namespace ibwan::ib::perftest

@@ -1,0 +1,94 @@
+#include "kv/kv.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan::kv {
+
+KvServer::KvServer(sim::Simulator& sim, KvConfig config)
+    : sim_(sim), config_(config) {}
+
+rpc::Handler KvServer::handler() {
+  return [this](const rpc::CallArgs& call) { return dispatch(call); };
+}
+
+sim::Coro<rpc::ReplyInfo> KvServer::dispatch(const rpc::CallArgs& call) {
+  const auto& args = call.args_as<KvArgs>();
+  cpu_busy_ = std::max(sim_.now(), cpu_busy_) + config_.per_op_cpu;
+  co_await sim::SleepAwaiter(sim_, cpu_busy_ - sim_.now());
+  if (args.op == Op::kGet) {
+    ++stats_.gets;
+    const std::uint64_t size = value_size(args.key);
+    if (size == 0) ++stats_.misses;
+    co_return rpc::ReplyInfo{.reply_bytes = 64, .data_to_client = size};
+  }
+  ++stats_.puts;
+  store_[args.key] = args.value_bytes;
+  co_return rpc::ReplyInfo{.reply_bytes = 64};
+}
+
+sim::Coro<std::uint64_t> KvClient::get(std::uint64_t key) {
+  auto args = std::make_shared<KvArgs>();
+  args->op = Op::kGet;
+  args->key = key;
+  rpc::CallArgs call{.proc = std::uint32_t(Op::kGet),
+                     .arg_bytes = 24,
+                     .body = std::move(args)};
+  rpc::ReplyInfo reply = co_await rpc_.call(std::move(call));
+  co_return reply.data_to_client;
+}
+
+sim::Coro<void> KvClient::put(std::uint64_t key,
+                              std::uint64_t value_bytes) {
+  auto args = std::make_shared<KvArgs>();
+  args->op = Op::kPut;
+  args->key = key;
+  args->value_bytes = value_bytes;
+  rpc::CallArgs call{.proc = std::uint32_t(Op::kPut),
+                     .arg_bytes = 24,
+                     .data_to_server = value_bytes,
+                     .body = std::move(args)};
+  co_await rpc_.call(std::move(call));
+}
+
+namespace {
+sim::Task kv_worker(sim::Simulator& sim, KvClient& client,
+                    const KvWorkloadConfig& cfg, sim::Rng* rng,
+                    sim::OnlineStats* latency, sim::WaitGroup* wg) {
+  for (int i = 0; i < cfg.ops_per_client; ++i) {
+    const std::uint64_t key = rng->uniform(cfg.key_space);
+    const sim::Time t0 = sim.now();
+    if (rng->uniform_double() < cfg.get_fraction) {
+      co_await client.get(key);
+    } else {
+      co_await client.put(key, cfg.value_bytes);
+    }
+    latency->add(static_cast<double>(sim.now() - t0));
+  }
+  wg->done();
+}
+}  // namespace
+
+KvResult run_kv_workload(sim::Simulator& sim, KvClient& client,
+                         const KvWorkloadConfig& cfg) {
+  sim::Rng rng(cfg.seed);
+  sim::OnlineStats latency;
+  sim::WaitGroup wg(sim);
+  wg.add(cfg.clients);
+  const sim::Time t0 = sim.now();
+  for (int c = 0; c < cfg.clients; ++c) {
+    kv_worker(sim, client, cfg, &rng, &latency, &wg);
+  }
+  sim.run();
+  KvResult r;
+  r.ops = latency.count();
+  const double secs = sim::to_seconds(sim.now() - t0);
+  r.kops_per_sec = secs > 0 ? static_cast<double>(r.ops) / secs / 1e3 : 0;
+  r.avg_latency_us = latency.mean() / 1000.0;
+  return r;
+}
+
+}  // namespace ibwan::kv

@@ -1,0 +1,95 @@
+// RDMA key-value service — the "data-centers" context the paper's
+// conclusions name for future IB-WAN work. A single-server KV store
+// over the RPC/RDMA transport: GET replies place the value with chunked
+// RDMA writes, PUT pushes the value via server-initiated RDMA reads —
+// so the WAN behaviour tracks the NFS/RDMA results (Figure 13) at
+// data-center object sizes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rpc/rpc.hpp"
+#include "sim/coro.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::kv {
+
+enum class Op : std::uint32_t { kGet = 1, kPut = 2 };
+
+struct KvArgs {
+  Op op = Op::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t value_bytes = 0;  // for puts
+};
+
+struct KvConfig {
+  /// Server CPU per operation (hash lookup, request handling).
+  sim::Duration per_op_cpu = 2 * sim::kMicrosecond;
+};
+
+class KvServer {
+ public:
+  struct Stats {
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t misses = 0;
+  };
+
+  KvServer(sim::Simulator& sim, KvConfig config = {});
+
+  void preload(std::uint64_t key, std::uint64_t value_bytes) {
+    store_[key] = value_bytes;
+  }
+  std::uint64_t value_size(std::uint64_t key) const {
+    auto it = store_.find(key);
+    return it == store_.end() ? 0 : it->second;
+  }
+
+  rpc::Handler handler();
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Coro<rpc::ReplyInfo> dispatch(const rpc::CallArgs& call);
+
+  sim::Simulator& sim_;
+  KvConfig config_;
+  std::unordered_map<std::uint64_t, std::uint64_t> store_;
+  sim::Time cpu_busy_ = 0;
+  Stats stats_;
+};
+
+class KvClient {
+ public:
+  explicit KvClient(rpc::RpcClient& rpc) : rpc_(rpc) {}
+
+  /// Returns the value size; 0 on miss.
+  sim::Coro<std::uint64_t> get(std::uint64_t key);
+  sim::Coro<void> put(std::uint64_t key, std::uint64_t value_bytes);
+
+ private:
+  rpc::RpcClient& rpc_;
+};
+
+/// Closed-loop mixed workload driver.
+struct KvWorkloadConfig {
+  int clients = 4;
+  int ops_per_client = 200;
+  double get_fraction = 0.9;
+  std::uint64_t value_bytes = 4096;
+  std::uint64_t key_space = 1024;
+  std::uint64_t seed = 7;
+};
+
+struct KvResult {
+  double kops_per_sec = 0;
+  double avg_latency_us = 0;
+  std::uint64_t ops = 0;
+};
+
+/// Runs the workload to completion (drives the simulator).
+KvResult run_kv_workload(sim::Simulator& sim, KvClient& client,
+                         const KvWorkloadConfig& cfg);
+
+}  // namespace ibwan::kv

@@ -1,0 +1,158 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibwan::mpi {
+
+namespace {
+/// Communicator tag space, disjoint from the world collectives' block
+/// (kCollTagBase = 1<<28 in collectives.cpp).
+constexpr int kCommTagBase = 1 << 27;
+}  // namespace
+
+int Comm::next_tag(Rank& r, int rounds) {
+  const int seq = coll_seq_[r.rank()]++;
+  (void)rounds;
+  return kCommTagBase + (id_ % 1024) * (1 << 17) + (seq % 2048) * 64;
+}
+
+sim::Coro<void> Comm::barrier(Rank& r) {
+  const int tag = next_tag(r);
+  const int p = size();
+  const int me = comm_rank(r.rank());
+  assert(me >= 0 && "barrier on a communicator this rank is not in");
+  int round = 0;
+  for (int k = 1; k < p; k <<= 1, ++round) {
+    const int to = member((me + k) % p);
+    const int from = member((me - k + p) % p);
+    Request s = r.isend(to, 1, tag + round);
+    Request q = r.irecv(from, tag + round);
+    co_await r.wait(s);
+    co_await r.wait(q);
+  }
+}
+
+sim::Coro<void> Comm::bcast(Rank& r, int root, std::uint64_t bytes) {
+  const int tag = next_tag(r);
+  const int p = size();
+  const int me = comm_rank(r.rank());
+  assert(me >= 0);
+  const int vrank = (me - root + p) % p;
+  auto real = [&](int v) { return member((v + root) % p); };
+  int recv_mask = 1;
+  while (recv_mask < p) {
+    if (vrank & recv_mask) {
+      co_await r.recv(real(vrank - recv_mask), tag);
+      break;
+    }
+    recv_mask <<= 1;
+  }
+  // Largest-subtree-first: the WAN-aware schedule (contrast with the
+  // world default's generic order; see collectives.cpp).
+  int top = 1;
+  if (vrank == 0) {
+    while (top * 2 < p) top <<= 1;
+  } else {
+    top = recv_mask >> 1;
+  }
+  for (int mask = top; mask >= 1; mask >>= 1) {
+    if (vrank + mask < p) {
+      co_await r.send(real(vrank + mask), bytes, tag);
+    }
+  }
+}
+
+sim::Coro<void> Comm::reduce(Rank& r, int root, std::uint64_t bytes) {
+  const int tag = next_tag(r);
+  const int p = size();
+  const int me = comm_rank(r.rank());
+  assert(me >= 0);
+  const int vrank = (me - root + p) % p;
+  auto real = [&](int v) { return member((v + root) % p); };
+  const auto combine =
+      sim::duration_ceil(static_cast<double>(bytes) * 0.25);
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      co_await r.send(real(vrank - mask), bytes, tag);
+      break;
+    }
+    if (vrank + mask < p) {
+      co_await r.recv(real(vrank + mask), tag);
+      co_await r.compute(combine);
+    }
+    mask <<= 1;
+  }
+}
+
+sim::Coro<void> Comm::allreduce(Rank& r, std::uint64_t bytes) {
+  const int p = size();
+  if ((p & (p - 1)) != 0) {
+    co_await reduce(r, 0, bytes);
+    co_await bcast(r, 0, bytes);
+    co_return;
+  }
+  const int tag = next_tag(r);
+  const int me = comm_rank(r.rank());
+  assert(me >= 0);
+  const auto combine =
+      sim::duration_ceil(static_cast<double>(bytes) * 0.25);
+  int round = 0;
+  for (int mask = 1; mask < p; mask <<= 1, ++round) {
+    const int partner = member(me ^ mask);
+    Request s = r.isend(partner, bytes, tag + round);
+    Request q = r.irecv(partner, tag + round);
+    co_await r.wait(s);
+    co_await r.wait(q);
+    co_await r.compute(combine);
+  }
+}
+
+sim::Coro<void> Comm::allgather(Rank& r, std::uint64_t bytes_per_rank) {
+  const int tag = next_tag(r);
+  const int p = size();
+  const int me = comm_rank(r.rank());
+  assert(me >= 0);
+  const int right = member((me + 1) % p);
+  const int left = member((me - 1 + p) % p);
+  for (int step = 0; step < p - 1; ++step) {
+    Request s = r.isend(right, bytes_per_rank, tag + step % 64);
+    Request q = r.irecv(left, tag + step % 64);
+    co_await r.wait(s);
+    co_await r.wait(q);
+  }
+}
+
+sim::Coro<std::shared_ptr<Comm>> CommSplitter::split(Rank& r, int color,
+                                                     int key) {
+  // Timing: the real operation allgathers (color, key); synchronize
+  // like a barrier before the local bookkeeping.
+  co_await r.barrier();
+
+  const int seq = split_seq_[r.rank()]++;
+  auto& op = pending_[seq];
+  if (!op) op = std::make_unique<PendingSplit>(r.sim());
+  op->by_color[color].emplace_back(key, r.rank());
+  op->color_of_rank[r.rank()] = color;
+  ++op->arrived;
+
+  if (op->arrived == job_.size()) {
+    for (auto& [c, entries] : op->by_color) {
+      std::sort(entries.begin(), entries.end());
+      auto comm = std::make_shared<Comm>();
+      comm->id_ = next_comm_id_++;
+      for (const auto& [k, rank] : entries) {
+        comm->index_[rank] = static_cast<int>(comm->members_.size());
+        comm->members_.push_back(rank);
+      }
+      for (int rank : comm->members_) op->comm_of_rank[rank] = comm;
+    }
+    op->done.fire();
+  } else if (!op->done.fired()) {
+    co_await op->done.wait();
+  }
+  co_return op->comm_of_rank.at(r.rank());
+}
+
+}  // namespace ibwan::mpi

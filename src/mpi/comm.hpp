@@ -1,0 +1,78 @@
+// Sub-communicators.
+//
+// MPI_Comm_split-style groups over a Job's ranks, with collectives that
+// run inside the subgroup. This is the building block WAN-aware
+// middleware uses: split the world by cluster, run local collectives on
+// the cluster communicator, and bridge the WAN explicitly — the
+// generalization of the paper's hierarchical broadcast.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "sim/coro.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan::mpi {
+
+class Comm {
+ public:
+  int size() const { return static_cast<int>(members_.size()); }
+  /// This job-rank's position within the communicator (-1 if absent).
+  int comm_rank(int job_rank) const {
+    auto it = index_.find(job_rank);
+    return it == index_.end() ? -1 : it->second;
+  }
+  int member(int comm_rank) const { return members_.at(comm_rank); }
+  const std::vector<int>& members() const { return members_; }
+  int id() const { return id_; }
+
+  // --- Collectives over the subgroup (call from member ranks only) ---
+  sim::Coro<void> barrier(Rank& r);
+  /// Binomial broadcast rooted at comm rank `root`.
+  sim::Coro<void> bcast(Rank& r, int root, std::uint64_t bytes);
+  sim::Coro<void> reduce(Rank& r, int root, std::uint64_t bytes);
+  sim::Coro<void> allreduce(Rank& r, std::uint64_t bytes);
+  sim::Coro<void> allgather(Rank& r, std::uint64_t bytes_per_rank);
+
+ private:
+  friend class CommSplitter;
+  int next_tag(Rank& r, int rounds = 64);
+
+  int id_ = 0;
+  std::vector<int> members_;           // job ranks, ordered by (key, rank)
+  std::unordered_map<int, int> index_;  // job rank -> comm rank
+  std::unordered_map<int, int> coll_seq_;  // per member
+};
+
+/// Collective communicator construction. All ranks of the job must call
+/// split() in the same order; ranks passing the same color land in the
+/// same communicator, ordered by (key, job rank). Synchronizes like a
+/// barrier (the color allgather the real operation performs).
+class CommSplitter {
+ public:
+  explicit CommSplitter(Job& job) : job_(job) {}
+
+  sim::Coro<std::shared_ptr<Comm>> split(Rank& r, int color, int key = 0);
+
+ private:
+  struct PendingSplit {
+    explicit PendingSplit(sim::Simulator& sim) : done(sim) {}
+    std::map<int, std::vector<std::pair<int, int>>> by_color;  // (key,rank)
+    std::unordered_map<int, std::shared_ptr<Comm>> comm_of_rank;
+    std::unordered_map<int, int> color_of_rank;
+    int arrived = 0;
+    sim::Trigger done;
+  };
+
+  Job& job_;
+  std::unordered_map<int, std::unique_ptr<PendingSplit>> pending_;
+  std::unordered_map<int, int> split_seq_;  // per rank call counter
+  int next_comm_id_ = 1;
+};
+
+}  // namespace ibwan::mpi

@@ -1,0 +1,109 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace ibwan::net {
+
+Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
+    : sim_(sim), config_(config) {
+  if (config_.back_to_back) {
+    assert(config_.nodes_a == 1 && config_.nodes_b == 1 &&
+           "back-to-back mode is exactly two hosts");
+    build_back_to_back();
+  } else {
+    assert(config_.nodes_a >= 1 && config_.nodes_b >= 1);
+    build_cluster_of_clusters();
+  }
+}
+
+NodeId Fabric::node_id(Cluster c, int index) const {
+  if (c == Cluster::kA) {
+    assert(index < config_.nodes_a);
+    return static_cast<NodeId>(index);
+  }
+  assert(index < config_.nodes_b);
+  return static_cast<NodeId>(config_.nodes_a + index);
+}
+
+void Fabric::set_wan_delay(sim::Duration oneway) {
+  if (longbows_) longbows_->set_oneway_delay(oneway);
+}
+
+sim::Duration Fabric::wan_delay() const {
+  return longbows_ ? longbows_->oneway_delay() : 0;
+}
+
+Link* Fabric::make_link(const Link::Config& cfg, std::string name) {
+  links_.push_back(std::make_unique<Link>(sim_, cfg, std::move(name)));
+  return links_.back().get();
+}
+
+void Fabric::build_back_to_back() {
+  nodes_.push_back(std::make_unique<Node>(sim_, 0));
+  nodes_.push_back(std::make_unique<Node>(sim_, 1));
+  const Link::Config cable{.bytes_per_ns = config_.lan_rate,
+                           .propagation = config_.host_link_prop};
+  Link* a2b = make_link(cable, "cable-0to1");
+  Link* b2a = make_link(cable, "cable-1to0");
+  a2b->set_sink([this](Packet&& p) { nodes_[1]->deliver(std::move(p)); });
+  b2a->set_sink([this](Packet&& p) { nodes_[0]->deliver(std::move(p)); });
+  nodes_[0]->attach_uplink(a2b);
+  nodes_[1]->attach_uplink(b2a);
+}
+
+void Fabric::build_cluster_of_clusters() {
+  const int total = config_.nodes_a + config_.nodes_b;
+  for (int i = 0; i < total; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, static_cast<NodeId>(i)));
+  }
+  switches_.push_back(
+      std::make_unique<Switch>(sim_, "switch-a", config_.switch_latency));
+  switches_.push_back(
+      std::make_unique<Switch>(sim_, "switch-b", config_.switch_latency));
+  Switch* sw_a = switches_[0].get();
+  Switch* sw_b = switches_[1].get();
+
+  const Link::Config host_link{.bytes_per_ns = config_.lan_rate,
+                               .propagation = config_.host_link_prop};
+
+  // Host <-> local switch star.
+  for (int i = 0; i < total; ++i) {
+    Node* n = nodes_[i].get();
+    Switch* sw = i < config_.nodes_a ? sw_a : sw_b;
+    const std::string tag = "host" + std::to_string(i);
+    Link* up = make_link(host_link, tag + "-up");
+    Link* down = make_link(host_link, tag + "-down");
+    up->set_sink([sw](Packet&& p) { sw->receive(std::move(p)); });
+    down->set_sink([n](Packet&& p) { n->deliver(std::move(p)); });
+    n->attach_uplink(up);
+    const int port = sw->add_port(down);
+    sw->set_route(n->id(), port);
+  }
+
+  // Longbow pair joins the two switches.
+  longbows_ = std::make_unique<LongbowPair>(sim_, config_.longbow);
+  Longbow* lb_a = &longbows_->side_a();
+  Longbow* lb_b = &longbows_->side_b();
+
+  // switch-a <-> longbow-a LAN links.
+  Link* swa_to_lba = make_link(host_link, "swa-to-lba");
+  Link* lba_to_swa = make_link(host_link, "lba-to-swa");
+  swa_to_lba->set_sink(
+      [lb_a](Packet&& p) { lb_a->receive_from_lan(std::move(p)); });
+  lba_to_swa->set_sink([sw_a](Packet&& p) { sw_a->receive(std::move(p)); });
+  lb_a->set_lan_tx(lba_to_swa);
+  sw_a->set_default_route(sw_a->add_port(swa_to_lba));
+
+  // switch-b <-> longbow-b LAN links.
+  Link* swb_to_lbb = make_link(host_link, "swb-to-lbb");
+  Link* lbb_to_swb = make_link(host_link, "lbb-to-swb");
+  swb_to_lbb->set_sink(
+      [lb_b](Packet&& p) { lb_b->receive_from_lan(std::move(p)); });
+  lbb_to_swb->set_sink([sw_b](Packet&& p) { sw_b->receive(std::move(p)); });
+  lb_b->set_lan_tx(lbb_to_swb);
+  sw_b->set_default_route(sw_b->add_port(swb_to_lbb));
+}
+
+}  // namespace ibwan::net

@@ -1,0 +1,84 @@
+// Cluster-of-clusters fabric builder.
+//
+// Reproduces the paper's testbed (Figure 2): two clusters, each a DDR
+// star around one switch, joined by an Obsidian Longbow pair over a WAN
+// link. A back-to-back mode (two hosts, one cable) provides the Figure 3
+// baseline.
+//
+// Node ids: cluster A gets 0..nodes_a-1, cluster B gets
+// nodes_a..nodes_a+nodes_b-1. Ids double as IB LIDs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "net/wan.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+
+enum class Cluster { kA, kB };
+
+struct FabricConfig {
+  int nodes_a = 2;
+  int nodes_b = 2;
+  /// Host and switch link data rate, bytes/ns (IB DDR payload = 2.0).
+  double lan_rate = 2.0;
+  /// Host-to-switch cable propagation.
+  sim::Duration host_link_prop = 100;
+  /// Switch cut-through latency per hop.
+  sim::Duration switch_latency = 200;
+  /// Back-to-back mode: exactly two nodes and one cable, no switches or
+  /// Longbows (latency baseline).
+  bool back_to_back = false;
+  LongbowPair::Config longbow{};
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, const FabricConfig& config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  Node& node(NodeId id) { return *nodes_.at(id); }
+
+  /// Node id for the i-th host of a cluster.
+  NodeId node_id(Cluster c, int index) const;
+  Cluster cluster_of(NodeId id) const {
+    return id < static_cast<NodeId>(config_.nodes_a) ? Cluster::kA
+                                                     : Cluster::kB;
+  }
+
+  /// True when src→dst traffic crosses the WAN link.
+  bool crosses_wan(NodeId src, NodeId dst) const {
+    return !config_.back_to_back && cluster_of(src) != cluster_of(dst);
+  }
+
+  /// Distance-emulation knob (no-op in back-to-back mode).
+  void set_wan_delay(sim::Duration oneway);
+  sim::Duration wan_delay() const;
+
+  LongbowPair* longbows() { return longbows_.get(); }
+  const FabricConfig& config() const { return config_; }
+  sim::Simulator& sim() { return sim_; }
+
+ private:
+  void build_back_to_back();
+  void build_cluster_of_clusters();
+  Link* make_link(const Link::Config& cfg, std::string name);
+
+  sim::Simulator& sim_;
+  FabricConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::unique_ptr<LongbowPair> longbows_;
+};
+
+}  // namespace ibwan::net

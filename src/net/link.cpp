@@ -1,0 +1,63 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace ibwan::net {
+
+Link::Link(sim::Simulator& sim, Config config, std::string name)
+    : sim_(sim), config_(config), name_(std::move(name)) {
+  assert(config_.bytes_per_ns > 0.0);
+}
+
+bool Link::send(Packet&& p) {
+  assert(sink_ && "link sink not connected");
+  if (config_.buffer_bytes != 0 &&
+      queued_bytes_ + p.wire_size > config_.buffer_bytes) {
+    ++stats_.packets_dropped_buffer;
+    IBWAN_WARN(sim_.now(), name_.c_str(), "buffer drop pkt=%llu size=%u",
+               static_cast<unsigned long long>(p.id), p.wire_size);
+    return false;
+  }
+  queued_bytes_ += p.wire_size;
+  (p.control ? q_control_ : q_data_).push_back(std::move(p));
+  if (!busy_) start_next();
+  return true;
+}
+
+void Link::start_next() {
+  std::deque<Packet>* q =
+      !q_control_.empty() ? &q_control_ : (!q_data_.empty() ? &q_data_ : nullptr);
+  if (q == nullptr) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  auto pkt = std::make_shared<Packet>(std::move(q->front()));
+  q->pop_front();
+  const sim::Duration ser = sim::duration_ceil(
+      static_cast<double>(pkt->wire_size) / config_.bytes_per_ns);
+  sim_.schedule(ser, [this, pkt] {
+    queued_bytes_ -= pkt->wire_size;
+    ++stats_.packets_sent;
+    stats_.bytes_sent += pkt->wire_size;
+    if (pkt->on_serialized) pkt->on_serialized();
+    const bool lost =
+        config_.loss_rate > 0.0 && sim_.rng().chance(config_.loss_rate);
+    if (lost) {
+      ++stats_.packets_dropped_loss;
+    } else {
+      sim_.schedule(config_.propagation + extra_delay_, [this, pkt] {
+        Packet delivered = *pkt;
+        delivered.on_serialized = nullptr;
+        sink_(std::move(delivered));
+      });
+    }
+    start_next();
+  });
+}
+
+}  // namespace ibwan::net

@@ -1,0 +1,83 @@
+// Point-to-point unidirectional link.
+//
+// A link serializes packets at a fixed byte rate, then delivers them to
+// its sink after a propagation delay (plus an adjustable extra delay —
+// the Obsidian Longbow distance-emulation knob). Two queues feed the
+// serializer: a control lane (transport ACK/NAK and similar) that is
+// always scheduled ahead of the bulk-data lane, modelling the arbitration
+// real ports perform so responder traffic is not starved by deep send
+// queues. Optional finite buffering and random loss support
+// failure-injection experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+
+class Link {
+ public:
+  struct Config {
+    /// Serialization rate in bytes per nanosecond (8 Gb/s data = 1.0).
+    double bytes_per_ns = 1.0;
+    /// Propagation delay, sender to receiver.
+    sim::Duration propagation = 0;
+    /// Bytes that may be queued awaiting serialization; 0 = unbounded.
+    std::uint64_t buffer_bytes = 0;
+    /// Probability that a packet is corrupted in flight and discarded.
+    double loss_rate = 0.0;
+  };
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t packets_dropped_buffer = 0;
+    std::uint64_t packets_dropped_loss = 0;
+  };
+
+  Link(sim::Simulator& sim, Config config, std::string name = "link");
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Receiver of delivered packets. Must be set before first send.
+  void set_sink(std::function<void(Packet&&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Enqueues a packet. Returns false when dropped (buffer overflow).
+  bool send(Packet&& p);
+
+  /// Additional one-way delay (Longbow emulated distance). Takes effect
+  /// for packets serialized after the call.
+  void set_extra_delay(sim::Duration d) { extra_delay_ = d; }
+  sim::Duration extra_delay() const { return extra_delay_; }
+
+  /// Bytes currently waiting to go onto the wire.
+  std::uint64_t queued_bytes() const { return queued_bytes_; }
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  void start_next();
+
+  sim::Simulator& sim_;
+  Config config_;
+  std::string name_;
+  std::function<void(Packet&&)> sink_;
+  std::deque<Packet> q_control_;
+  std::deque<Packet> q_data_;
+  bool busy_ = false;
+  std::uint64_t queued_bytes_ = 0;
+  sim::Duration extra_delay_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ibwan::net

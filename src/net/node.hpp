@@ -1,0 +1,53 @@
+// End host attachment point.
+//
+// A Node owns nothing about protocols: it forwards outbound packets onto
+// its fabric uplink and hands inbound packets to whatever registered as
+// the receiver (the HCA, in this library).
+#pragma once
+
+#include <cassert>
+#include <functional>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+
+class Node {
+ public:
+  Node(sim::Simulator& sim, NodeId id) : sim_(sim), id_(id) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  sim::Simulator& sim() { return sim_; }
+
+  /// Wires this node's transmit side to a fabric link (set by the Fabric).
+  void attach_uplink(Link* tx) { uplink_ = tx; }
+  Link* uplink() { return uplink_; }
+
+  /// Registers the packet consumer (one per node; the HCA).
+  void set_receiver(std::function<void(Packet&&)> rx) {
+    receiver_ = std::move(rx);
+  }
+
+  bool send(Packet&& p) {
+    assert(uplink_ && "node not attached to fabric");
+    p.src = id_;
+    return uplink_->send(std::move(p));
+  }
+
+  void deliver(Packet&& p) {
+    if (receiver_) receiver_(std::move(p));
+  }
+
+ private:
+  sim::Simulator& sim_;
+  NodeId id_;
+  Link* uplink_ = nullptr;
+  std::function<void(Packet&&)> receiver_;
+};
+
+}  // namespace ibwan::net

@@ -1,0 +1,40 @@
+// Wire packets.
+//
+// The simulator never copies payload bytes; a Packet carries byte *counts*
+// plus a shared protocol header object. Endpoints know the concrete header
+// type for the traffic they exchange (IB verbs packets everywhere in this
+// library, since TCP/IPoIB rides on IB).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace ibwan::net {
+
+/// Globally unique node identifier; doubles as the InfiniBand LID.
+using NodeId = std::uint32_t;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Total size on the wire, including all protocol headers.
+  std::uint32_t wire_size = 0;
+  /// Unique id for tracing/debugging.
+  std::uint64_t id = 0;
+  /// Control-plane packet (transport ACK/NAK): ports schedule these ahead
+  /// of bulk data so responder traffic is never starved by deep queues.
+  bool control = false;
+  /// Protocol header/body descriptor; type is agreed between endpoints.
+  std::shared_ptr<const void> payload;
+  /// Invoked by the first link when the packet finishes serializing onto
+  /// the wire (used for transmit-completion semantics, e.g. UD send CQEs).
+  std::function<void()> on_serialized;
+
+  template <typename T>
+  const T& as() const {
+    return *static_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace ibwan::net

@@ -1,0 +1,51 @@
+// Cut-through crossbar switch with static destination routing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+
+class Switch {
+ public:
+  Switch(sim::Simulator& sim, std::string name, sim::Duration hop_latency)
+      : sim_(sim), name_(std::move(name)), hop_latency_(hop_latency) {}
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Registers an egress link; returns the port index.
+  int add_port(Link* tx) {
+    ports_.push_back(tx);
+    return static_cast<int>(ports_.size()) - 1;
+  }
+
+  /// Static route: packets for `dst` leave via `port`.
+  void set_route(NodeId dst, int port) { routes_[dst] = port; }
+
+  /// Fallback port for unknown destinations (the WAN uplink).
+  void set_default_route(int port) { default_port_ = port; }
+
+  /// Ingress from any attached link.
+  void receive(Packet&& p);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::Duration hop_latency_;
+  std::vector<Link*> ports_;
+  std::unordered_map<NodeId, int> routes_;
+  int default_port_ = -1;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace ibwan::net

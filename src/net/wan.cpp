@@ -1,0 +1,34 @@
+#include "net/wan.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace ibwan::net {
+
+void Longbow::forward(Packet&& p, Link* out) {
+  if (out == nullptr) {
+    IBWAN_WARN(sim_.now(), name_.c_str(), "port not connected, dropping");
+    return;
+  }
+  auto shared = std::make_shared<Packet>(std::move(p));
+  sim_.schedule(latency_, [out, shared] { out->send(std::move(*shared)); });
+}
+
+LongbowPair::LongbowPair(sim::Simulator& sim, const Config& config) {
+  a_ = std::make_unique<Longbow>(sim, "longbow-a", config.pipeline_latency);
+  b_ = std::make_unique<Longbow>(sim, "longbow-b", config.pipeline_latency);
+
+  Link::Config wan{.bytes_per_ns = config.wan_rate,
+                   .propagation = config.base_propagation,
+                   .buffer_bytes = config.buffer_bytes,
+                   .loss_rate = config.loss_rate};
+  a_to_b_ = std::make_unique<Link>(sim, wan, "wan-a2b");
+  b_to_a_ = std::make_unique<Link>(sim, wan, "wan-b2a");
+  a_to_b_->set_sink([this](Packet&& p) { b_->receive_from_wan(std::move(p)); });
+  b_to_a_->set_sink([this](Packet&& p) { a_->receive_from_wan(std::move(p)); });
+  a_->set_wan_tx(a_to_b_.get());
+  b_->set_wan_tx(b_to_a_.get());
+}
+
+}  // namespace ibwan::net

@@ -1,0 +1,89 @@
+// Obsidian Longbow XR model.
+//
+// A Longbow pair extends an InfiniBand subnet across a WAN: each router
+// bridges its local (DDR) fabric onto a long-haul SDR-rate link. In the
+// paper's "basic switch mode" the pair is transparent to IB except for
+// added latency. The routers expose the paper's key knob: a configurable
+// packet delay that emulates wire distance (5 us per km).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+
+/// One Longbow router: two-port store-and-forward bridge with a fixed
+/// pipeline latency per traversal.
+class Longbow {
+ public:
+  Longbow(sim::Simulator& sim, std::string name,
+          sim::Duration pipeline_latency)
+      : sim_(sim), name_(std::move(name)), latency_(pipeline_latency) {}
+
+  Longbow(const Longbow&) = delete;
+  Longbow& operator=(const Longbow&) = delete;
+
+  void set_lan_tx(Link* l) { lan_tx_ = l; }
+  void set_wan_tx(Link* l) { wan_tx_ = l; }
+
+  void receive_from_lan(Packet&& p) { forward(std::move(p), wan_tx_); }
+  void receive_from_wan(Packet&& p) { forward(std::move(p), lan_tx_); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void forward(Packet&& p, Link* out);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  sim::Duration latency_;
+  Link* lan_tx_ = nullptr;
+  Link* wan_tx_ = nullptr;
+};
+
+/// The deployed unit: two Longbows and the long-haul fiber between them.
+/// set_oneway_delay() is the paper's distance-emulation web knob.
+class LongbowPair {
+ public:
+  struct Config {
+    /// WAN data rate in bytes/ns; IB SDR payload rate is 8 Gb/s = 1.0.
+    double wan_rate = 1.0;
+    /// Fixed pipeline latency of each router.
+    sim::Duration pipeline_latency = 1'700;
+    /// Propagation of the physical WAN fiber at zero emulated distance.
+    sim::Duration base_propagation = 500;
+    /// WAN-side buffering per direction; 0 = unbounded.
+    std::uint64_t buffer_bytes = 0;
+    /// WAN loss probability (failure injection).
+    double loss_rate = 0.0;
+  };
+
+  LongbowPair(sim::Simulator& sim, const Config& config);
+
+  Longbow& side_a() { return *a_; }
+  Longbow& side_b() { return *b_; }
+
+  /// Emulated one-way wire delay (Table 1: 5 us of delay per km).
+  void set_oneway_delay(sim::Duration d) {
+    a_to_b_->set_extra_delay(d);
+    b_to_a_->set_extra_delay(d);
+  }
+  sim::Duration oneway_delay() const { return a_to_b_->extra_delay(); }
+
+  /// Traffic counters for the long-haul link (used by tests asserting,
+  /// e.g., that a hierarchical broadcast crosses the WAN exactly once).
+  const Link::Stats& wan_stats_a_to_b() const { return a_to_b_->stats(); }
+  const Link::Stats& wan_stats_b_to_a() const { return b_to_a_->stats(); }
+
+ private:
+  std::unique_ptr<Longbow> a_;
+  std::unique_ptr<Longbow> b_;
+  std::unique_ptr<Link> a_to_b_;
+  std::unique_ptr<Link> b_to_a_;
+};
+
+}  // namespace ibwan::net

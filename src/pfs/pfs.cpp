@@ -1,0 +1,124 @@
+#include "pfs/pfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/task.hpp"
+
+namespace ibwan::pfs {
+
+StripedFile::StripedFile(sim::Simulator& sim,
+                         std::vector<nfs::NfsClient*> targets,
+                         nfs::FileHandle fh, StripeConfig config)
+    : sim_(sim), targets_(std::move(targets)), fh_(fh), config_(config) {
+  assert(!targets_.empty());
+  assert(config_.stripe_bytes > 0);
+}
+
+std::vector<StripedFile::SubIo> StripedFile::plan(std::uint64_t offset,
+                                                  std::uint64_t count) const {
+  // Coalesce consecutive stripe units per target into one sub-I/O each
+  // (offset within the object file = unit index on that target).
+  const int k = stripe_count();
+  std::vector<SubIo> ios;
+  std::uint64_t pos = offset;
+  const std::uint64_t end = offset + count;
+  while (pos < end) {
+    const std::uint64_t unit = pos / config_.stripe_bytes;
+    const int target = static_cast<int>(unit % k);
+    const std::uint64_t unit_off = pos % config_.stripe_bytes;
+    const std::uint64_t n =
+        std::min(end - pos, config_.stripe_bytes - unit_off);
+    const std::uint64_t obj_off =
+        (unit / k) * config_.stripe_bytes + unit_off;
+    // Merge with the previous sub-I/O to this target when contiguous.
+    if (!ios.empty() && ios.back().target == target &&
+        ios.back().offset + ios.back().count == obj_off) {
+      ios.back().count += n;
+    } else {
+      ios.push_back(SubIo{target, obj_off, n});
+    }
+    pos += n;
+  }
+  return ios;
+}
+
+namespace {
+sim::Task sub_read(nfs::NfsClient* client, nfs::FileHandle fh,
+                   std::uint64_t offset, std::uint64_t count,
+                   std::uint64_t* got, sim::WaitGroup* wg) {
+  *got += co_await client->read(fh, offset, count);
+  wg->done();
+}
+
+sim::Task sub_write(nfs::NfsClient* client, nfs::FileHandle fh,
+                    std::uint64_t offset, std::uint64_t count,
+                    sim::WaitGroup* wg) {
+  co_await client->write(fh, offset, count);
+  wg->done();
+}
+}  // namespace
+
+sim::Coro<std::uint64_t> StripedFile::read(std::uint64_t offset,
+                                           std::uint64_t count) {
+  const auto ios = plan(offset, count);
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(ios.size()));
+  std::uint64_t got = 0;
+  for (const SubIo& io : ios) {
+    sub_read(targets_[io.target], fh_, io.offset, io.count, &got, &wg);
+  }
+  co_await wg.wait();
+  co_return got;
+}
+
+sim::Coro<void> StripedFile::write(std::uint64_t offset,
+                                   std::uint64_t count) {
+  const auto ios = plan(offset, count);
+  sim::WaitGroup wg(sim_);
+  wg.add(static_cast<int>(ios.size()));
+  for (const SubIo& io : ios) {
+    sub_write(targets_[io.target], fh_, io.offset, io.count, &wg);
+  }
+  co_await wg.wait();
+}
+
+namespace {
+sim::Task pfs_reader(StripedFile& file, std::uint64_t begin,
+                     std::uint64_t end, std::uint64_t record_bytes,
+                     std::uint64_t* moved, sim::WaitGroup* wg) {
+  for (std::uint64_t off = begin; off < end; off += record_bytes) {
+    const std::uint64_t n = std::min(record_bytes, end - off);
+    *moved += co_await file.read(off, n);
+  }
+  wg->done();
+}
+}  // namespace
+
+PfsWorkloadResult run_striped_read(sim::Simulator& sim, StripedFile& file,
+                                   std::uint64_t file_bytes,
+                                   std::uint64_t record_bytes,
+                                   int threads) {
+  sim::WaitGroup wg(sim);
+  wg.add(threads);
+  std::uint64_t moved = 0;
+  const std::uint64_t region = (file_bytes + threads - 1) / threads;
+  const sim::Time t0 = sim.now();
+  for (int t = 0; t < threads; ++t) {
+    const std::uint64_t begin = static_cast<std::uint64_t>(t) * region;
+    const std::uint64_t end = std::min(file_bytes, begin + region);
+    if (begin >= end) {
+      wg.done();
+      continue;
+    }
+    pfs_reader(file, begin, end, record_bytes, &moved, &wg);
+  }
+  sim.run();
+  PfsWorkloadResult r;
+  r.bytes = moved;
+  const double secs = sim::to_seconds(sim.now() - t0);
+  r.mbytes_per_sec = secs > 0 ? static_cast<double>(moved) / secs / 1e6 : 0;
+  return r;
+}
+
+}  // namespace ibwan::pfs

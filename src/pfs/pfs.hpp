@@ -1,0 +1,68 @@
+// Parallel-filesystem striping — the "parallel file-systems" context the
+// paper's conclusions name for future IB-WAN work (and the Lustre-over-
+// UltraScienceNet comparison in its related work [6]).
+//
+// A StripedFile spreads a logical file round-robin across several
+// object servers (each an independent NFS mount) and issues the
+// per-stripe sub-I/Os concurrently. Striping is the file-system
+// incarnation of the paper's parallel-streams optimization: each server
+// connection contributes its own in-flight window, so aggregate WAN
+// throughput scales with stripe count until the link saturates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nfs/nfs.hpp"
+#include "sim/coro.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::pfs {
+
+struct StripeConfig {
+  /// Bytes per stripe unit before moving to the next object server.
+  std::uint64_t stripe_bytes = 1 << 20;
+};
+
+class StripedFile {
+ public:
+  /// `targets` are the object servers' client mounts; all hold the
+  /// same file handle (each stores its own stripes).
+  StripedFile(sim::Simulator& sim, std::vector<nfs::NfsClient*> targets,
+              nfs::FileHandle fh, StripeConfig config = {});
+
+  /// Reads [offset, offset+count); sub-reads run concurrently across
+  /// the object servers. Returns bytes read.
+  sim::Coro<std::uint64_t> read(std::uint64_t offset, std::uint64_t count);
+  /// Writes [offset, offset+count) across the stripes.
+  sim::Coro<void> write(std::uint64_t offset, std::uint64_t count);
+
+  int stripe_count() const { return static_cast<int>(targets_.size()); }
+  const StripeConfig& config() const { return config_; }
+
+ private:
+  struct SubIo {
+    int target = 0;
+    std::uint64_t offset = 0;  // offset within the object
+    std::uint64_t count = 0;
+  };
+  std::vector<SubIo> plan(std::uint64_t offset, std::uint64_t count) const;
+
+  sim::Simulator& sim_;
+  std::vector<nfs::NfsClient*> targets_;
+  nfs::FileHandle fh_;
+  StripeConfig config_;
+};
+
+/// Sequential read-throughput driver over a striped file (the IOzone
+/// analogue for the PFS extension bench).
+struct PfsWorkloadResult {
+  double mbytes_per_sec = 0;
+  std::uint64_t bytes = 0;
+};
+
+PfsWorkloadResult run_striped_read(sim::Simulator& sim, StripedFile& file,
+                                   std::uint64_t file_bytes,
+                                   std::uint64_t record_bytes, int threads);
+
+}  // namespace ibwan::pfs

@@ -1,0 +1,91 @@
+// RPC over TCP: record-marked call and reply messages on one stream.
+#include <cassert>
+
+#include "rpc/rpc.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan::rpc {
+
+namespace {
+/// One record on the stream (either direction).
+struct Record {
+  bool is_call = false;
+  std::uint64_t xid = 0;
+  CallArgs args;    // valid when is_call
+  ReplyInfo reply;  // valid when !is_call
+};
+}  // namespace
+
+struct TcpRpcClient::Pending {
+  explicit Pending(sim::Simulator& sim) : trigger(sim) {}
+  sim::Trigger trigger;
+  ReplyInfo reply;
+  bool done = false;
+};
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+TcpRpcServer::TcpRpcServer(tcp::TcpStack& stack, tcp::Port port)
+    : stack_(stack) {
+  stack_.listen(port, [this](tcp::TcpConnection& conn) {
+    conn.set_on_marker([this, &conn](std::shared_ptr<const void> marker) {
+      serve(conn, std::move(marker));
+    });
+  });
+}
+
+sim::Task TcpRpcServer::serve(tcp::TcpConnection& conn,
+                              std::shared_ptr<const void> marker) {
+  const Record& rec = *static_cast<const Record*>(marker.get());
+  assert(rec.is_call);
+  assert(handler_ && "TcpRpcServer has no handler");
+  ReplyInfo reply = co_await handler_(rec.args);
+  auto out = std::make_shared<Record>();
+  out->is_call = false;
+  out->xid = rec.xid;
+  out->reply = reply;
+  // READ-style bulk data travels inline in the reply stream.
+  conn.send_marked(kReplyHeaderBytes + reply.reply_bytes +
+                       reply.data_to_client,
+                   std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+TcpRpcClient::TcpRpcClient(tcp::TcpStack& stack, NodeId server,
+                           tcp::Port port)
+    : sim_(stack.sim()), conn_(stack.connect(server, port)) {
+  conn_.set_on_marker([this](std::shared_ptr<const void> marker) {
+    const Record& rec = *static_cast<const Record*>(marker.get());
+    assert(!rec.is_call);
+    auto it = pending_.find(rec.xid);
+    if (it == pending_.end()) return;
+    auto p = it->second;
+    pending_.erase(it);
+    p->reply = rec.reply;
+    p->done = true;
+    p->trigger.fire();
+  });
+}
+
+sim::Coro<ReplyInfo> TcpRpcClient::call(CallArgs args) {
+  const std::uint64_t xid = next_xid_++;
+  auto record = std::make_shared<Record>();
+  record->is_call = true;
+  record->xid = xid;
+  record->args = args;
+  auto p = std::make_shared<Pending>(sim_);
+  pending_[xid] = p;
+  // WRITE-style bulk data travels inline in the call stream.
+  conn_.send_marked(
+      kCallHeaderBytes + args.arg_bytes + args.data_to_server,
+      std::move(record));
+  if (!p->done) co_await p->trigger.wait();
+  co_return p->reply;
+}
+
+}  // namespace ibwan::rpc

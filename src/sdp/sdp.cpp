@@ -1,0 +1,99 @@
+#include "sdp/sdp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ibwan::sdp {
+
+SdpStack::SdpStack(ib::Hca& hca, SdpConfig config)
+    : hca_(hca), config_(config), scq_(hca.sim()), rcq_(hca.sim()) {
+  scq_.set_callback([this](const ib::Cqe& e) {
+    if (auto it = conns_.find(e.qpn); it != conns_.end()) {
+      it->second->on_send_cqe(e);
+    }
+  });
+  rcq_.set_callback([this](const ib::Cqe& e) {
+    if (auto it = conns_.find(e.qpn); it != conns_.end()) {
+      it->second->on_recv_cqe(e);
+    }
+  });
+}
+
+void SdpStack::listen(Port port,
+                      std::function<void(SdpConnection&)> on_accept) {
+  listeners_[port] = std::move(on_accept);
+}
+
+SdpConnection& SdpStack::connect(SdpStack& server, Port port) {
+  assert(server.listeners_.count(port) != 0 && "no SDP listener on port");
+  ib::RcQp& mine = hca_.create_rc_qp(scq_, rcq_);
+  ib::RcQp& theirs = server.hca_.create_rc_qp(server.scq_, server.rcq_);
+  mine.connect(server.lid(), theirs.qpn());
+  theirs.connect(lid(), mine.qpn());
+  for (int i = 0; i < config_.prepost_recvs; ++i) {
+    mine.post_recv(ib::RecvWr{});
+    theirs.post_recv(ib::RecvWr{});
+  }
+  auto client_conn =
+      std::unique_ptr<SdpConnection>(new SdpConnection(*this, mine));
+  SdpConnection& client_ref = *client_conn;
+  conns_[mine.qpn()] = std::move(client_conn);
+  auto server_conn = std::unique_ptr<SdpConnection>(
+      new SdpConnection(server, theirs));
+  SdpConnection& server_ref = *server_conn;
+  server.conns_[theirs.qpn()] = std::move(server_conn);
+  server.listeners_[port](server_ref);
+  return client_ref;
+}
+
+sim::Time SdpStack::charge_cpu(std::uint64_t bytes) {
+  sim::Duration cost = config_.per_msg_cpu;
+  if (bytes < config_.zcopy_threshold) {
+    cost += sim::duration_ceil(static_cast<double>(bytes) *
+                               config_.bcopy_ns_per_byte);
+  }
+  cpu_busy_ = std::max(sim().now(), cpu_busy_) + cost;
+  return cpu_busy_;
+}
+
+SdpConnection::SdpConnection(SdpStack& stack, ib::RcQp& qp)
+    : stack_(stack), qp_(qp) {}
+
+void SdpConnection::send(std::uint64_t bytes) {
+  app_bytes_ += bytes;
+  pump();
+}
+
+void SdpConnection::pump() {
+  const SdpConfig& cfg = stack_.config();
+  while (sent_ < app_bytes_) {
+    const std::uint64_t seg =
+        std::min<std::uint64_t>(cfg.message_bytes, app_bytes_ - sent_);
+    sent_ += seg;
+    const sim::Time t = stack_.charge_cpu(seg);
+    stack_.sim().schedule_at(t, [this, seg, &cfg] {
+      qp_.post_send(ib::SendWr{.wr_id = seg,
+                               .length = seg + cfg.header_bytes});
+    });
+  }
+}
+
+void SdpConnection::on_send_cqe(const ib::Cqe& cqe) {
+  // wr_id carries the payload size of the completed segment.
+  acked_ += cqe.wr_id;
+  if (on_acked_) on_acked_(acked_);
+}
+
+void SdpConnection::on_recv_cqe(const ib::Cqe& cqe) {
+  qp_.post_recv(ib::RecvWr{});
+  const std::uint64_t payload =
+      cqe.byte_len - stack_.config().header_bytes;
+  // Receive-path host work, then delivery to the app.
+  const sim::Time t = stack_.charge_cpu(payload);
+  stack_.sim().schedule_at(t, [this, payload] {
+    delivered_ += payload;
+    if (on_delivered_) on_delivered_(delivered_);
+  });
+}
+
+}  // namespace ibwan::sdp

@@ -1,0 +1,110 @@
+// Sockets Direct Protocol (SDP).
+//
+// The era's third sockets option next to IPoIB (the paper's related
+// work [19] benchmarks TTCP over SDP/IB through the Longbows): a
+// byte-stream socket mapped directly onto an RC channel. Small payloads
+// use buffered copy ("bcopy"); large payloads go zero-copy, so SDP
+// avoids almost all of the host-stack cost that caps IPoIB — but it
+// inherits RC's bounded in-flight window, and with it the WAN
+// medium-message cliff.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/qp.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::sdp {
+
+using Port = std::uint16_t;
+using net::NodeId;
+
+struct SdpConfig {
+  /// Bulk segmentation unit (one RC message per segment).
+  std::uint64_t message_bytes = 64 << 10;
+  /// Segments of at least this size skip the copy (zcopy path).
+  std::uint64_t zcopy_threshold = 16 << 10;
+  /// Copy cost on the bcopy path, per byte (both ends).
+  double bcopy_ns_per_byte = 0.4;
+  /// Socket/SDP per-message processing.
+  sim::Duration per_msg_cpu = 800;
+  /// SDP BSDH header per message.
+  std::uint32_t header_bytes = 16;
+  int prepost_recvs = 256;
+};
+
+class SdpStack;
+
+class SdpConnection {
+ public:
+  /// Queues application bytes; segmentation and transmission proceed in
+  /// simulated time.
+  void send(std::uint64_t bytes);
+
+  void set_on_delivered(std::function<void(std::uint64_t)> cb) {
+    on_delivered_ = std::move(cb);
+  }
+  /// Fires as the cumulative remotely-received byte count advances
+  /// (send-side completions).
+  void set_on_acked(std::function<void(std::uint64_t)> cb) {
+    on_acked_ = std::move(cb);
+  }
+
+  std::uint64_t bytes_acked() const { return acked_; }
+  std::uint64_t bytes_delivered() const { return delivered_; }
+
+ private:
+  friend class SdpStack;
+  SdpConnection(SdpStack& stack, ib::RcQp& qp);
+  void pump();
+  void on_send_cqe(const ib::Cqe& cqe);
+  void on_recv_cqe(const ib::Cqe& cqe);
+
+  SdpStack& stack_;
+  ib::RcQp& qp_;
+  std::uint64_t app_bytes_ = 0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::function<void(std::uint64_t)> on_delivered_;
+  std::function<void(std::uint64_t)> on_acked_;
+};
+
+/// Per-node SDP endpoint. Connection management is out-of-band (as with
+/// the library's other simulated CM exchanges): connect() takes the
+/// server stack directly.
+class SdpStack {
+ public:
+  SdpStack(ib::Hca& hca, SdpConfig config = {});
+
+  SdpStack(const SdpStack&) = delete;
+  SdpStack& operator=(const SdpStack&) = delete;
+
+  void listen(Port port, std::function<void(SdpConnection&)> on_accept);
+  SdpConnection& connect(SdpStack& server, Port port);
+
+  NodeId lid() const { return hca_.lid(); }
+  sim::Simulator& sim() { return hca_.sim(); }
+  const SdpConfig& config() const { return config_; }
+
+ private:
+  friend class SdpConnection;
+  /// Host CPU charge for one segment of `bytes` (tx or rx side).
+  sim::Time charge_cpu(std::uint64_t bytes);
+
+  ib::Hca& hca_;
+  SdpConfig config_;
+  ib::Cq scq_;
+  ib::Cq rcq_;
+  std::map<Port, std::function<void(SdpConnection&)>> listeners_;
+  std::map<ib::Qpn, std::unique_ptr<SdpConnection>> conns_;
+  sim::Time cpu_busy_ = 0;
+};
+
+}  // namespace ibwan::sdp

@@ -1,0 +1,121 @@
+// Awaitable coroutine type.
+//
+// Coro<T> is for composable async functions (collectives built on
+// point-to-point, RPC built on sockets): it starts eagerly, suspends at
+// the first blocking point, and resumes its awaiter on completion via
+// symmetric transfer. The handle owns the frame; destruction after
+// completion is automatic through RAII. Task (task.hpp) remains the
+// detached, top-level "simulated thread".
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace ibwan::sim {
+
+template <typename T = void>
+class [[nodiscard]] Coro;
+
+namespace detail {
+
+struct CoroPromiseBase {
+  std::coroutine_handle<> continuation = nullptr;
+  bool done = false;
+
+  std::suspend_never initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+      CoroPromiseBase& p = h.promise();
+      p.done = true;
+      return p.continuation ? p.continuation : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  [[noreturn]] void unhandled_exception() { std::terminate(); }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Coro {
+ public:
+  struct promise_type : detail::CoroPromiseBase {
+    std::optional<T> value;
+    Coro get_return_object() {
+      return Coro{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Coro(Coro&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() {
+    if (h_) h_.destroy();
+  }
+
+  bool done() const { return h_.promise().done; }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return h.promise().done; }
+      void await_suspend(std::coroutine_handle<> caller) noexcept {
+        h.promise().continuation = caller;
+      }
+      T await_resume() { return std::move(*h.promise().value); }
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Coro(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Coro<void> {
+ public:
+  struct promise_type : detail::CoroPromiseBase {
+    Coro get_return_object() {
+      return Coro{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Coro(Coro&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro() {
+    if (h_) h_.destroy();
+  }
+
+  bool done() const { return h_.promise().done; }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return h.promise().done; }
+      void await_suspend(std::coroutine_handle<> caller) noexcept {
+        h.promise().continuation = caller;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Coro(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace ibwan::sim

@@ -1,0 +1,23 @@
+#include "sim/log.hpp"
+
+namespace ibwan::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void log_line(LogLevel level, Time now, const char* tag, const char* fmt,
+              ...) {
+  if (static_cast<int>(g_level) < static_cast<int>(level)) return;
+  std::fprintf(stderr, "[%12.3fus] %s: ", to_microseconds(now), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ibwan::sim

@@ -1,0 +1,40 @@
+// Minimal leveled logging stamped with simulated time.
+//
+// Logging is off by default (benchmarks simulate millions of packets);
+// tests and examples can raise the level for specific investigations.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace ibwan::sim {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Process-wide log threshold.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// printf-style log line: "[   12.345us] tag: message".
+void log_line(LogLevel level, Time now, const char* tag, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace ibwan::sim
+
+// Guarded macros avoid formatting cost when the level is disabled.
+#define IBWAN_LOG(level, sim_now, tag, ...)                         \
+  do {                                                              \
+    if (static_cast<int>(::ibwan::sim::log_level()) >=              \
+        static_cast<int>(level)) {                                  \
+      ::ibwan::sim::log_line(level, (sim_now), (tag), __VA_ARGS__); \
+    }                                                               \
+  } while (0)
+
+#define IBWAN_DEBUG(sim_now, tag, ...) \
+  IBWAN_LOG(::ibwan::sim::LogLevel::kDebug, sim_now, tag, __VA_ARGS__)
+#define IBWAN_TRACE(sim_now, tag, ...) \
+  IBWAN_LOG(::ibwan::sim::LogLevel::kTrace, sim_now, tag, __VA_ARGS__)
+#define IBWAN_WARN(sim_now, tag, ...) \
+  IBWAN_LOG(::ibwan::sim::LogLevel::kWarn, sim_now, tag, __VA_ARGS__)

@@ -1,0 +1,123 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a time-ordered event queue. Events are arbitrary
+// callbacks; ties are broken by insertion order so runs are fully
+// deterministic. Everything in the library (links, HCAs, TCP timers,
+// MPI progress) is driven by this one clock.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::sim {
+
+/// Handle identifying a scheduled event; usable with Simulator::cancel().
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` ns from now. Returns a cancellable id.
+  EventId schedule(Duration delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `t` (must not be in the past).
+  EventId schedule_at(Time t, Callback cb) {
+    assert(t >= now_ && "cannot schedule into the past");
+    const EventId id = next_seq_++;
+    queue_.push(Entry{t, id, std::move(cb)});
+    return id;
+  }
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a
+  /// harmless no-op (timers commonly race with the work they guard).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs until the event queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs events with time <= t, then advances the clock to exactly t.
+  /// Returns true if events remain scheduled after t.
+  bool run_until(Time t) {
+    while (!queue_.empty() && queue_.top().time <= t) {
+      step();
+    }
+    if (now_ < t) now_ = t;
+    return !queue_.empty();
+  }
+
+  /// Runs for `d` ns of simulated time from the current instant.
+  bool run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Executes the next event, if any. Returns false when the queue is empty.
+  bool step() {
+    while (!queue_.empty()) {
+      // priority_queue::top() is const; the callback is moved out under a
+      // const_cast, which is safe because the entry is popped immediately.
+      Entry& top = const_cast<Entry&>(queue_.top());
+      const Time t = top.time;
+      const EventId id = top.seq;
+      Callback cb = std::move(top.cb);
+      queue_.pop();
+      if (auto it = cancelled_.find(id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+      assert(t >= now_);
+      now_ = t;
+      ++executed_;
+      cb();
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of events executed so far (for performance reporting).
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Simulator-owned RNG so all stochastic behaviour shares one seed.
+  Rng& rng() { return rng_; }
+  void seed(std::uint64_t s) { rng_.reseed(s); }
+
+ private:
+  struct Entry {
+    Time time;
+    EventId seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Time now_ = 0;
+  EventId next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace ibwan::sim

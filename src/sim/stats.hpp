@@ -1,0 +1,105 @@
+// Measurement utilities: running statistics, log-scale histograms, and
+// labelled (x, y) series used by the benchmark harness to print
+// paper-style tables.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ibwan::sim {
+
+/// Numerically stable running mean/variance (Welford) with min/max.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Power-of-two binned histogram for sizes and latencies. Bin i counts
+/// samples in (2^(i-1), 2^i]; samples of 0 or 1 land in bin 0.
+class LogHistogram {
+ public:
+  void add(std::uint64_t v) {
+    const int bin = v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+    if (bin >= static_cast<int>(bins_.size())) bins_.resize(bin + 1, 0);
+    ++bins_[bin];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+
+  /// Count of samples in bins below bin_upper, i.e. values <= 2^(bin_upper-1).
+  std::uint64_t count_below(int bin_upper) const {
+    std::uint64_t c = 0;
+    for (int i = 0; i < bin_upper && i < static_cast<int>(bins_.size()); ++i)
+      c += bins_[i];
+    return c;
+  }
+
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  /// Approximate p-quantile (returns the lower edge of the bin).
+  std::uint64_t quantile(double p) const {
+    if (total_ == 0) return 0;
+    const auto target =
+        static_cast<std::uint64_t>(p * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      seen += bins_[i];
+      if (seen > target) return i == 0 ? 0 : (1ULL << (i - 1));
+    }
+    return 1ULL << (bins_.size() - 1);
+  }
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// A labelled series of (x, y) points; benches collect one Series per
+/// curve and print them side by side.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+
+  void add(double x, double y) { points.emplace_back(x, y); }
+
+  /// y value at exact x, or NaN if absent.
+  double at(double x) const {
+    for (const auto& [px, py] : points)
+      if (px == x) return py;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+};
+
+}  // namespace ibwan::sim

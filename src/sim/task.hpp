@@ -1,0 +1,211 @@
+// Coroutine support on top of the discrete-event simulator.
+//
+// Protocol drivers and benchmark "programs" (MPI ranks, NFS client
+// threads, TCP applications) are written as C++20 coroutines that
+// co_await simulated time and completion events. A Task runs eagerly
+// when called and destroys its own frame on completion, so spawning a
+// simulated thread is just calling the coroutine function.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::sim {
+
+/// Detached, self-destroying coroutine. The return object carries no state;
+/// lifetime is managed entirely by the coroutine machinery.
+struct Task {
+  struct promise_type {
+    Task get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() { std::terminate(); }
+  };
+};
+
+/// Awaitable that resumes the coroutine after `delay` ns of simulated time.
+/// Always suspends (a zero delay is a cooperative yield).
+class SleepAwaiter {
+ public:
+  SleepAwaiter(Simulator& sim, Duration delay) : sim_(sim), delay_(delay) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    sim_.schedule(delay_, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  Duration delay_;
+};
+
+inline SleepAwaiter sleep_for(Simulator& sim, Duration d) { return {sim, d}; }
+
+/// Resumable multi-waiter event. fire() releases every coroutine currently
+/// (or subsequently) waiting; a fired trigger stays fired until reset().
+class Trigger {
+ public:
+  explicit Trigger(Simulator& sim) : sim_(sim) {}
+  Trigger(const Trigger&) = delete;
+  Trigger& operator=(const Trigger&) = delete;
+
+  bool fired() const { return fired_; }
+
+  void fire() {
+    if (fired_) return;
+    fired_ = true;
+    release_all();
+  }
+
+  /// Re-arms the trigger. Only valid when no coroutine is waiting.
+  void reset() {
+    assert(waiters_.empty());
+    fired_ = false;
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Trigger& t;
+      bool await_ready() const noexcept { return t.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        t.waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+ private:
+  void release_all() {
+    // Hand-off through the scheduler keeps resumption non-reentrant and
+    // deterministic with respect to other same-time events.
+    for (auto h : waiters_) {
+      sim_.schedule(0, [h] { h.resume(); });
+    }
+    waiters_.clear();
+  }
+
+  Simulator& sim_;
+  bool fired_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Join-counter for fork/join program structure: add() before spawning,
+/// done() at each completion, co_await wait() to join.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulator& sim) : trigger_(sim) {}
+
+  void add(int n = 1) { count_ += n; }
+  void done() {
+    assert(count_ > 0);
+    if (--count_ == 0) trigger_.fire();
+  }
+  auto wait() { return trigger_.wait(); }
+  int count() const { return count_; }
+
+ private:
+  int count_ = 0;
+  Trigger trigger_;
+};
+
+/// Counting semaphore with FIFO wakeup, for bounding concurrency
+/// (e.g. outstanding RPC chunks, connection backlog).
+class Semaphore {
+ public:
+  Semaphore(Simulator& sim, int permits) : sim_(sim), permits_(permits) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore& s;
+      bool await_ready() const noexcept { return s.try_acquire(); }
+      void await_suspend(std::coroutine_handle<> h) { s.waiters_.push_back(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this};
+  }
+
+  bool try_acquire() {
+    if (permits_ > 0) {
+      --permits_;
+      return true;
+    }
+    return false;
+  }
+
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      // Permit is handed directly to the released waiter.
+      sim_.schedule(0, [h] { h.resume(); });
+    } else {
+      ++permits_;
+    }
+  }
+
+  int available() const { return permits_; }
+
+ private:
+  Simulator& sim_;
+  int permits_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/// One-shot value channel bridging callback-style completion to coroutines.
+/// Future<T> is a copyable handle to shared state; set_value() resumes the
+/// (single) awaiting coroutine through the scheduler.
+template <typename T>
+class Future {
+ public:
+  explicit Future(Simulator& sim) : state_(std::make_shared<State>(sim)) {}
+
+  void set_value(T v) {
+    assert(!state_->value.has_value() && "future set twice");
+    state_->value = std::move(v);
+    if (state_->waiter) {
+      auto h = state_->waiter;
+      state_->waiter = nullptr;
+      state_->sim.schedule(0, [h] { h.resume(); });
+    }
+  }
+
+  bool ready() const { return state_->value.has_value(); }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::shared_ptr<State> s;
+      bool await_ready() const noexcept { return s->value.has_value(); }
+      void await_suspend(std::coroutine_handle<> h) {
+        assert(s->waiter == nullptr && "future awaited twice");
+        s->waiter = h;
+      }
+      T await_resume() { return std::move(*s->value); }
+    };
+    return Awaiter{state_};
+  }
+
+ private:
+  struct State {
+    explicit State(Simulator& s) : sim(s) {}
+    Simulator& sim;
+    std::optional<T> value;
+    std::coroutine_handle<> waiter = nullptr;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Marker type for Future<void>-style signalling.
+struct Unit {};
+
+}  // namespace ibwan::sim

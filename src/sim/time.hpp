@@ -1,0 +1,50 @@
+// Simulated-time definitions.
+//
+// All simulation time is kept in integer nanoseconds. Helper constants and
+// conversion utilities keep protocol code free of magic numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace ibwan::sim {
+
+/// Absolute simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+/// A span of simulated time in nanoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Converts a duration to fractional seconds (for reporting only).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a duration to fractional microseconds (for reporting only).
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Rounds a fractional nanosecond quantity up to a whole-ns Duration.
+/// Serialization times computed from byte counts and rates use this so a
+/// transfer never finishes earlier than physically possible.
+constexpr Duration duration_ceil(double ns) {
+  auto whole = static_cast<Duration>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) {
+  return v * kMicrosecond;
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return v * kMillisecond;
+}
+constexpr Duration operator""_s(unsigned long long v) { return v * kSecond; }
+}  // namespace literals
+
+}  // namespace ibwan::sim

@@ -1,0 +1,110 @@
+// NAS kernel tests at class S scale (fast) asserting completion and the
+// Figure 12 sensitivity ordering at class A/B scale where needed.
+#include "apps/nas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+namespace ibwan::apps {
+namespace {
+
+using namespace ibwan::sim::literals;
+using core::Testbed;
+
+double run_one(const NasBenchmark& bench, int per_cluster,
+               sim::Duration delay) {
+  Testbed tb(per_cluster, delay);
+  mpi::Job job(tb.fabric(),
+               mpi::Job::split_placement(tb.fabric(), per_cluster));
+  return run_nas(job, bench);
+}
+
+TEST(Nas, AllKernelsCompleteAtClassS) {
+  NasConfig cfg{.cls = NasClass::kS};
+  for (const auto& bench :
+       {make_is(cfg), make_ft(cfg), make_cg(cfg), make_mg(cfg),
+        make_ep(cfg), make_lu(cfg), make_bt(cfg)}) {
+    const double secs = run_one(bench, 4, 0);
+    EXPECT_GT(secs, 0.0) << bench.name;
+    EXPECT_LT(secs, 30.0) << bench.name;
+  }
+}
+
+TEST(Nas, KernelsCompleteOnNonSquareGrids) {
+  // LU/BT build a 2-D process grid; 2*3 and 2*1 ranks exercise the
+  // non-square and degenerate cases.
+  NasConfig cfg{.cls = NasClass::kS, .iterations = 3};
+  for (int per_cluster : {1, 3}) {
+    for (auto make : {make_lu, make_bt}) {
+      const double secs = run_one(make(cfg), per_cluster, 0);
+      EXPECT_GT(secs, 0.0);
+    }
+  }
+}
+
+TEST(Nas, LuIsMostDelaySensitive) {
+  // Tiny strictly-ordered wavefront messages: LU should degrade at
+  // least as hard as CG and much harder than FT.
+  NasConfig cfg{.cls = NasClass::kA, .iterations = 2};
+  auto ratio = [&](const NasBenchmark& b) {
+    const double t0 = run_one(b, 4, 0);
+    const double t1 = run_one(b, 4, 1000_us);
+    return t1 / t0;
+  };
+  const double lu_ratio = ratio(make_lu(cfg));
+  const double ft_ratio = ratio(make_ft(cfg));
+  EXPECT_GT(lu_ratio, 3.0 * ft_ratio);
+}
+
+TEST(Nas, IterationTruncationScalesProjection) {
+  NasConfig full{.cls = NasClass::kS};
+  NasConfig cut{.cls = NasClass::kS, .iterations = 5};
+  const NasBenchmark b_full = make_is(full);
+  const NasBenchmark b_cut = make_is(cut);
+  EXPECT_EQ(b_full.run_iterations, 10);
+  EXPECT_EQ(b_cut.run_iterations, 5);
+  const double t_full = run_one(b_full, 2, 0);
+  const double t_cut = run_one(b_cut, 2, 0);
+  // Projection should land near the full run.
+  EXPECT_NEAR(t_cut, t_full, t_full * 0.25);
+}
+
+TEST(Nas, EpIsDelayInsensitive) {
+  // Class B: EP's compute dwarfs its three tiny allreduces even at the
+  // maximum emulated distance.
+  NasConfig cfg{.cls = NasClass::kB};
+  const double t0 = run_one(make_ep(cfg), 4, 0);
+  const double t1 = run_one(make_ep(cfg), 4, 10'000_us);
+  EXPECT_LT(t1, t0 * 1.10);
+}
+
+TEST(Nas, CgDegradesMoreThanIsAndFt) {
+  // The Figure 12 headline at class A scale, 4+4 ranks, 1 ms delay.
+  NasConfig cfg{.cls = NasClass::kA, .iterations = 3};
+  auto ratio = [&](const NasBenchmark& b) {
+    const double t0 = run_one(b, 4, 0);
+    const double t1 = run_one(b, 4, 1000_us);
+    return t1 / t0;
+  };
+  const double is_ratio = ratio(make_is(cfg));
+  const double ft_ratio = ratio(make_ft(cfg));
+  const double cg_ratio = ratio(make_cg(cfg));
+  EXPECT_GT(cg_ratio, is_ratio);
+  EXPECT_GT(cg_ratio, ft_ratio);
+  EXPECT_GT(cg_ratio, 1.5);  // marked degradation
+}
+
+TEST(Nas, IsAndFtTolerateSmallDelays) {
+  NasConfig cfg{.cls = NasClass::kA, .iterations = 3};
+  for (auto make : {make_is, make_ft}) {
+    const NasBenchmark b = make(cfg);
+    const double t0 = run_one(b, 4, 0);
+    const double t1 = run_one(b, 4, 100_us);
+    EXPECT_LT(t1, t0 * 1.25) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace ibwan::apps

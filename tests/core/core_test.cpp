@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/nfs_bench.hpp"
+#include "core/report.hpp"
+#include "core/tcp_bench.hpp"
+#include "core/testbed.hpp"
+#include "core/wan_opt.hpp"
+
+namespace ibwan::core {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+TEST(Calibration, DelayDistanceConversionMatchesTable1) {
+  EXPECT_EQ(delay_for_km(1), 5'000u);      // 1 km  -> 5 us
+  EXPECT_EQ(delay_for_km(2), 10'000u);     // 2 km  -> 10 us
+  EXPECT_EQ(delay_for_km(20), 100'000u);   // 20 km -> 100 us
+  EXPECT_EQ(delay_for_km(200), 1'000'000u);
+  EXPECT_EQ(delay_for_km(2000), 10'000'000u);
+  EXPECT_DOUBLE_EQ(km_for_delay(5'000), 1.0);
+  EXPECT_DOUBLE_EQ(km_for_delay(10'000'000), 2000.0);
+}
+
+TEST(Testbed, DistanceKnobSetsDelay) {
+  Testbed tb(1, 0);
+  tb.set_distance_km(200);
+  EXPECT_EQ(tb.wan_delay(), 1'000'000u);
+}
+
+TEST(WanOpt, AdaptiveThresholdGrowsWithRtt) {
+  AdaptiveRendezvousThreshold policy;
+  const auto lan = policy.threshold_for_rtt(10_us);
+  const auto wan = policy.threshold_for_rtt(2_ms);
+  EXPECT_EQ(lan, 8u * 1024);  // clamped to the LAN floor
+  EXPECT_GT(wan, 64u * 1024);  // the Figure 9 regime
+  EXPECT_LE(wan, 1u << 20);
+}
+
+TEST(WanOpt, ParallelStreamPolicyScalesWithDelay) {
+  ParallelStreamPolicy policy;
+  EXPECT_EQ(policy.streams_for(10_us, 1 << 20), 1);
+  EXPECT_GT(policy.streams_for(2_ms, 256 << 10), 4);
+  EXPECT_LE(policy.streams_for(100_ms, 64 << 10), 8);  // capped
+}
+
+TEST(Report, TablePrintsAndExportsCsv) {
+  Table t("Test table", "x");
+  t.add("a", 1, 10);
+  t.add("a", 2, 20);
+  t.add("b", 1, 11);
+  t.print();
+  const std::string path = "/tmp/ibwan_test_table.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[256];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "x,a,b\n");
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(MpiBench, OsuBwMatchesVerbsShape) {
+  Testbed tb(1, 0);
+  const double peak = mpibench::osu_bw(
+      tb, {.msg_size = 1 << 20, .window = 32, .iterations = 4});
+  EXPECT_GT(peak, 900.0);
+  EXPECT_LT(peak, 1000.0);
+}
+
+TEST(MpiBench, ThresholdTuningHelpsMediumMessagesAt1ms) {
+  // Figure 9(a): tuned 64 KB threshold beats the 8 KB default for 8 KB
+  // messages at 1 ms delay.
+  Testbed tb1(1, 1000_us);
+  const double original = mpibench::osu_bw(
+      tb1, {.msg_size = 8192, .window = 64, .iterations = 6});
+  Testbed tb2(1, 1000_us);
+  const double tuned = mpibench::osu_bw(
+      tb2, {.msg_size = 8192, .window = 64, .iterations = 6,
+            .rendezvous_threshold = 64 * 1024});
+  EXPECT_GT(tuned, original * 1.3);
+}
+
+TEST(MpiBench, MessageRateScalesWithPairs) {
+  Testbed tb4(4, 10_us);
+  const double r4 = mpibench::multi_pair_message_rate(
+      tb4, 4, {.msg_size = 128, .window = 64, .iterations = 6});
+  Testbed tb8(8, 10_us);
+  const double r8 = mpibench::multi_pair_message_rate(
+      tb8, 8, {.msg_size = 128, .window = 64, .iterations = 6});
+  EXPECT_GT(r8, r4 * 1.5);
+}
+
+TEST(MpiBench, HierarchicalBcastWinsAtHighDelay) {
+  Testbed tb1(8, 1000_us);
+  const double original = mpibench::bcast_latency_us(
+      tb1, {.ranks_per_cluster = 8, .msg_size = 128 << 10,
+            .iterations = 3, .hierarchical = false});
+  Testbed tb2(8, 1000_us);
+  const double modified = mpibench::bcast_latency_us(
+      tb2, {.ranks_per_cluster = 8, .msg_size = 128 << 10,
+            .iterations = 3, .hierarchical = true});
+  EXPECT_LT(modified, original);
+}
+
+TEST(TcpBench, ParallelStreamsSustainBandwidthAt1ms) {
+  // Figure 6(b): multiple streams recover what a single stream loses.
+  tcpbench::StreamConfig one{.tcp = tcp_window(512 << 10), .streams = 1,
+                             .bytes_per_stream = 16 << 20};
+  Testbed tb1(1, 1000_us);
+  const double single = tcpbench::tcp_throughput(tb1, one);
+
+  tcpbench::StreamConfig many = one;
+  many.streams = 6;
+  many.bytes_per_stream = 8 << 20;
+  Testbed tb2(1, 1000_us);
+  const double parallel = tcpbench::tcp_throughput(tb2, many);
+  EXPECT_GT(parallel, single * 1.4);
+}
+
+TEST(NfsBench, TransportsRunEndToEnd) {
+  for (auto t : {nfsbench::Transport::kRdma, nfsbench::Transport::kIpoibRc,
+                 nfsbench::Transport::kIpoibUd}) {
+    const auto r = nfsbench::run({.transport = t,
+                                  .wan_delay = 100_us,
+                                  .threads = 2,
+                                  .file_bytes = 8 << 20});
+    EXPECT_EQ(r.bytes, 8u << 20);
+    EXPECT_GT(r.mbytes_per_sec, 10.0);
+  }
+}
+
+TEST(NfsBench, LanBeatsWanForRdma) {
+  const auto lan = nfsbench::run(
+      {.lan = true, .threads = 4, .file_bytes = 16 << 20});
+  const auto wan = nfsbench::run({.threads = 4, .file_bytes = 16 << 20});
+  EXPECT_GT(lan.mbytes_per_sec, wan.mbytes_per_sec * 1.15);
+}
+
+}  // namespace
+}  // namespace ibwan::core

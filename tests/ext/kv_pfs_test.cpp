@@ -1,0 +1,216 @@
+// Extension modules: RDMA key-value service and PFS striping.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ib/hca.hpp"
+#include "kv/kv.hpp"
+#include "net/fabric.hpp"
+#include "nfs/nfs.hpp"
+#include "pfs/pfs.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+// ---------------------------------------------------------------------------
+// KV
+// ---------------------------------------------------------------------------
+
+struct KvWorld {
+  explicit KvWorld(sim::Duration delay = 0)
+      : fabric(sim, {.nodes_a = 1, .nodes_b = 1}),
+        server_hca(fabric.node(0), {}),
+        client_hca(fabric.node(1), {}),
+        rpc_server(server_hca),
+        rpc_client(client_hca, rpc_server),
+        server(sim),
+        client(rpc_client) {
+    fabric.set_wan_delay(delay);
+    rpc_server.set_handler(server.handler());
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  ib::Hca server_hca, client_hca;
+  rpc::RdmaRpcServer rpc_server;
+  rpc::RdmaRpcClient rpc_client;
+  kv::KvServer server;
+  kv::KvClient client;
+};
+
+TEST(Kv, GetReturnsValueSizeAndMissReturnsZero) {
+  KvWorld w;
+  w.server.preload(5, 4096);
+  std::uint64_t hit = 1, miss = 1;
+  [](KvWorld& w, std::uint64_t* hit, std::uint64_t* miss) -> sim::Task {
+    *hit = co_await w.client.get(5);
+    *miss = co_await w.client.get(6);
+  }(w, &hit, &miss);
+  w.sim.run();
+  EXPECT_EQ(hit, 4096u);
+  EXPECT_EQ(miss, 0u);
+  EXPECT_EQ(w.server.stats().gets, 2u);
+  EXPECT_EQ(w.server.stats().misses, 1u);
+}
+
+TEST(Kv, PutStoresValue) {
+  KvWorld w;
+  [](KvWorld& w) -> sim::Task {
+    co_await w.client.put(9, 100'000);
+  }(w);
+  w.sim.run();
+  EXPECT_EQ(w.server.value_size(9), 100'000u);
+  EXPECT_EQ(w.server.stats().puts, 1u);
+}
+
+TEST(Kv, GetLatencyTracksWanDelay) {
+  auto latency_us = [](sim::Duration delay) {
+    KvWorld w(delay);
+    w.server.preload(1, 128);
+    sim::Time t0 = 0, t1 = 0;
+    [](KvWorld& w, sim::Time* t0, sim::Time* t1) -> sim::Task {
+      *t0 = w.sim.now();
+      co_await w.client.get(1);
+      *t1 = w.sim.now();
+    }(w, &t0, &t1);
+    w.sim.run();
+    return sim::to_microseconds(t1 - t0);
+  };
+  const double lan = latency_us(0);
+  const double wan = latency_us(1000_us);
+  EXPECT_GT(wan, 2000.0);  // one RPC round trip
+  EXPECT_LT(wan, 2100.0);
+  EXPECT_LT(lan, 100.0);
+}
+
+TEST(Kv, WorkloadRunsAllOps) {
+  KvWorld w(100_us);
+  for (std::uint64_t k = 0; k < 64; ++k) w.server.preload(k, 4096);
+  const kv::KvWorkloadConfig cfg{.clients = 4,
+                                 .ops_per_client = 50,
+                                 .get_fraction = 0.8,
+                                 .value_bytes = 4096,
+                                 .key_space = 64};
+  const auto r = kv::run_kv_workload(w.sim, w.client, cfg);
+  EXPECT_EQ(r.ops, 200u);
+  EXPECT_GT(r.kops_per_sec, 0.0);
+  EXPECT_GT(r.avg_latency_us, 200.0);  // at least the RTT
+  EXPECT_EQ(w.server.stats().gets + w.server.stats().puts, 200u);
+}
+
+TEST(Kv, MoreClientsRaiseThroughputUnderDelay) {
+  auto kops = [](int clients) {
+    KvWorld w(1000_us);
+    for (std::uint64_t k = 0; k < 64; ++k) w.server.preload(k, 1024);
+    return kv::run_kv_workload(w.sim, w.client,
+                               {.clients = clients,
+                                .ops_per_client = 40,
+                                .value_bytes = 1024,
+                                .key_space = 64})
+        .kops_per_sec;
+  };
+  EXPECT_GT(kops(8), 4.0 * kops(1));
+}
+
+// ---------------------------------------------------------------------------
+// PFS
+// ---------------------------------------------------------------------------
+
+/// K object servers in cluster A, one client host in cluster B.
+struct PfsWorld {
+  PfsWorld(int servers, sim::Duration delay)
+      : fabric(sim, {.nodes_a = servers, .nodes_b = 1}) {
+    fabric.set_wan_delay(delay);
+    client_hca = std::make_unique<ib::Hca>(
+        fabric.node(fabric.node_id(net::Cluster::kB, 0)), ib::HcaConfig{});
+    for (int s = 0; s < servers; ++s) {
+      server_hcas.push_back(std::make_unique<ib::Hca>(
+          fabric.node(fabric.node_id(net::Cluster::kA, s)),
+          ib::HcaConfig{.rc_max_inflight_msgs = 64}));
+      rpc_servers.push_back(
+          std::make_unique<rpc::RdmaRpcServer>(*server_hcas.back()));
+      rpc_clients.push_back(std::make_unique<rpc::RdmaRpcClient>(
+          *client_hca, *rpc_servers.back()));
+      nfs_servers.push_back(std::make_unique<nfs::NfsServer>(
+          sim, nfs::NfsConfig{.chunk_bytes = 4096}));
+      rpc_servers.back()->set_handler(nfs_servers.back()->handler());
+      nfs_clients.push_back(
+          std::make_unique<nfs::NfsClient>(*rpc_clients.back()));
+      mounts.push_back(nfs_clients.back().get());
+    }
+  }
+
+  void provision(std::uint64_t logical_bytes) {
+    // Each object server stores its share of stripes (over-provisioned
+    // to the full size for simplicity; reads are bounded by the plan).
+    for (auto& s : nfs_servers) s->add_file(1, logical_bytes);
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<ib::Hca> client_hca;
+  std::vector<std::unique_ptr<ib::Hca>> server_hcas;
+  std::vector<std::unique_ptr<rpc::RdmaRpcServer>> rpc_servers;
+  std::vector<std::unique_ptr<rpc::RdmaRpcClient>> rpc_clients;
+  std::vector<std::unique_ptr<nfs::NfsServer>> nfs_servers;
+  std::vector<std::unique_ptr<nfs::NfsClient>> nfs_clients;
+  std::vector<nfs::NfsClient*> mounts;
+};
+
+TEST(Pfs, PlanCoversExactlyOnce) {
+  PfsWorld w(4, 0);
+  w.provision(64 << 20);
+  pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 1 << 20});
+  std::uint64_t got = 0;
+  [](pfs::StripedFile& f, std::uint64_t* got) -> sim::Task {
+    *got = co_await f.read(3 << 20, 9 << 20);  // straddles stripes
+  }(file, &got);
+  w.sim.run();
+  EXPECT_EQ(got, 9u << 20);
+}
+
+TEST(Pfs, UnalignedReadsComplete) {
+  PfsWorld w(3, 0);
+  w.provision(8 << 20);
+  pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 333'333});
+  std::uint64_t got = 0;
+  [](pfs::StripedFile& f, std::uint64_t* got) -> sim::Task {
+    *got = co_await f.read(12'345, 2'000'000);
+  }(file, &got);
+  w.sim.run();
+  EXPECT_EQ(got, 2'000'000u);
+}
+
+TEST(Pfs, WritesComplete) {
+  PfsWorld w(2, 0);
+  w.provision(0);
+  pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 1 << 20});
+  [](pfs::StripedFile& f) -> sim::Task {
+    co_await f.write(0, 4 << 20);
+  }(file);
+  w.sim.run();
+  std::uint64_t stored = 0;
+  for (auto& s : w.nfs_servers) stored += s->stats().bytes_written;
+  EXPECT_EQ(stored, 4u << 20);
+}
+
+TEST(Pfs, StripingScalesWanReadThroughput) {
+  auto mbps = [](int servers) {
+    PfsWorld w(servers, 1000_us);
+    w.provision(32 << 20);
+    pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 1 << 20});
+    return pfs::run_striped_read(w.sim, file, 32 << 20, 4 << 20, 2)
+        .mbytes_per_sec;
+  };
+  const double one = mbps(1);
+  const double four = mbps(4);
+  EXPECT_GT(four, 2.5 * one);
+}
+
+}  // namespace
+}  // namespace ibwan

@@ -1,0 +1,46 @@
+// Shared fixtures for verbs-layer tests: a two-node cluster-of-clusters
+// fabric (one host per side of the Longbow pair) with HCAs and CQs.
+#pragma once
+
+#include <memory>
+
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ib/qp.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::ib::testing {
+
+struct TwoNodeFabric {
+  explicit TwoNodeFabric(HcaConfig hca_cfg = {},
+                         net::FabricConfig fab_cfg = {.nodes_a = 1,
+                                                      .nodes_b = 1})
+      : fabric(sim, fab_cfg),
+        hca_a(fabric.node(fabric.node_id(net::Cluster::kA, 0)), hca_cfg),
+        hca_b(fabric.node(fabric.node_id(net::Cluster::kB, 0)), hca_cfg),
+        scq_a(sim), rcq_a(sim), scq_b(sim), rcq_b(sim) {}
+
+  /// Creates a connected RC QP pair (a_side, b_side).
+  std::pair<RcQp*, RcQp*> rc_pair() {
+    RcQp& qa = hca_a.create_rc_qp(scq_a, rcq_a);
+    RcQp& qb = hca_b.create_rc_qp(scq_b, rcq_b);
+    qa.connect(hca_b.lid(), qb.qpn());
+    qb.connect(hca_a.lid(), qa.qpn());
+    return {&qa, &qb};
+  }
+
+  std::pair<UdQp*, UdQp*> ud_pair() {
+    UdQp& qa = hca_a.create_ud_qp(scq_a, rcq_a);
+    UdQp& qb = hca_b.create_ud_qp(scq_b, rcq_b);
+    return {&qa, &qb};
+  }
+
+  sim::Simulator sim;
+  net::Fabric fabric;
+  Hca hca_a;
+  Hca hca_b;
+  Cq scq_a, rcq_a, scq_b, rcq_b;
+};
+
+}  // namespace ibwan::ib::testing

@@ -1,0 +1,127 @@
+// Integration tests for the perftest harness — these assert the shapes
+// the paper's Figures 3-5 report, at reduced scale.
+#include "ib/perftest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::ib::perftest {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+net::FabricConfig two_nodes() { return {.nodes_a = 1, .nodes_b = 1}; }
+
+TEST(Perftest, LongbowPairAddsAboutFiveMicroseconds) {
+  // Figure 3: latency with routers vs back-to-back.
+  sim::Simulator s1;
+  net::Fabric routed(s1, two_nodes());
+  TestConfig cfg{.msg_size = 1, .iterations = 100};
+  const auto via = run_latency(routed, 0, 1, Transport::kRc, Op::kSendRecv,
+                               cfg);
+
+  sim::Simulator s2;
+  net::Fabric direct(
+      s2, {.nodes_a = 1, .nodes_b = 1, .back_to_back = true});
+  const auto b2b = run_latency(direct, 0, 1, Transport::kRc, Op::kSendRecv,
+                               cfg);
+
+  const double added = via.avg_us - b2b.avg_us;
+  EXPECT_GT(added, 3.0);
+  EXPECT_LT(added, 7.0);
+}
+
+TEST(Perftest, RdmaWriteBeatsSendRecvLatency) {
+  sim::Simulator s;
+  net::Fabric f(s, two_nodes());
+  TestConfig cfg{.msg_size = 1, .iterations = 100};
+  const auto sr = run_latency(f, 0, 1, Transport::kRc, Op::kSendRecv, cfg);
+  sim::Simulator s2;
+  net::Fabric f2(s2, two_nodes());
+  const auto wr = run_latency(f2, 0, 1, Transport::kRc, Op::kRdmaWrite, cfg);
+  EXPECT_LT(wr.avg_us, sr.avg_us);
+}
+
+TEST(Perftest, UdLatencySlightlyAboveRc) {
+  sim::Simulator s;
+  net::Fabric f(s, two_nodes());
+  TestConfig cfg{.msg_size = 1, .iterations = 100};
+  const auto rc = run_latency(f, 0, 1, Transport::kRc, Op::kSendRecv, cfg);
+  sim::Simulator s2;
+  net::Fabric f2(s2, two_nodes());
+  const auto ud = run_latency(f2, 0, 1, Transport::kUd, Op::kSendRecv, cfg);
+  EXPECT_GE(ud.avg_us, rc.avg_us);
+  EXPECT_LT(ud.avg_us, rc.avg_us + 2.0);
+}
+
+TEST(Perftest, WanDelayShowsUpInLatency) {
+  sim::Simulator s;
+  net::Fabric f(s, two_nodes());
+  f.set_wan_delay(1000_us);
+  TestConfig cfg{.msg_size = 1, .iterations = 20};
+  const auto lat = run_latency(f, 0, 1, Transport::kRc, Op::kSendRecv, cfg);
+  // One-way latency ~= 1000 us of wire plus a few us of fabric.
+  EXPECT_GT(lat.avg_us, 1000.0);
+  EXPECT_LT(lat.avg_us, 1020.0);
+}
+
+TEST(Perftest, UdPeakBandwidthNear967) {
+  // Figure 4: UD peaks ~967 MB/s at 2 KB and is delay-invariant.
+  for (sim::Duration delay : {sim::Duration{0}, 1000_us}) {
+    sim::Simulator s;
+    net::Fabric f(s, two_nodes());
+    f.set_wan_delay(delay);
+    TestConfig cfg{.msg_size = 2048, .iterations = 2000};
+    const auto bw = run_bandwidth(f, 0, 1, Transport::kUd, cfg);
+    EXPECT_NEAR(bw.mbytes_per_sec, 967.0, 25.0) << "delay=" << delay;
+  }
+}
+
+TEST(Perftest, RcPeakBandwidthNear980AtZeroDelay) {
+  sim::Simulator s;
+  net::Fabric f(s, two_nodes());
+  TestConfig cfg{.msg_size = 1 << 20, .iterations = 64};
+  const auto bw = run_bandwidth(f, 0, 1, Transport::kRc, cfg);
+  EXPECT_NEAR(bw.mbytes_per_sec, 980.0, 25.0);
+}
+
+TEST(Perftest, RcMediumMessagesDegradeWithDelayLargeRecover) {
+  // Figure 5: the knee moves right as delay grows.
+  auto bw_at = [](std::uint32_t size, sim::Duration delay) {
+    sim::Simulator s;
+    net::Fabric f(s, two_nodes());
+    f.set_wan_delay(delay);
+    TestConfig cfg{.msg_size = size,
+                   .iterations = iters_for_bytes(32 << 20, size, 32, 2000)};
+    return run_bandwidth(f, 0, 1, Transport::kRc, cfg).mbytes_per_sec;
+  };
+  const double med_0 = bw_at(16384, 0);
+  const double med_1ms = bw_at(16384, 1000_us);
+  EXPECT_LT(med_1ms, med_0 * 0.3);  // medium collapses at high delay
+
+  const double big_1ms = bw_at(4 << 20, 1000_us);
+  EXPECT_GT(big_1ms, 900.0);  // large messages recover the peak
+}
+
+TEST(Perftest, BidirectionalRoughlyDoublesUnidirectional) {
+  sim::Simulator s;
+  net::Fabric f(s, two_nodes());
+  TestConfig cfg{.msg_size = 1 << 20, .iterations = 32};
+  const auto uni = run_bandwidth(f, 0, 1, Transport::kRc, cfg);
+  sim::Simulator s2;
+  net::Fabric f2(s2, two_nodes());
+  const auto bidir = run_bidir_bandwidth(f2, 0, 1, Transport::kRc, cfg);
+  EXPECT_GT(bidir.mbytes_per_sec, uni.mbytes_per_sec * 1.8);
+  EXPECT_LT(bidir.mbytes_per_sec, uni.mbytes_per_sec * 2.1);
+}
+
+TEST(Perftest, ItersForBytesClamps) {
+  EXPECT_EQ(iters_for_bytes(1 << 20, 1024, 64, 16384), 1024);
+  EXPECT_EQ(iters_for_bytes(100, 1024, 64, 16384), 64);
+  EXPECT_EQ(iters_for_bytes(1ull << 34, 64, 64, 16384), 16384);
+}
+
+}  // namespace
+}  // namespace ibwan::ib::perftest

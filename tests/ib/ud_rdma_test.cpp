@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ib/hca.hpp"
+#include "ib/qp.hpp"
+#include "tests/ib/ib_test_util.hpp"
+
+namespace ibwan::ib {
+namespace {
+
+using ibwan::ib::testing::TwoNodeFabric;
+using namespace ibwan::sim::literals;
+
+// ---------------------------------------------------------------------------
+// UD
+// ---------------------------------------------------------------------------
+
+TEST(UdQp, DatagramDeliveredWithSourceInfo) {
+  TwoNodeFabric f;
+  auto [qa, qb] = f.ud_pair();
+  qb->post_recv(RecvWr{.wr_id = 42});
+  qa->post_send(SendWr{.length = 512, .imm = 3},
+                UdDest{f.hca_b.lid(), qb->qpn()});
+  f.sim.run();
+  auto cqe = f.rcq_b.poll();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->wr_id, 42u);
+  EXPECT_EQ(cqe->byte_len, 512u);
+  EXPECT_EQ(cqe->src_lid, f.hca_a.lid());
+  EXPECT_EQ(cqe->src_qpn, qa->qpn());
+}
+
+TEST(UdQp, NoRecvPostedDropsDatagram) {
+  TwoNodeFabric f;
+  auto [qa, qb] = f.ud_pair();
+  qa->post_send(SendWr{.length = 100}, UdDest{f.hca_b.lid(), qb->qpn()});
+  f.sim.run();
+  EXPECT_EQ(qb->stats().datagrams_dropped_no_recv, 1u);
+  EXPECT_EQ(f.rcq_b.poll(), std::nullopt);
+}
+
+TEST(UdQp, SendCompletionDoesNotWaitForDelivery) {
+  TwoNodeFabric f;
+  f.fabric.set_wan_delay(10000_us);
+  auto [qa, qb] = f.ud_pair();
+  qb->post_recv(RecvWr{});
+  sim::Time send_done = 0;
+  f.scq_a.set_callback([&](const Cqe&) { send_done = f.sim.now(); });
+  qa->post_send(SendWr{.length = 2048}, UdDest{f.hca_b.lid(), qb->qpn()});
+  f.sim.run();
+  // Completion fires at local wire time, far before the 10 ms delivery.
+  EXPECT_LT(send_done, 100_us);
+}
+
+TEST(UdQp, ThroughputIndependentOfWanDelay) {
+  // Figure 4's defining property.
+  auto measure = [](sim::Duration delay) {
+    TwoNodeFabric f;
+    f.fabric.set_wan_delay(delay);
+    auto [qa, qb] = f.ud_pair();
+    const int iters = 500;
+    for (int i = 0; i < iters; ++i) qb->post_recv(RecvWr{});
+    int done = 0;
+    sim::Time t_end = 0;
+    f.scq_a.set_callback([&](const Cqe&) {
+      if (++done == iters) t_end = f.sim.now();
+    });
+    for (int i = 0; i < iters; ++i) {
+      qa->post_send(SendWr{.length = 2048},
+                    UdDest{f.hca_b.lid(), qb->qpn()});
+    }
+    f.sim.run();
+    return static_cast<double>(iters) * 2048 / sim::to_seconds(t_end) / 1e6;
+  };
+  const double at0 = measure(0);
+  const double at10ms = measure(10000_us);
+  EXPECT_NEAR(at0, at10ms, at0 * 0.01);
+  EXPECT_GT(at0, 900.0);  // near the 967 MB/s UD wire limit
+}
+
+// ---------------------------------------------------------------------------
+// RDMA
+// ---------------------------------------------------------------------------
+
+TEST(Rdma, WriteInvokesListenerWithoutConsumingRecv) {
+  TwoNodeFabric f;
+  auto [qa, qb] = f.rc_pair();
+  qb->post_recv(RecvWr{.wr_id = 1});
+  std::uint64_t got_addr = 0, got_len = 0;
+  qb->set_rdma_write_listener(
+      [&](std::uint64_t addr, std::uint64_t len, bool imm) {
+        got_addr = addr;
+        got_len = len;
+        EXPECT_FALSE(imm);
+      });
+  qa->post_send(SendWr{
+      .opcode = Opcode::kRdmaWrite, .length = 8192, .remote_addr = 0xdead0});
+  f.sim.run();
+  EXPECT_EQ(got_addr, 0xdead0u);
+  EXPECT_EQ(got_len, 8192u);
+  EXPECT_EQ(f.rcq_b.poll(), std::nullopt);  // recv WQE untouched
+  ASSERT_TRUE(f.scq_a.poll().has_value());  // writer got its completion
+}
+
+TEST(Rdma, WriteWithImmConsumesRecvAndSignals) {
+  TwoNodeFabric f;
+  auto [qa, qb] = f.rc_pair();
+  qb->post_recv(RecvWr{.wr_id = 11});
+  qa->post_send(SendWr{.opcode = Opcode::kRdmaWriteWithImm,
+                       .length = 4096,
+                       .remote_addr = 0x100,
+                       .imm = 1234});
+  f.sim.run();
+  auto cqe = f.rcq_b.poll();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->type, CqeType::kRecvRdmaImm);
+  EXPECT_EQ(cqe->wr_id, 11u);
+  EXPECT_EQ(cqe->imm, 1234u);
+  EXPECT_EQ(cqe->byte_len, 4096u);
+}
+
+TEST(Rdma, ReadCompletesWithRequestedBytes) {
+  TwoNodeFabric f;
+  auto [qa, qb] = f.rc_pair();
+  (void)qb;
+  qa->post_send(SendWr{.wr_id = 21,
+                       .opcode = Opcode::kRdmaRead,
+                       .length = 100000,
+                       .remote_addr = 0x8000});
+  f.sim.run();
+  auto cqe = f.scq_a.poll();
+  ASSERT_TRUE(cqe.has_value());
+  EXPECT_EQ(cqe->type, CqeType::kRdmaReadComplete);
+  EXPECT_EQ(cqe->wr_id, 21u);
+  EXPECT_EQ(cqe->byte_len, 100000u);
+}
+
+TEST(Rdma, ReadLatencyIncludesFullRoundTrip) {
+  TwoNodeFabric f;
+  f.fabric.set_wan_delay(500_us);
+  auto [qa, qb] = f.rc_pair();
+  (void)qb;
+  sim::Time done = 0;
+  f.scq_a.set_callback([&](const Cqe&) { done = f.sim.now(); });
+  qa->post_send(
+      SendWr{.opcode = Opcode::kRdmaRead, .length = 8, .remote_addr = 0});
+  f.sim.run();
+  EXPECT_GT(done, 1000_us);  // request there + data back
+  EXPECT_LT(done, 1100_us);
+}
+
+TEST(Rdma, ManyReadsRespectOutstandingLimitButAllComplete) {
+  HcaConfig cfg;
+  cfg.rc_max_outstanding_reads = 2;
+  TwoNodeFabric f(cfg);
+  auto [qa, qb] = f.rc_pair();
+  (void)qb;
+  int done = 0;
+  f.scq_a.set_callback([&](const Cqe& e) {
+    EXPECT_EQ(e.type, CqeType::kRdmaReadComplete);
+    ++done;
+  });
+  for (int i = 0; i < 20; ++i) {
+    qa->post_send(SendWr{.wr_id = static_cast<std::uint64_t>(i),
+                         .opcode = Opcode::kRdmaRead,
+                         .length = 4096,
+                         .remote_addr = static_cast<std::uint64_t>(i) * 4096});
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 20);
+}
+
+TEST(Rdma, WritesAndSendsInterleaveInOrder) {
+  // A FIN-style send posted after an RDMA write must arrive after the
+  // written data (the ordering MPI rendezvous depends on).
+  TwoNodeFabric f;
+  auto [qa, qb] = f.rc_pair();
+  bool write_seen = false;
+  bool fin_after_write = false;
+  qb->set_rdma_write_listener(
+      [&](std::uint64_t, std::uint64_t, bool) { write_seen = true; });
+  f.rcq_b.set_callback([&](const Cqe& e) {
+    if (e.type == CqeType::kRecvComplete) fin_after_write = write_seen;
+  });
+  qb->post_recv(RecvWr{});
+  qa->post_send(SendWr{
+      .opcode = Opcode::kRdmaWrite, .length = 1 << 20, .remote_addr = 0});
+  qa->post_send(SendWr{.length = 32});  // FIN
+  f.sim.run();
+  EXPECT_TRUE(write_seen);
+  EXPECT_TRUE(fin_after_write);
+}
+
+}  // namespace
+}  // namespace ibwan::ib

@@ -1,0 +1,140 @@
+// Gather/scatter/reduce_scatter and request-completion utilities.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::mpi {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+struct MpiWorld {
+  explicit MpiWorld(int per_cluster, sim::Duration wan_delay = 0)
+      : fabric(sim, {.nodes_a = per_cluster, .nodes_b = per_cluster}) {
+    fabric.set_wan_delay(wan_delay);
+    job = std::make_unique<Job>(
+        fabric, Job::split_placement(fabric, per_cluster));
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<Job> job;
+};
+
+class GatherScatterTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GatherScatterTest, GatherCompletesAtEveryRoot) {
+  const int per_cluster = GetParam();
+  for (int root : {0, per_cluster, 2 * per_cluster - 1}) {
+    MpiWorld w(per_cluster);
+    int done = 0;
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.gather(root, 4096);
+      ++done;
+    });
+    EXPECT_EQ(done, 2 * per_cluster) << root;
+  }
+}
+
+TEST_P(GatherScatterTest, ScatterCompletesAtEveryRoot) {
+  const int per_cluster = GetParam();
+  for (int root : {0, 2 * per_cluster - 1}) {
+    MpiWorld w(per_cluster);
+    int done = 0;
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.scatter(root, 4096);
+      ++done;
+    });
+    EXPECT_EQ(done, 2 * per_cluster) << root;
+  }
+}
+
+TEST_P(GatherScatterTest, GatherMovesRootProportionalBytes) {
+  const int per_cluster = GetParam();
+  MpiWorld w(per_cluster);
+  const int p = 2 * per_cluster;
+  std::uint64_t root_received = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.gather(0, 1000);
+    if (r.rank() == 0) root_received = r.stats().msgs_received;
+  });
+  // The root has exactly log2-ish children; each hands over a subtree.
+  EXPECT_GE(root_received, 1u);
+  EXPECT_LE(root_received, static_cast<std::uint64_t>(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GatherScatterTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(ReduceScatter, CompletesPow2AndNonPow2) {
+  for (int per_cluster : {2, 3, 4}) {
+    MpiWorld w(per_cluster);
+    int done = 0;
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.reduce_scatter(8192);
+      ++done;
+    });
+    EXPECT_EQ(done, 2 * per_cluster);
+  }
+}
+
+TEST(ReduceScatter, CheaperThanReducePlusScatterOverWan) {
+  // Recursive halving moves less data across the WAN than a full
+  // reduce-to-root followed by a scatter.
+  auto run = [&](bool fused) {
+    MpiWorld w(4, 100_us);
+    return w.job->execute([fused](Rank& r) -> sim::Coro<void> {
+      if (fused) {
+        co_await r.reduce_scatter(64 << 10);
+      } else {
+        co_await r.reduce(0, static_cast<std::uint64_t>(r.size()) *
+                                 (64 << 10));
+        co_await r.scatter(0, 64 << 10);
+      }
+    });
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+TEST(WaitAny, ReturnsFirstCompletion) {
+  MpiWorld w(1, 100_us);
+  int first = -1;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      // Two receives; peer sends tag 5 only after a pause, tag 6 first.
+      std::vector<Request> reqs;
+      reqs.push_back(r.irecv(1, 5));
+      reqs.push_back(r.irecv(1, 6));
+      first = co_await r.wait_any(reqs);
+      co_await r.wait_all(reqs);
+    } else {
+      co_await r.send(0, 64, 6);
+      co_await r.compute(5_ms);
+      co_await r.send(0, 64, 5);
+    }
+  });
+  EXPECT_EQ(first, 1);  // tag-6 receive (index 1) lands first
+}
+
+TEST(WaitAny, ImmediateIfAlreadyDone) {
+  MpiWorld w(1);
+  int idx = -1;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      Request req = r.irecv(1, 1);
+      co_await r.wait(req);
+      std::vector<Request> reqs{req};
+      idx = co_await r.wait_any(reqs);
+    } else {
+      co_await r.send(0, 8, 1);
+    }
+  });
+  EXPECT_EQ(idx, 0);
+}
+
+}  // namespace
+}  // namespace ibwan::mpi

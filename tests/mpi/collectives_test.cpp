@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::mpi {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+struct MpiWorld {
+  explicit MpiWorld(int per_cluster, MpiConfig cfg = {},
+                    sim::Duration wan_delay = 0)
+      : fabric(sim, {.nodes_a = per_cluster, .nodes_b = per_cluster}) {
+    fabric.set_wan_delay(wan_delay);
+    job = std::make_unique<Job>(
+        fabric, Job::split_placement(fabric, per_cluster), cfg);
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<Job> job;
+};
+
+TEST(Collectives, BarrierSynchronizesAllRanks) {
+  MpiWorld w(4);  // 8 ranks
+  std::vector<sim::Time> after(8);
+  sim::Time slowest_before = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    // Stagger arrival; everyone must leave after the last arrival.
+    co_await r.compute(static_cast<sim::Duration>(r.rank()) * 100_us);
+    slowest_before = std::max(slowest_before, w.sim.now());
+    co_await r.barrier();
+    after[r.rank()] = w.sim.now();
+  });
+  for (int i = 0; i < 8; ++i) EXPECT_GE(after[i], 700_us);
+}
+
+TEST(Collectives, BcastBinomialReachesEveryone) {
+  for (int per_cluster : {1, 2, 3, 8}) {
+    MpiWorld w(per_cluster);
+    std::vector<std::uint64_t> got(2 * per_cluster, 0);
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.bcast_binomial(0, 4096);
+      got[r.rank()] = 4096;
+    });
+    for (auto g : got) EXPECT_EQ(g, 4096u);
+  }
+}
+
+TEST(Collectives, BcastWithNonzeroRoot) {
+  MpiWorld w(2);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.bcast_binomial(3, 1024);
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Collectives, BcastScatterAllgatherCompletes) {
+  for (int per_cluster : {2, 3, 4}) {
+    MpiWorld w(per_cluster);
+    int done = 0;
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.bcast_scatter_allgather(0, 256 * 1024);
+      ++done;
+    });
+    EXPECT_EQ(done, 2 * per_cluster);
+  }
+}
+
+TEST(Collectives, HierarchicalBcastCrossesWanExactlyOnce) {
+  MpiWorld w(8);  // 16 ranks
+  const auto base_pkts = w.fabric.longbows()->wan_stats_a_to_b().packets_sent;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.bcast_hierarchical(0, 2048);  // eager, one verbs message
+  });
+  const auto pkts =
+      w.fabric.longbows()->wan_stats_a_to_b().packets_sent - base_pkts;
+  // One eager message (one data packet at 2 KB + header... segmented to
+  // <= 2 packets) — definitely not a tree's worth.
+  EXPECT_LE(pkts, 3u);
+  EXPECT_GE(pkts, 1u);
+}
+
+TEST(Collectives, HierarchicalBeatsDefaultBcastUnderDelay) {
+  auto run = [&](bool hierarchical, std::uint64_t bytes) {
+    MpiWorld w(8, {}, 1000_us);
+    return w.job->execute([=](Rank& r) -> sim::Coro<void> {
+      if (hierarchical) {
+        co_await r.bcast_hierarchical(0, bytes);
+      } else {
+        co_await r.bcast(0, bytes);
+      }
+    });
+  };
+  // Medium (binomial baseline): job-elapsed ends at the root's final
+  // send completion, which is order-invariant — so expect no regression
+  // here; the latency win is asserted by the OSU-ack-protocol
+  // measurement in core_tests (MpiBench.HierarchicalBcastWinsAtHighDelay).
+  const double original_med = run(false, 128 << 10);
+  const double modified_med = run(true, 128 << 10);
+  EXPECT_LE(modified_med, original_med * 1.001);
+  // Large (scatter+ring baseline): the ring crosses the WAN every step,
+  // so the WAN-aware tree wins big.
+  const double original_big = run(false, 1 << 20);
+  const double modified_big = run(true, 1 << 20);
+  EXPECT_LT(modified_big, original_big * 0.5);
+}
+
+TEST(Collectives, AllreduceCompletesPow2AndNot) {
+  for (int per_cluster : {2, 3}) {
+    MpiWorld w(per_cluster);
+    int done = 0;
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      co_await r.allreduce(4096);
+      ++done;
+    });
+    EXPECT_EQ(done, 2 * per_cluster);
+  }
+}
+
+TEST(Collectives, ReduceCompletes) {
+  MpiWorld w(4);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.reduce(2, 32768);
+    ++done;
+  });
+  EXPECT_EQ(done, 8);
+}
+
+TEST(Collectives, AlltoallMovesAllPairs) {
+  MpiWorld w(2);  // 4 ranks
+  MpiConfig cfg;
+  std::vector<std::uint64_t> received(4, 0);
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.alltoall(10'000);
+    received[r.rank()] = r.stats().bytes_sent;
+  });
+  // Each rank sends 10 KB to each of the 3 others.
+  for (auto b : received) EXPECT_EQ(b, 30'000u);
+}
+
+TEST(Collectives, AlltoallvHandlesUnevenAndZero) {
+  MpiWorld w(2);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    std::vector<std::uint64_t> sizes(4);
+    for (int i = 0; i < 4; ++i) {
+      sizes[i] = (i == r.rank()) ? 0 : static_cast<std::uint64_t>(i) * 1000;
+    }
+    co_await r.alltoallv(sizes);
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Collectives, AllgatherCompletes) {
+  MpiWorld w(3);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.allgather(5000);
+    ++done;
+  });
+  EXPECT_EQ(done, 6);
+}
+
+TEST(Collectives, BackToBackCollectivesDoNotCrosstalk) {
+  MpiWorld w(2);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await r.bcast_binomial(i % 4, 2048);
+      co_await r.barrier();
+      co_await r.allreduce(64);
+    }
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+}
+
+TEST(Collectives, HierarchicalBcastMatchesBinomialResultShape) {
+  // Same delivery guarantee as binomial: everyone gets the bytes.
+  MpiWorld w(4);
+  std::vector<int> got(8, 0);
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.bcast_hierarchical(5, 8192);  // non-zero root, cluster B
+    got[r.rank()] = 1;
+  });
+  for (int g : got) EXPECT_EQ(g, 1);
+}
+
+}  // namespace
+}  // namespace ibwan::mpi

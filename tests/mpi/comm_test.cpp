@@ -1,0 +1,155 @@
+// Sub-communicator construction and subgroup collectives.
+#include "mpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::mpi {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+struct MpiWorld {
+  explicit MpiWorld(int per_cluster, sim::Duration wan_delay = 0)
+      : fabric(sim, {.nodes_a = per_cluster, .nodes_b = per_cluster}) {
+    fabric.set_wan_delay(wan_delay);
+    job = std::make_unique<Job>(
+        fabric, Job::split_placement(fabric, per_cluster));
+    splitter = std::make_unique<CommSplitter>(*job);
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<Job> job;
+  std::unique_ptr<CommSplitter> splitter;
+};
+
+TEST(Comm, SplitByClusterGroupsCorrectly) {
+  MpiWorld w(4);
+  std::vector<std::shared_ptr<Comm>> comms(8);
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int color = r.cluster() == net::Cluster::kA ? 0 : 1;
+    comms[r.rank()] = co_await w.splitter->split(r, color);
+  });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(comms[i], nullptr);
+    EXPECT_EQ(comms[i]->size(), 4);
+  }
+  // Ranks 0-3 share one communicator; 4-7 the other.
+  EXPECT_EQ(comms[0].get(), comms[3].get());
+  EXPECT_EQ(comms[4].get(), comms[7].get());
+  EXPECT_NE(comms[0].get(), comms[4].get());
+  EXPECT_EQ(comms[0]->comm_rank(2), 2);
+  EXPECT_EQ(comms[4]->comm_rank(6), 2);
+  EXPECT_EQ(comms[0]->comm_rank(6), -1);
+}
+
+TEST(Comm, KeyControlsOrdering) {
+  MpiWorld w(2);
+  std::shared_ptr<Comm> comm;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    // Reverse order via descending keys.
+    comm = co_await w.splitter->split(r, 0, -r.rank());
+  });
+  ASSERT_NE(comm, nullptr);
+  EXPECT_EQ(comm->member(0), 3);
+  EXPECT_EQ(comm->member(3), 0);
+}
+
+TEST(Comm, SubgroupBcastReachesOnlyMembers) {
+  MpiWorld w(4);
+  std::vector<int> reached(8, 0);
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int color = r.cluster() == net::Cluster::kA ? 0 : 1;
+    auto comm = co_await w.splitter->split(r, color);
+    if (color == 0) {
+      co_await comm->bcast(r, 0, 32 << 10);
+      reached[r.rank()] = 1;
+    }
+  });
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(reached[i], 1);
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(reached[i], 0);
+}
+
+TEST(Comm, ClusterLocalBcastAvoidsWan) {
+  MpiWorld w(4);
+  const auto base = w.fabric.longbows()->wan_stats_a_to_b().packets_sent +
+                    w.fabric.longbows()->wan_stats_b_to_a().packets_sent;
+  std::shared_ptr<Comm> comm_a;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int color = r.cluster() == net::Cluster::kA ? 0 : 1;
+    auto comm = co_await w.splitter->split(r, color);
+    co_await comm->bcast(r, 0, 64 << 10);
+  });
+  // The split's barrier crosses the WAN, but both cluster broadcasts
+  // must not: compare against a barrier-only run.
+  MpiWorld w2(4);
+  w2.job->execute([&](Rank& r) -> sim::Coro<void> { co_await r.barrier(); });
+  const auto barrier_pkts =
+      w2.fabric.longbows()->wan_stats_a_to_b().packets_sent +
+      w2.fabric.longbows()->wan_stats_b_to_a().packets_sent;
+  const auto total = w.fabric.longbows()->wan_stats_a_to_b().packets_sent +
+                     w.fabric.longbows()->wan_stats_b_to_a().packets_sent -
+                     base;
+  EXPECT_LE(total, barrier_pkts + 8);  // no bulk data on the WAN
+}
+
+TEST(Comm, SubgroupCollectivesComplete) {
+  MpiWorld w(3);  // 3 per cluster: non-pow2 subgroups
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int color = r.cluster() == net::Cluster::kA ? 0 : 1;
+    auto comm = co_await w.splitter->split(r, color);
+    co_await comm->barrier(r);
+    co_await comm->allreduce(r, 4096);
+    co_await comm->reduce(r, 0, 8192);
+    co_await comm->allgather(r, 2048);
+    ++done;
+  });
+  EXPECT_EQ(done, 6);
+}
+
+TEST(Comm, HierarchicalBcastBuiltFromComms) {
+  // The general WAN-aware pattern: cluster comms + explicit bridge.
+  MpiWorld w(8, 1000_us);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int color = r.cluster() == net::Cluster::kA ? 0 : 1;
+    auto local = co_await w.splitter->split(r, color);
+    // Bridge: world rank 0 -> first rank of cluster B.
+    const int remote_leader = 8;
+    if (r.rank() == 0) co_await r.send(remote_leader, 128 << 10, 77);
+    if (r.rank() == remote_leader) co_await r.recv(0, 77);
+    co_await local->bcast(r, 0, 128 << 10);
+    ++done;
+  });
+  EXPECT_EQ(done, 16);
+}
+
+TEST(Comm, SequentialSplitsAreIndependent) {
+  MpiWorld w(2);
+  std::shared_ptr<Comm> by_cluster, by_parity;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int c1 = r.cluster() == net::Cluster::kA ? 0 : 1;
+    auto a = co_await w.splitter->split(r, c1);
+    auto b = co_await w.splitter->split(r, r.rank() % 2);
+    if (r.rank() == 0) {
+      by_cluster = a;
+      by_parity = b;
+    }
+    co_await a->barrier(r);
+    co_await b->barrier(r);
+  });
+  ASSERT_NE(by_cluster, nullptr);
+  ASSERT_NE(by_parity, nullptr);
+  EXPECT_EQ(by_cluster->size(), 2);
+  EXPECT_EQ(by_parity->size(), 2);
+  EXPECT_NE(by_cluster->id(), by_parity->id());
+}
+
+}  // namespace
+}  // namespace ibwan::mpi

@@ -1,0 +1,177 @@
+// Point-to-point semantics edge cases: unexpected-queue ordering,
+// rendezvous arriving before the receive, mixed-protocol FIFO per
+// (source, tag), and cross-pair isolation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::mpi {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+struct MpiWorld {
+  explicit MpiWorld(int per_cluster, sim::Duration wan_delay = 0)
+      : fabric(sim, {.nodes_a = per_cluster, .nodes_b = per_cluster}) {
+    fabric.set_wan_delay(wan_delay);
+    job = std::make_unique<Job>(
+        fabric, Job::split_placement(fabric, per_cluster));
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<Job> job;
+};
+
+TEST(MpiEdge, UnexpectedEagerMessagesMatchInArrivalOrder) {
+  MpiWorld w(1);
+  std::vector<std::uint64_t> sizes;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        co_await r.send(1, 100 + static_cast<std::uint64_t>(i), 3);
+      }
+      co_await r.send(1, 1, 4);  // release the receiver
+    } else {
+      co_await r.recv(0, 4);  // all tag-3 messages are now unexpected
+      for (int i = 0; i < 5; ++i) sizes.push_back(co_await r.recv(0, 3));
+    }
+  });
+  ASSERT_EQ(sizes.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sizes[i], 100u + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(MpiEdge, RendezvousRtsBeforeRecvCompletes) {
+  MpiWorld w(1);
+  std::uint64_t got = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      co_await r.send(1, 1 << 20, 9);  // RTS arrives before any recv
+    } else {
+      co_await r.compute(2_ms);  // make the RTS definitely unexpected
+      got = co_await r.recv(0, 9);
+    }
+  });
+  EXPECT_EQ(got, 1u << 20);
+}
+
+TEST(MpiEdge, MixedProtocolSameTagPreservesOrder) {
+  MpiWorld w(1);
+  std::vector<std::uint64_t> sizes;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      std::vector<Request> reqs;
+      reqs.push_back(r.isend(1, 100, 1));        // eager
+      reqs.push_back(r.isend(1, 1 << 20, 1));    // rendezvous
+      reqs.push_back(r.isend(1, 200, 1));        // eager
+      co_await r.wait_all(std::move(reqs));
+    } else {
+      for (int i = 0; i < 3; ++i) sizes.push_back(co_await r.recv(0, 1));
+    }
+  });
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 100u);
+  EXPECT_EQ(sizes[1], 1u << 20);
+  EXPECT_EQ(sizes[2], 200u);
+}
+
+TEST(MpiEdge, PairsDoNotCrossTalk) {
+  MpiWorld w(2);  // ranks 0,1 (A) and 2,3 (B)
+  std::uint64_t got02 = 0, got13 = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    switch (r.rank()) {
+      case 0: co_await r.send(2, 111, 0); break;
+      case 1: co_await r.send(3, 222, 0); break;
+      case 2: got02 = co_await r.recv(kAnySource, 0); break;
+      case 3: got13 = co_await r.recv(kAnySource, 0); break;
+    }
+  });
+  EXPECT_EQ(got02, 111u);
+  EXPECT_EQ(got13, 222u);
+}
+
+TEST(MpiEdge, WaitOnCompletedRequestReturnsImmediately) {
+  MpiWorld w(1);
+  int waits = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      Request s = r.isend(1, 64, 0);
+      co_await r.wait(s);
+      co_await r.wait(s);  // second wait on a done request
+      ++waits;
+    } else {
+      co_await r.recv(0, 0);
+    }
+  });
+  EXPECT_EQ(waits, 1);
+}
+
+TEST(MpiEdge, ManyConcurrentRendezvousTransfers) {
+  MpiWorld w(1, 100_us);
+  std::uint64_t total = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    const int n = 24;
+    if (r.rank() == 0) {
+      std::vector<Request> reqs;
+      for (int i = 0; i < n; ++i) reqs.push_back(r.isend(1, 256 << 10, i));
+      co_await r.wait_all(std::move(reqs));
+    } else {
+      std::vector<Request> reqs;
+      for (int i = 0; i < n; ++i) reqs.push_back(r.irecv(0, i));
+      co_await r.wait_all(reqs);
+      for (auto& q : reqs) total += q.bytes();
+    }
+  });
+  EXPECT_EQ(total, 24u * (256 << 10));
+}
+
+TEST(MpiEdge, SourceFilteredRecvIgnoresOtherSenders) {
+  MpiWorld w(2);
+  std::uint64_t from3 = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      // Receive specifically from rank 3 first, then from rank 1.
+      from3 = co_await r.recv(3, 5);
+      co_await r.recv(1, 5);
+    } else if (r.rank() == 1) {
+      co_await r.send(0, 111, 5);
+    } else if (r.rank() == 3) {
+      co_await r.compute(1_ms);  // rank 1's message arrives first
+      co_await r.send(0, 333, 5);
+    }
+  });
+  EXPECT_EQ(from3, 333u);
+}
+
+TEST(MpiEdge, JobsAreIndependent) {
+  // Two jobs on separate fabrics do not share request-id or tag space.
+  MpiWorld w1(1), w2(1);
+  std::uint64_t a = 0, b = 0;
+  w1.job->run([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      co_await r.send(1, 10, 0);
+    } else {
+      a = co_await r.recv(0, 0);
+    }
+  });
+  w2.job->run([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      co_await r.send(1, 20, 0);
+    } else {
+      b = co_await r.recv(0, 0);
+    }
+  });
+  w1.sim.run();
+  w2.sim.run();
+  EXPECT_EQ(a, 10u);
+  EXPECT_EQ(b, 20u);
+}
+
+}  // namespace
+}  // namespace ibwan::mpi

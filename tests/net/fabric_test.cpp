@@ -1,0 +1,166 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+using namespace ibwan::sim::literals;
+
+Packet to(NodeId dst, std::uint32_t size) {
+  Packet p;
+  p.dst = dst;
+  p.wire_size = size;
+  return p;
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(FabricTest, NodeIdsPartitionClusters) {
+  Fabric f(sim, {.nodes_a = 3, .nodes_b = 2});
+  EXPECT_EQ(f.node_count(), 5);
+  EXPECT_EQ(f.node_id(Cluster::kA, 0), 0u);
+  EXPECT_EQ(f.node_id(Cluster::kA, 2), 2u);
+  EXPECT_EQ(f.node_id(Cluster::kB, 0), 3u);
+  EXPECT_EQ(f.node_id(Cluster::kB, 1), 4u);
+  EXPECT_EQ(f.cluster_of(2), Cluster::kA);
+  EXPECT_EQ(f.cluster_of(3), Cluster::kB);
+  EXPECT_TRUE(f.crosses_wan(0, 3));
+  EXPECT_FALSE(f.crosses_wan(0, 2));
+}
+
+TEST_F(FabricTest, IntraClusterDelivery) {
+  Fabric f(sim, {.nodes_a = 2, .nodes_b = 1});
+  bool got = false;
+  f.node(1).set_receiver([&](Packet&& p) {
+    got = true;
+    EXPECT_EQ(p.src, 0u);
+    EXPECT_EQ(p.dst, 1u);
+  });
+  f.node(0).send(to(1, 100));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST_F(FabricTest, InterClusterDeliveryCrossesLongbows) {
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  bool got = false;
+  f.node(1).set_receiver([&](Packet&&) { got = true; });
+  f.node(0).send(to(1, 100));
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(f.longbows()->wan_stats_a_to_b().packets_sent, 1u);
+  EXPECT_EQ(f.longbows()->wan_stats_b_to_a().packets_sent, 0u);
+}
+
+TEST_F(FabricTest, IntraClusterTrafficStaysOffWan) {
+  Fabric f(sim, {.nodes_a = 2, .nodes_b = 2});
+  int got = 0;
+  f.node(1).set_receiver([&](Packet&&) { ++got; });
+  for (int i = 0; i < 5; ++i) f.node(0).send(to(1, 64));
+  sim.run();
+  EXPECT_EQ(got, 5);
+  EXPECT_EQ(f.longbows()->wan_stats_a_to_b().packets_sent, 0u);
+}
+
+TEST_F(FabricTest, WanDelayShiftsInterClusterLatencyOnly) {
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  Time base = 0;
+  f.node(1).set_receiver([&](Packet&&) { base = sim.now(); });
+  f.node(0).send(to(1, 100));
+  sim.run();
+
+  Simulator sim2;
+  Fabric f2(sim2, {.nodes_a = 1, .nodes_b = 1});
+  f2.set_wan_delay(1000_us);
+  Time delayed = 0;
+  f2.node(1).set_receiver([&](Packet&&) { delayed = sim2.now(); });
+  f2.node(0).send(to(1, 100));
+  sim2.run();
+
+  EXPECT_EQ(delayed - base, 1000_us);
+}
+
+TEST_F(FabricTest, WanDelayDoesNotAffectIntraCluster) {
+  Fabric f(sim, {.nodes_a = 2, .nodes_b = 1});
+  f.set_wan_delay(1000_us);
+  Time arrival = 0;
+  f.node(1).set_receiver([&](Packet&&) { arrival = sim.now(); });
+  f.node(0).send(to(1, 100));
+  sim.run();
+  EXPECT_LT(arrival, 10_us);
+}
+
+TEST_F(FabricTest, BackToBackIsLowerLatencyThanThroughLongbows) {
+  FabricConfig b2b{.nodes_a = 1, .nodes_b = 1, .back_to_back = true};
+  Fabric direct(sim, b2b);
+  Time t_direct = 0;
+  direct.node(1).set_receiver([&](Packet&&) { t_direct = sim.now(); });
+  direct.node(0).send(to(1, 100));
+  sim.run();
+
+  Simulator sim2;
+  Fabric routed(sim2, {.nodes_a = 1, .nodes_b = 1});
+  Time t_routed = 0;
+  routed.node(1).set_receiver([&](Packet&&) { t_routed = sim2.now(); });
+  routed.node(0).send(to(1, 100));
+  sim2.run();
+
+  EXPECT_LT(t_direct, t_routed);
+  // The Longbow pair should add roughly 5 us (paper, Section 3.2.1).
+  const double added_us = sim::to_microseconds(t_routed - t_direct);
+  EXPECT_GT(added_us, 3.0);
+  EXPECT_LT(added_us, 7.0);
+}
+
+TEST_F(FabricTest, WanRateIsSdrBottleneck) {
+  // Saturating burst across the WAN arrives paced at SDR (1 B/ns), even
+  // though LAN links run at DDR (2 B/ns).
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  std::vector<Time> arrivals;
+  f.node(1).set_receiver([&](Packet&&) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 20; ++i) f.node(0).send(to(1, 2048));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 20u);
+  // Steady-state inter-arrival equals WAN serialization of 2048 B at 1 B/ns.
+  for (std::size_t i = 10; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], 2048u);
+  }
+}
+
+TEST_F(FabricTest, BidirectionalWanTrafficDoesNotInterfere) {
+  // Separate fibers per direction: full rate both ways at once.
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  int got_a = 0, got_b = 0;
+  f.node(0).set_receiver([&](Packet&&) { ++got_a; });
+  f.node(1).set_receiver([&](Packet&&) { ++got_b; });
+  for (int i = 0; i < 10; ++i) {
+    f.node(0).send(to(1, 2048));
+    f.node(1).send(to(0, 2048));
+  }
+  sim.run();
+  const Time t_both = sim.now();
+  EXPECT_EQ(got_a, 10);
+  EXPECT_EQ(got_b, 10);
+
+  Simulator sim2;
+  Fabric f2(sim2, {.nodes_a = 1, .nodes_b = 1});
+  int got = 0;
+  f2.node(1).set_receiver([&](Packet&&) { ++got; });
+  for (int i = 0; i < 10; ++i) f2.node(0).send(to(1, 2048));
+  sim2.run();
+  EXPECT_EQ(got, 10);
+  // One-way total time should be (almost) the same as two-way.
+  EXPECT_NEAR(static_cast<double>(t_both), static_cast<double>(sim2.now()),
+              static_cast<double>(t_both) * 0.01);
+}
+
+}  // namespace
+}  // namespace ibwan::net

@@ -1,0 +1,156 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+
+Packet make_packet(std::uint32_t size, std::uint64_t id = 0) {
+  Packet p;
+  p.wire_size = size;
+  p.id = id;
+  return p;
+}
+
+TEST(Link, DeliveryTimeIsSerializationPlusPropagation) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 2.0, .propagation = 100}, "l");
+  Time arrival = 0;
+  link.set_sink([&](Packet&&) { arrival = sim.now(); });
+  link.send(make_packet(1000));
+  sim.run();
+  // 1000 B at 2 B/ns = 500 ns serialize + 100 ns propagation.
+  EXPECT_EQ(arrival, 600u);
+}
+
+TEST(Link, BackToBackPacketsQueueFifo) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0}, "l");
+  std::vector<std::pair<std::uint64_t, Time>> got;
+  link.set_sink([&](Packet&& p) { got.emplace_back(p.id, sim.now()); });
+  link.send(make_packet(100, 1));
+  link.send(make_packet(100, 2));
+  link.send(make_packet(100, 3));
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<std::uint64_t, Time>{1, 100}));
+  EXPECT_EQ(got[1], (std::pair<std::uint64_t, Time>{2, 200}));
+  EXPECT_EQ(got[2], (std::pair<std::uint64_t, Time>{3, 300}));
+}
+
+TEST(Link, IdleGapRestartsSerializationClock) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 10}, "l");
+  std::vector<Time> arrivals;
+  link.set_sink([&](Packet&&) { arrivals.push_back(sim.now()); });
+  link.send(make_packet(50));
+  sim.run();
+  sim.run_until(1000);
+  link.send(make_packet(50));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], 60u);
+  EXPECT_EQ(arrivals[1], 1060u);
+}
+
+TEST(Link, ExtraDelayAddsToPropagation) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 100}, "l");
+  Time arrival = 0;
+  link.set_sink([&](Packet&&) { arrival = sim.now(); });
+  link.set_extra_delay(5000);
+  link.send(make_packet(10));
+  sim.run();
+  EXPECT_EQ(arrival, 10u + 100u + 5000u);
+}
+
+TEST(Link, ExtraDelayDoesNotAffectThroughput) {
+  // The delay knob emulates distance: it shifts arrivals but must not
+  // change the serialization rate (pipe keeps streaming).
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0}, "l");
+  link.set_extra_delay(1'000'000);
+  std::vector<Time> arrivals;
+  link.set_sink([&](Packet&&) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1000));
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 10u);
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(arrivals[i] - arrivals[i - 1], 1000u);  // line rate
+  }
+}
+
+TEST(Link, OnSerializedFiresAtWireCompletion) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 500}, "l");
+  Time serialized_at = 0, delivered_at = 0;
+  link.set_sink([&](Packet&&) { delivered_at = sim.now(); });
+  Packet p = make_packet(100);
+  p.on_serialized = [&] { serialized_at = sim.now(); };
+  link.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(serialized_at, 100u);
+  EXPECT_EQ(delivered_at, 600u);
+}
+
+TEST(Link, FiniteBufferDropsOverflow) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0, .buffer_bytes = 250},
+            "l");
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  EXPECT_TRUE(link.send(make_packet(100)));
+  EXPECT_TRUE(link.send(make_packet(100)));
+  EXPECT_FALSE(link.send(make_packet(100)));  // 300 > 250
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().packets_dropped_buffer, 1u);
+}
+
+TEST(Link, BufferDrainsAsPacketsSerialize) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0, .buffer_bytes = 150},
+            "l");
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  EXPECT_TRUE(link.send(make_packet(100)));
+  sim.run_until(100);  // first packet fully serialized
+  EXPECT_TRUE(link.send(make_packet(100)));
+  sim.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Link, LossRateDropsSomePackets) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0, .loss_rate = 0.5},
+            "l");
+  int delivered = 0;
+  link.set_sink([&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) link.send(make_packet(10));
+  sim.run();
+  EXPECT_GT(delivered, 350);
+  EXPECT_LT(delivered, 650);
+  EXPECT_EQ(link.stats().packets_dropped_loss,
+            1000u - static_cast<unsigned>(delivered));
+}
+
+TEST(Link, StatsCountPacketsAndBytes) {
+  Simulator sim;
+  Link link(sim, {.bytes_per_ns = 1.0, .propagation = 0}, "l");
+  link.set_sink([](Packet&&) {});
+  link.send(make_packet(100));
+  link.send(make_packet(200));
+  sim.run();
+  EXPECT_EQ(link.stats().packets_sent, 2u);
+  EXPECT_EQ(link.stats().bytes_sent, 300u);
+}
+
+}  // namespace
+}  // namespace ibwan::net

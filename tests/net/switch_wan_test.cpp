@@ -1,0 +1,146 @@
+// Switch routing and Longbow behaviour edge cases.
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::net {
+namespace {
+
+using sim::Simulator;
+using sim::Time;
+using namespace ibwan::sim::literals;
+
+TEST(Switch, DropsUnroutableWithoutDefault) {
+  Simulator sim;
+  Switch sw(sim, "sw", 100);
+  Link out(sim, {.bytes_per_ns = 1.0}, "out");
+  int delivered = 0;
+  out.set_sink([&](Packet&&) { ++delivered; });
+  const int port = sw.add_port(&out);
+  sw.set_route(7, port);
+  Packet known;
+  known.dst = 7;
+  known.wire_size = 10;
+  sw.receive(std::move(known));
+  Packet unknown;
+  unknown.dst = 8;
+  unknown.wire_size = 10;
+  sw.receive(std::move(unknown));
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(sw.forwarded(), 1u);
+}
+
+TEST(Switch, HopLatencyAppliesPerPacket) {
+  Simulator sim;
+  Switch sw(sim, "sw", 250);
+  Link out(sim, {.bytes_per_ns = 1.0}, "out");
+  Time arrival = 0;
+  out.set_sink([&](Packet&&) { arrival = sim.now(); });
+  sw.set_default_route(sw.add_port(&out));
+  Packet p;
+  p.dst = 1;
+  p.wire_size = 100;
+  sw.receive(std::move(p));
+  sim.run();
+  EXPECT_EQ(arrival, 250u + 100u);  // hop latency + serialization
+}
+
+TEST(Longbow, DelayChangeAppliesToSubsequentPackets) {
+  Simulator sim;
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  std::vector<Time> arrivals;
+  f.node(1).set_receiver([&](Packet&&) { arrivals.push_back(sim.now()); });
+
+  Packet p1;
+  p1.dst = 1;
+  p1.wire_size = 100;
+  f.node(0).send(std::move(p1));
+  sim.run();
+
+  f.set_wan_delay(500_us);
+  const Time t0 = sim.now();
+  Packet p2;
+  p2.dst = 1;
+  p2.wire_size = 100;
+  f.node(0).send(std::move(p2));
+  sim.run();
+
+  ASSERT_EQ(arrivals.size(), 2u);
+  const Time base = arrivals[0];
+  EXPECT_NEAR(static_cast<double>(arrivals[1] - t0),
+              static_cast<double>(base + 500_us), 1000.0);
+}
+
+TEST(Longbow, WanStatsCountPerDirection) {
+  Simulator sim;
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  f.node(0).set_receiver([](Packet&&) {});
+  f.node(1).set_receiver([](Packet&&) {});
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.dst = 1;
+    p.wire_size = 100;
+    f.node(0).send(std::move(p));
+  }
+  Packet back;
+  back.dst = 0;
+  back.wire_size = 50;
+  f.node(1).send(std::move(back));
+  sim.run();
+  EXPECT_EQ(f.longbows()->wan_stats_a_to_b().packets_sent, 3u);
+  EXPECT_EQ(f.longbows()->wan_stats_b_to_a().packets_sent, 1u);
+  EXPECT_EQ(f.longbows()->wan_stats_a_to_b().bytes_sent, 300u);
+}
+
+TEST(Longbow, ControlPacketsBypassDataQueue) {
+  // A control packet enqueued behind a deep data backlog on the WAN
+  // link must serialize ahead of the remaining data.
+  Simulator sim;
+  Fabric f(sim, {.nodes_a = 1, .nodes_b = 1});
+  std::vector<std::pair<bool, Time>> arrivals;
+  f.node(1).set_receiver([&](Packet&& p) {
+    arrivals.emplace_back(p.control, sim.now());
+  });
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.dst = 1;
+    p.wire_size = 2048;
+    f.node(0).send(std::move(p));
+  }
+  Packet ctrl;
+  ctrl.dst = 1;
+  ctrl.wire_size = 30;
+  ctrl.control = true;
+  f.node(0).send(std::move(ctrl));
+  sim.run();
+  // The control packet must not be last.
+  ASSERT_EQ(arrivals.size(), 21u);
+  int ctrl_index = -1;
+  for (int i = 0; i < 21; ++i) {
+    if (arrivals[i].first) ctrl_index = i;
+  }
+  ASSERT_GE(ctrl_index, 0);
+  EXPECT_LT(ctrl_index, 20);
+}
+
+TEST(Fabric, AsymmetricClusterSizes) {
+  Simulator sim;
+  Fabric f(sim, {.nodes_a = 5, .nodes_b = 2});
+  EXPECT_EQ(f.node_count(), 7);
+  int got = 0;
+  f.node(6).set_receiver([&](Packet&&) { ++got; });
+  for (NodeId src : {0u, 4u, 5u}) {
+    Packet p;
+    p.dst = 6;
+    p.wire_size = 64;
+    f.node(src).send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(got, 3);
+}
+
+}  // namespace
+}  // namespace ibwan::net

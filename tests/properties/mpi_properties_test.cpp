@@ -1,0 +1,121 @@
+// Property sweeps over the MPI layer: every collective must complete
+// and conserve bytes for any rank count (including non-powers-of-two)
+// and any delay, and the protocol switchover must be seamless around
+// the threshold.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::mpi {
+namespace {
+
+struct MpiWorld {
+  explicit MpiWorld(int per_cluster, sim::Duration wan_delay = 0)
+      : fabric(sim, {.nodes_a = per_cluster, .nodes_b = per_cluster}) {
+    fabric.set_wan_delay(wan_delay);
+    job = std::make_unique<Job>(
+        fabric, Job::split_placement(fabric, per_cluster));
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  std::unique_ptr<Job> job;
+};
+
+class CollectiveCompletionTest
+    : public ::testing::TestWithParam<std::tuple<int, sim::Duration>> {};
+
+TEST_P(CollectiveCompletionTest, EveryCollectiveCompletesEverywhere) {
+  const auto [per_cluster, delay] = GetParam();
+  MpiWorld w(per_cluster, delay);
+  int done = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.barrier();
+    co_await r.bcast(0, 10'000);
+    co_await r.bcast_hierarchical(r.size() - 1, 10'000);
+    co_await r.reduce(0, 5'000);
+    co_await r.allreduce(3'000);
+    co_await r.alltoall(2'000);
+    co_await r.allgather(1'000);
+    co_await r.gather(0, 1'000);
+    co_await r.scatter(0, 1'000);
+    co_await r.reduce_scatter(1'000);
+    ++done;
+  });
+  EXPECT_EQ(done, 2 * per_cluster);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankDelayGrid, CollectiveCompletionTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values<sim::Duration>(0, 1'000'000)));
+
+class Pt2ptSizeBoundaryTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Pt2ptSizeBoundaryTest, BytesConservedAroundThreshold) {
+  // Sizes straddling the eager/rendezvous switch, +-1 byte.
+  const std::uint64_t size = GetParam();
+  MpiWorld w(1);
+  std::uint64_t got = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    if (r.rank() == 0) {
+      co_await r.send(1, size);
+    } else {
+      got = co_await r.recv(0);
+    }
+  });
+  EXPECT_EQ(got, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundary, Pt2ptSizeBoundaryTest,
+                         ::testing::Values(8191u, 8192u, 8193u, 1u, 0u + 2,
+                                           (1u << 20) - 1, 1u << 20));
+
+class AlltoallConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlltoallConservationTest, TotalBytesMatchExactly) {
+  const int per_cluster = GetParam();
+  MpiWorld w(per_cluster);
+  const int p = 2 * per_cluster;
+  std::uint64_t total_sent = 0;
+  w.job->execute([&](Rank& r) -> sim::Coro<void> {
+    co_await r.alltoall(7'777);
+    total_sent += r.stats().bytes_sent;
+  });
+  EXPECT_EQ(total_sent, static_cast<std::uint64_t>(p) * (p - 1) * 7'777);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AlltoallConservationTest,
+                         ::testing::Values(1, 2, 3, 6));
+
+class BcastEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BcastEquivalenceTest, AllVariantsDeliverToEveryRank) {
+  const std::uint64_t bytes = GetParam();
+  for (int variant = 0; variant < 3; ++variant) {
+    MpiWorld w(4);
+    std::vector<int> got(8, 0);
+    w.job->execute([&](Rank& r) -> sim::Coro<void> {
+      switch (variant) {
+        case 0: co_await r.bcast_binomial(2, bytes); break;
+        case 1: co_await r.bcast_scatter_allgather(2, bytes); break;
+        case 2: co_await r.bcast_hierarchical(2, bytes); break;
+      }
+      got[r.rank()] = 1;
+    });
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(got[i], 1) << variant;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BcastEquivalenceTest,
+                         ::testing::Values(64u, 8192u, 262144u));
+
+}  // namespace
+}  // namespace ibwan::mpi

@@ -1,0 +1,146 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ibwan::sim {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  Simulator sim;
+  Time seen = 0;
+  sim.schedule(1234, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 1234u);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule(100, chain);
+  };
+  sim.schedule(100, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.schedule(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(99999);
+  bool ran = false;
+  sim.schedule(1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.schedule(30, [&] { ++fired; });
+  const bool more = sim.run_until(20);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilWithNoEventsAdvancesClock) {
+  Simulator sim;
+  EXPECT_FALSE(sim.run_until(1000));
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(100);
+  int fired = 0;
+  sim.schedule(50, [&] { ++fired; });
+  sim.schedule(250, [&] { ++fired; });
+  sim.run_for(100);
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  sim.run_until(42);
+  Time seen = 1;
+  sim.schedule(0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulator, EventCountersTrack) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, [] {});
+  EXPECT_EQ(sim.pending(), 7u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(DurationCeil, RoundsUpFractionalNanoseconds) {
+  EXPECT_EQ(duration_ceil(0.0), 0u);
+  EXPECT_EQ(duration_ceil(1.0), 1u);
+  EXPECT_EQ(duration_ceil(1.0001), 2u);
+  EXPECT_EQ(duration_ceil(1024.0), 1024u);
+  EXPECT_EQ(duration_ceil(1023.5), 1024u);
+}
+
+TEST(TimeLiterals, ConvertCorrectly) {
+  EXPECT_EQ(3_us, 3000u);
+  EXPECT_EQ(2_ms, 2'000'000u);
+  EXPECT_EQ(1_s, 1'000'000'000u);
+  EXPECT_DOUBLE_EQ(to_microseconds(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(500'000'000), 0.5);
+}
+
+}  // namespace
+}  // namespace ibwan::sim

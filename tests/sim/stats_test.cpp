@@ -1,0 +1,75 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ibwan::sim {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanMinMaxSum) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(OnlineStats, VarianceMatchesTextbook) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // Sample variance of 1..5 = 2.5.
+  EXPECT_NEAR(s.variance(), 2.5, 1e-12);
+  EXPECT_NEAR(s.stddev(), 1.5811388300841898, 1e-12);
+}
+
+TEST(LogHistogram, BinsPowersOfTwo) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 6u);
+  // 0 and 1 land in bin 0; 2 in bin 1; 3,4 in bin 2; 1024 in bin 10.
+  EXPECT_EQ(h.bins()[0], 2u);
+  EXPECT_EQ(h.bins()[1], 1u);
+  EXPECT_EQ(h.bins()[2], 2u);
+  EXPECT_EQ(h.bins()[10], 1u);
+}
+
+TEST(LogHistogram, CountBelow) {
+  LogHistogram h;
+  for (std::uint64_t v : {1u, 2u, 100u, 5000u, 100000u}) h.add(v);
+  EXPECT_EQ(h.count_below(8), 3u);   // <= 128: 1, 2, 100
+  EXPECT_EQ(h.count_below(20), 5u);  // everything
+}
+
+TEST(LogHistogram, QuantileMonotone) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(10);
+  for (int i = 0; i < 100; ++i) h.add(10000);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.9));
+  EXPECT_LE(h.quantile(0.25), 10u * 2);
+  EXPECT_GE(h.quantile(0.9), 4096u);
+}
+
+TEST(Series, AtFindsExactPoint) {
+  Series s;
+  s.name = "curve";
+  s.add(1.0, 10.0);
+  s.add(2.0, 20.0);
+  EXPECT_DOUBLE_EQ(s.at(2.0), 20.0);
+  EXPECT_TRUE(std::isnan(s.at(3.0)));
+}
+
+}  // namespace
+}  // namespace ibwan::sim

@@ -1,0 +1,198 @@
+#include "sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ibwan::sim {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+TEST(Task, RunsEagerlyUntilFirstSuspend) {
+  Simulator sim;
+  bool before = false, after = false;
+  auto coro = [&]() -> Task {
+    before = true;
+    co_await sleep_for(sim, 100);
+    after = true;
+  };
+  coro();
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(after);
+  sim.run();
+  EXPECT_TRUE(after);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Task, SleepSequenceAccumulatesTime) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  auto coro = [&]() -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await sleep_for(sim, 10);
+      stamps.push_back(sim.now());
+    }
+  };
+  coro();
+  sim.run();
+  EXPECT_EQ(stamps, (std::vector<Time>{10, 20, 30}));
+}
+
+TEST(Task, ZeroSleepYieldsButResumesSameTime) {
+  Simulator sim;
+  Time resumed = 999;
+  auto coro = [&]() -> Task {
+    co_await sleep_for(sim, 0);
+    resumed = sim.now();
+  };
+  coro();
+  sim.run();
+  EXPECT_EQ(resumed, 0u);
+}
+
+TEST(Trigger, ReleasesAllWaiters) {
+  Simulator sim;
+  Trigger t(sim);
+  int released = 0;
+  auto waiter = [&]() -> Task {
+    co_await t.wait();
+    ++released;
+  };
+  waiter();
+  waiter();
+  waiter();
+  sim.run();
+  EXPECT_EQ(released, 0);
+  t.fire();
+  sim.run();
+  EXPECT_EQ(released, 3);
+}
+
+TEST(Trigger, AlreadyFiredDoesNotSuspend) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  bool done = false;
+  auto waiter = [&]() -> Task {
+    co_await t.wait();
+    done = true;
+  };
+  waiter();
+  EXPECT_TRUE(done);  // ran through without any event
+}
+
+TEST(Trigger, ResetReArms) {
+  Simulator sim;
+  Trigger t(sim);
+  t.fire();
+  t.reset();
+  EXPECT_FALSE(t.fired());
+  int released = 0;
+  auto waiter = [&]() -> Task {
+    co_await t.wait();
+    ++released;
+  };
+  waiter();
+  sim.run();
+  EXPECT_EQ(released, 0);
+  t.fire();
+  sim.run();
+  EXPECT_EQ(released, 1);
+}
+
+TEST(WaitGroup, JoinsForkedTasks) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  Time join_time = 0;
+  auto worker = [&](Duration d) -> Task {
+    co_await sleep_for(sim, d);
+    wg.done();
+  };
+  auto master = [&]() -> Task {
+    wg.add(3);
+    worker(10);
+    worker(50);
+    worker(30);
+    co_await wg.wait();
+    join_time = sim.now();
+  };
+  master();
+  sim.run();
+  EXPECT_EQ(join_time, 50u);
+}
+
+TEST(Semaphore, BoundsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int concurrent = 0, peak = 0, finished = 0;
+  auto worker = [&]() -> Task {
+    co_await sem.acquire();
+    ++concurrent;
+    peak = std::max(peak, concurrent);
+    co_await sleep_for(sim, 100);
+    --concurrent;
+    sem.release();
+    ++finished;
+  };
+  for (int i = 0; i < 6; ++i) worker();
+  sim.run();
+  EXPECT_EQ(finished, 6);
+  EXPECT_EQ(peak, 2);
+  // 6 workers, 2 at a time, 100ns each -> 3 batches.
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(Semaphore, TryAcquireReflectsPermits) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_EQ(sem.available(), 1);
+}
+
+TEST(Future, DeliversValueToAwaiter) {
+  Simulator sim;
+  Future<int> f(sim);
+  int got = 0;
+  auto consumer = [&]() -> Task { got = co_await f; };
+  consumer();
+  EXPECT_EQ(got, 0);
+  f.set_value(42);
+  sim.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Future, ValueSetBeforeAwaitIsImmediate) {
+  Simulator sim;
+  Future<int> f(sim);
+  f.set_value(7);
+  int got = 0;
+  auto consumer = [&]() -> Task { got = co_await f; };
+  consumer();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Future, WorksAcrossSimulatedDelay) {
+  Simulator sim;
+  Future<Unit> f(sim);
+  Time done_at = 0;
+  auto producer = [&]() -> Task {
+    co_await sleep_for(sim, 500);
+    f.set_value(Unit{});
+  };
+  auto consumer = [&]() -> Task {
+    co_await f;
+    done_at = sim.now();
+  };
+  producer();
+  consumer();
+  sim.run();
+  EXPECT_EQ(done_at, 500u);
+}
+
+}  // namespace
+}  // namespace ibwan::sim
