@@ -18,35 +18,47 @@ int main() {
   const core::AdaptiveRendezvousThreshold policy;
   const int iters = 5 * bench::scale();
 
-  core::Table table("osu_bw at 16 KB by threshold policy", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
-    const double x = static_cast<double>(delay) / 1000.0;
-    const sim::Duration rtt = 2 * delay + 15'000;  // wire + fabric
-    const std::uint64_t adaptive = policy.threshold_for_rtt(rtt);
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [&](sim::Duration delay) {
+        bench::Rows rows;
+        const double x = static_cast<double>(delay) / 1000.0;
+        const sim::Duration rtt = 2 * delay + 15'000;  // wire + fabric
+        const std::uint64_t adaptive = policy.threshold_for_rtt(rtt);
 
-    core::mpibench::OsuConfig base{.msg_size = 16 << 10,
-                                   .window = 64,
-                                   .iterations = iters};
-    {
-      core::Testbed tb(1, delay);
-      auto cfg = base;
-      cfg.rendezvous_threshold = 8 << 10;
-      table.add("fixed-8K", x, core::mpibench::osu_bw(tb, cfg));
-    }
-    {
-      core::Testbed tb(1, delay);
-      auto cfg = base;
-      cfg.rendezvous_threshold = 64 << 10;
-      table.add("fixed-64K", x, core::mpibench::osu_bw(tb, cfg));
-    }
-    {
-      core::Testbed tb(1, delay);
-      auto cfg = base;
-      cfg.rendezvous_threshold = adaptive;
-      table.add("adaptive", x, core::mpibench::osu_bw(tb, cfg));
-    }
+        core::mpibench::OsuConfig base{.msg_size = 16 << 10,
+                                       .window = 64,
+                                       .iterations = iters};
+        {
+          core::Testbed tb(1, delay);
+          auto cfg = base;
+          cfg.rendezvous_threshold = 8 << 10;
+          rows.push_back({"fixed-8K", x, core::mpibench::osu_bw(tb, cfg)});
+        }
+        {
+          core::Testbed tb(1, delay);
+          auto cfg = base;
+          cfg.rendezvous_threshold = 64 << 10;
+          rows.push_back({"fixed-64K", x, core::mpibench::osu_bw(tb, cfg)});
+        }
+        {
+          core::Testbed tb(1, delay);
+          auto cfg = base;
+          cfg.rendezvous_threshold = adaptive;
+          rows.push_back({"adaptive", x, core::mpibench::osu_bw(tb, cfg)});
+        }
+        return rows;
+      });
+
+  core::Table table("osu_bw at 16 KB by threshold policy", "delay_us");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
+    const double x = results[i].front().x;
     std::printf("  delay %8.0fus -> adaptive threshold %llu KB\n", x,
-                static_cast<unsigned long long>(adaptive >> 10));
+                static_cast<unsigned long long>(
+                    policy.threshold_for_rtt(2 * bench::delay_grid()[i] +
+                                             15'000) >>
+                    10));
   }
   bench::finish(table, "ablation_adaptive_threshold");
   std::printf(

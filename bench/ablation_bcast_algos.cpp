@@ -59,25 +59,48 @@ int main() {
 
   const int per_cluster = 32;
   const int iters = 2 * bench::scale();
-  int part = 0;
-  for (sim::Duration delay : {100_us, 1000_us}) {
-    core::Table table(delay == 100_us ? "(a) 100us delay"
-                                      : "(b) 1000us delay",
-                      "msg_bytes");
+  const sim::Duration delays[] = {100_us, 1000_us};
+
+  // One sweep point per (delay, size); each point runs the three
+  // algorithms so their add order inside a size group is preserved.
+  struct Point {
+    int part;
+    sim::Duration delay;
+    std::uint64_t size;
+  };
+  std::vector<Point> points;
+  for (int part = 0; part < 2; ++part) {
     for (std::uint64_t size : {1u << 10, 16u << 10, 128u << 10, 1u << 20}) {
-      const double x = static_cast<double>(size);
-      table.add("binomial", x,
-                bcast_us(Algo::kBinomial, size, delay, per_cluster, iters));
-      table.add("scatter+ring", x,
-                bcast_us(Algo::kScatterRing, size, delay, per_cluster,
-                         iters));
-      table.add("hierarchical", x,
-                bcast_us(Algo::kHierarchical, size, delay, per_cluster,
-                         iters));
+      points.push_back({part, delays[part], size});
     }
-    static const char* names[] = {"ablation_bcast_100us",
-                                  "ablation_bcast_1000us"};
-    bench::finish(table, names[part++]);
+  }
+
+  bench::SweepRunner runner;
+  const auto results = runner.map(points, [&](const Point& p) {
+    bench::Rows rows;
+    const double x = static_cast<double>(p.size);
+    rows.push_back({"binomial", x,
+                    bcast_us(Algo::kBinomial, p.size, p.delay, per_cluster,
+                             iters)});
+    rows.push_back({"scatter+ring", x,
+                    bcast_us(Algo::kScatterRing, p.size, p.delay, per_cluster,
+                             iters)});
+    rows.push_back({"hierarchical", x,
+                    bcast_us(Algo::kHierarchical, p.size, p.delay,
+                             per_cluster, iters)});
+    return rows;
+  });
+
+  static const char* names[] = {"ablation_bcast_100us",
+                                "ablation_bcast_1000us"};
+  for (int part = 0; part < 2; ++part) {
+    core::Table table(part == 0 ? "(a) 100us delay" : "(b) 1000us delay",
+                      "msg_bytes");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].part != part) continue;
+      for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
+    }
+    bench::finish(table, names[part]);
   }
   return 0;
 }

@@ -21,26 +21,29 @@ int main() {
 
   const int iters = 6 * bench::scale();
   core::Table table("message rate by coalescing setting", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
+  bench::sweep_into(table, bench::delay_grid(), [&](sim::Duration delay) {
+    bench::Rows rows;
     const double x = static_cast<double>(delay) / 1000.0;
     {
       core::Testbed tb(8, delay);
-      table.add("off", x,
-                core::mpibench::multi_pair_message_rate(
-                    tb, 8,
-                    {.msg_size = 64, .window = 64, .iterations = iters}));
+      rows.push_back({"off", x,
+                      core::mpibench::multi_pair_message_rate(
+                          tb, 8,
+                          {.msg_size = 64, .window = 64,
+                           .iterations = iters})});
     }
     {
       core::Testbed tb(8, delay);
-      table.add("on", x,
-                core::mpibench::multi_pair_message_rate(
-                    tb, 8,
-                    {.msg_size = 64,
-                     .window = 64,
-                     .iterations = iters,
-                     .coalescing = true}));
+      rows.push_back({"on", x,
+                      core::mpibench::multi_pair_message_rate(
+                          tb, 8,
+                          {.msg_size = 64,
+                           .window = 64,
+                           .iterations = iters,
+                           .coalescing = true})});
     }
-  }
+    return rows;
+  });
   bench::finish(table, "ablation_coalescing");
   std::printf(
       "\nReading: a bundle occupies one transport window slot, so the\n"

@@ -43,14 +43,16 @@ int main() {
 
   const std::uint64_t file_bytes = (32ull << 20) * bench::scale();
   core::Table table("read throughput by chunk size", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
+  bench::sweep_into(table, bench::delay_grid(), [&](sim::Duration delay) {
+    bench::Rows rows;
     const double x = static_cast<double>(delay) / 1000.0;
     for (std::uint32_t chunk : {4u << 10, 16u << 10, 64u << 10,
                                 256u << 10}) {
-      table.add(std::to_string(chunk >> 10) + "K-chunks", x,
-                nfs_read_mbps(chunk, delay, file_bytes));
+      rows.push_back({std::to_string(chunk >> 10) + "K-chunks", x,
+                      nfs_read_mbps(chunk, delay, file_bytes)});
     }
-  }
+    return rows;
+  });
   bench::finish(table, "ablation_nfs_chunk");
   std::printf(
       "\nReading: the 4 KB design is latency-bound past ~100 us; 64 KB+\n"

@@ -14,7 +14,8 @@ int main() {
       "MillionBytes/s)");
 
   core::Table table("throughput by window size", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
+  bench::sweep_into(table, bench::delay_grid(), [](sim::Duration delay) {
+    bench::Rows rows;
     const double x = static_cast<double>(delay) / 1000.0;
     for (int window : {2, 4, 8, 16, 32, 64}) {
       core::Testbed tb(1, delay);
@@ -23,14 +24,14 @@ int main() {
       cfg.iterations = ib::perftest::iters_for_bytes(
           (16u << 20) * bench::scale(), cfg.msg_size, 64, 4096);
       cfg.hca.rc_max_inflight_msgs = window;
-      table.add("window-" + std::to_string(window), x,
-                ib::perftest::run_bandwidth(tb.fabric(), tb.node_a(),
-                                            tb.node_b(),
-                                            ib::perftest::Transport::kRc,
-                                            cfg)
-                    .mbytes_per_sec);
+      rows.push_back({"window-" + std::to_string(window), x,
+                      ib::perftest::run_bandwidth(
+                          tb.fabric(), tb.node_a(), tb.node_b(),
+                          ib::perftest::Transport::kRc, cfg)
+                          .mbytes_per_sec});
     }
-  }
+    return rows;
+  });
   bench::finish(table, "ablation_rc_window");
   std::printf(
       "\nReading: throughput ~ min(wire, window*64KB/RTT). Doubling the\n"

@@ -49,16 +49,20 @@ int main() {
       "(IPoIB-UD, 100 us delay, MillionBytes/s)");
 
   const std::uint64_t bytes = (16ull << 20) * bench::scale();
+  const std::vector<double> losses = {0.0, 0.001, 0.005, 0.01, 0.02};
+
   core::Table table("throughput by loss rate", "loss_pct");
-  for (double loss : {0.0, 0.001, 0.005, 0.01, 0.02}) {
+  bench::sweep_into(table, losses, [&](double loss) {
     double gbn = 0, sack = 0;
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
       gbn += throughput(false, loss, 100_us, bytes, seed) / 3.0;
       sack += throughput(true, loss, 100_us, bytes, seed) / 3.0;
     }
-    table.add("go-back-N", loss * 100.0, gbn);
-    table.add("SACK", loss * 100.0, sack);
-  }
+    bench::Rows rows;
+    rows.push_back({"go-back-N", loss * 100.0, gbn});
+    rows.push_back({"SACK", loss * 100.0, sack});
+    return rows;
+  });
   bench::finish(table, "ablation_tcp_sack");
   return 0;
 }

@@ -1,15 +1,26 @@
-// Shared bench scaffolding: the paper's delay grid, scaling control, and
-// CSV output location.
+// Shared bench scaffolding: the paper's delay grid, scaling control,
+// CSV output location, and the threaded sweep runner.
 //
 // Each bench binary regenerates one table or figure of the paper. By
 // default the per-point transfer volumes are sized for quick runs;
 // setting IBWAN_FULL=1 in the environment multiplies the measured
 // volume (more iterations, tighter statistics, same shapes).
+//
+// Sweeps fan out across a thread pool (SweepRunner). Every grid point
+// owns its own Simulator seeded identically to a serial run, and rows
+// are merged back in grid order, so the CSVs are bit-for-bit identical
+// at any thread count — threading only changes wall-clock time. Set
+// IBWAN_THREADS to override the pool size (IBWAN_THREADS=1 forces a
+// serial sweep).
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/calibration.hpp"
@@ -32,6 +43,103 @@ inline std::string delay_label(sim::Duration d) {
 inline int scale() {
   const char* full = std::getenv("IBWAN_FULL");
   return (full != nullptr && full[0] == '1') ? 8 : 1;
+}
+
+/// One (series, x, y) measurement produced inside a sweep worker.
+struct Row {
+  std::string series;
+  double x;
+  double y;
+};
+using Rows = std::vector<Row>;
+
+/// Fans independent measurement points across a std::thread pool.
+///
+/// Determinism: workers never touch shared state — each point builds its
+/// own Testbed/Simulator — and map() stores result i in slot i, so the
+/// merged output is identical to a serial run regardless of thread count
+/// or completion order.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int threads = default_threads()) : threads_(threads) {}
+
+  /// Pool size: IBWAN_THREADS if set, else hardware concurrency.
+  static int default_threads() {
+    if (const char* env = std::getenv("IBWAN_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? static_cast<int>(hw) : 1;
+  }
+
+  /// Runs fn(i) for each i in [0, n), distributing i across the pool.
+  template <class Fn>
+  void for_each(std::size_t n, Fn&& fn) const {
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(work);
+    work();
+    for (auto& th : pool) th.join();
+  }
+
+  /// Maps points to fn(point) concurrently, preserving input order.
+  template <class T, class Fn>
+  auto map(const std::vector<T>& points, Fn&& fn) const {
+    using R = std::invoke_result_t<Fn&, const T&>;
+    std::vector<R> out(points.size());
+    for_each(points.size(), [&](std::size_t i) { out[i] = fn(points[i]); });
+    return out;
+  }
+
+ private:
+  int threads_;
+};
+
+/// A (delay, seed) sweep point for multi-seed repetitions of the grid.
+struct SweepPoint {
+  sim::Duration delay;
+  std::uint64_t seed;
+};
+
+/// The delay grid crossed with `seeds` repetition seeds (42, 43, ...),
+/// delay-major so merged output groups repetitions per delay.
+inline std::vector<SweepPoint> delay_seed_grid(int seeds = 1,
+                                               std::uint64_t first_seed = 42) {
+  std::vector<SweepPoint> points;
+  for (sim::Duration d : delay_grid()) {
+    for (int s = 0; s < seeds; ++s) {
+      points.push_back({d, first_seed + static_cast<std::uint64_t>(s)});
+    }
+  }
+  return points;
+}
+
+/// Appends per-point row batches to `table` in grid order.
+inline void add_rows(core::Table& table, const std::vector<Rows>& per_point) {
+  for (const auto& rows : per_point) {
+    for (const auto& r : rows) table.add(r.series, r.x, r.y);
+  }
+}
+
+/// Maps each point to a Rows batch on the pool, then fills the table in
+/// deterministic grid order.
+template <class T, class Fn>
+void sweep_into(core::Table& table, const std::vector<T>& points, Fn&& fn) {
+  SweepRunner runner;
+  add_rows(table, runner.map(points, std::forward<Fn>(fn)));
 }
 
 /// Writes the CSV next to the binary's working directory.

@@ -24,24 +24,45 @@ int main() {
       {"(c) 10ms delay", 10'000_us},
   };
 
-  int part = 0;
-  for (const auto& [title, delay] : delays) {
-    core::Table table(title, "msg_bytes");
+  // One sweep point per (delay, pair-count) curve; each point measures
+  // the full size axis so merged rows land in the original add order.
+  struct Point {
+    int part;
+    sim::Duration delay;
+    int pairs;
+  };
+  std::vector<Point> points;
+  for (int part = 0; part < 3; ++part) {
     for (int pairs : {4, 8, 16}) {
-      for (std::uint64_t size : sizes) {
-        core::Testbed tb(pairs, delay);
-        const int iters =
-            std::max(2, (size <= 1024 ? 8 : 4) * bench::scale() / 2);
-        const double rate = core::mpibench::multi_pair_message_rate(
-            tb, pairs,
-            {.msg_size = size, .window = 64, .iterations = iters});
-        table.add(std::to_string(pairs) + "-pairs",
-                  static_cast<double>(size), rate);
-      }
+      points.push_back({part, delays[part].second, pairs});
     }
-    static const char* names[] = {"fig10a_rate_10us", "fig10b_rate_1ms",
-                                  "fig10c_rate_10ms"};
-    bench::finish(table, names[part++]);
+  }
+
+  bench::SweepRunner runner;
+  const auto results = runner.map(points, [&](const Point& p) {
+    bench::Rows rows;
+    for (std::uint64_t size : sizes) {
+      core::Testbed tb(p.pairs, p.delay);
+      const int iters =
+          std::max(2, (size <= 1024 ? 8 : 4) * bench::scale() / 2);
+      const double rate = core::mpibench::multi_pair_message_rate(
+          tb, p.pairs,
+          {.msg_size = size, .window = 64, .iterations = iters});
+      rows.push_back({std::to_string(p.pairs) + "-pairs",
+                      static_cast<double>(size), rate});
+    }
+    return rows;
+  });
+
+  static const char* names[] = {"fig10a_rate_10us", "fig10b_rate_1ms",
+                                "fig10c_rate_10ms"};
+  for (int part = 0; part < 3; ++part) {
+    core::Table table(delays[part].first, "msg_bytes");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].part != part) continue;
+      for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
+    }
+    bench::finish(table, names[part]);
   }
   return 0;
 }

@@ -29,32 +29,53 @@ int main() {
       {"(c) 1000us delay", 1000_us},
   };
 
-  int part = 0;
-  for (const auto& [title, delay] : delays) {
-    core::Table table(title, "msg_bytes");
+  // One sweep point per (delay, size) pair; each point measures both
+  // algorithms so the Original/Modified add order is preserved.
+  struct Point {
+    int part;
+    sim::Duration delay;
+    std::uint64_t size;
+  };
+  std::vector<Point> points;
+  for (int part = 0; part < 3; ++part) {
     for (std::uint64_t size : sizes) {
-      {
-        core::Testbed tb(per_cluster, delay);
-        table.add("Original", static_cast<double>(size),
-                  core::mpibench::bcast_latency_us(
-                      tb, {.ranks_per_cluster = per_cluster,
-                           .msg_size = size,
-                           .iterations = iters,
-                           .hierarchical = false}));
-      }
-      {
-        core::Testbed tb(per_cluster, delay);
-        table.add("Modified", static_cast<double>(size),
-                  core::mpibench::bcast_latency_us(
-                      tb, {.ranks_per_cluster = per_cluster,
-                           .msg_size = size,
-                           .iterations = iters,
-                           .hierarchical = true}));
-      }
+      points.push_back({part, delays[part].second, size});
     }
-    static const char* names[] = {"fig11a_bcast_10us", "fig11b_bcast_100us",
-                                  "fig11c_bcast_1000us"};
-    bench::finish(table, names[part++]);
+  }
+
+  bench::SweepRunner runner;
+  const auto results = runner.map(points, [&](const Point& p) {
+    bench::Rows rows;
+    {
+      core::Testbed tb(per_cluster, p.delay);
+      rows.push_back({"Original", static_cast<double>(p.size),
+                      core::mpibench::bcast_latency_us(
+                          tb, {.ranks_per_cluster = per_cluster,
+                               .msg_size = p.size,
+                               .iterations = iters,
+                               .hierarchical = false})});
+    }
+    {
+      core::Testbed tb(per_cluster, p.delay);
+      rows.push_back({"Modified", static_cast<double>(p.size),
+                      core::mpibench::bcast_latency_us(
+                          tb, {.ranks_per_cluster = per_cluster,
+                               .msg_size = p.size,
+                               .iterations = iters,
+                               .hierarchical = true})});
+    }
+    return rows;
+  });
+
+  static const char* names[] = {"fig11a_bcast_10us", "fig11b_bcast_100us",
+                                "fig11c_bcast_1000us"};
+  for (int part = 0; part < 3; ++part) {
+    core::Table table(delays[part].first, "msg_bytes");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].part != part) continue;
+      for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
+    }
+    bench::finish(table, names[part]);
   }
   return 0;
 }

@@ -21,25 +21,38 @@ int main() {
   const int per_cluster = 32;
   const int iters = bench::scale() > 1 ? 4 : 2;
   apps::NasConfig cfg{.cls = apps::NasClass::kB, .iterations = iters};
-  const apps::NasBenchmark benches[] = {
+  const std::vector<apps::NasBenchmark> benches = {
       apps::make_is(cfg), apps::make_ft(cfg), apps::make_cg(cfg),
       apps::make_mg(cfg), apps::make_ep(cfg), apps::make_lu(cfg),
       apps::make_bt(cfg)};
 
-  core::Table runtime("projected runtime (s)", "delay_us");
-  core::Table ratio("runtime ratio vs 0-delay", "delay_us");
-  for (const auto& bench : benches) {
+  // One sweep point per benchmark: the point walks the whole delay grid
+  // so the 0-delay base for the ratio stays local to the worker.
+  struct BenchResult {
+    bench::Rows runtime, ratio;
+  };
+  bench::SweepRunner runner;
+  const auto results = runner.map(benches, [&](const apps::NasBenchmark& b) {
+    BenchResult r;
     double base = 0;
     for (sim::Duration delay : bench::delay_grid()) {
       core::Testbed tb(per_cluster, delay);
       mpi::Job job(tb.fabric(),
                    mpi::Job::split_placement(tb.fabric(), per_cluster));
-      const double secs = apps::run_nas(job, bench);
+      const double secs = apps::run_nas(job, b);
       if (delay == 0) base = secs;
-      runtime.add(bench.name, static_cast<double>(delay) / 1000.0, secs);
-      ratio.add(bench.name, static_cast<double>(delay) / 1000.0,
-                base > 0 ? secs / base : 0.0);
+      const double x = static_cast<double>(delay) / 1000.0;
+      r.runtime.push_back({b.name, x, secs});
+      r.ratio.push_back({b.name, x, base > 0 ? secs / base : 0.0});
     }
+    return r;
+  });
+
+  core::Table runtime("projected runtime (s)", "delay_us");
+  core::Table ratio("runtime ratio vs 0-delay", "delay_us");
+  for (const auto& r : results) {
+    for (const auto& row : r.runtime) runtime.add(row.series, row.x, row.y);
+    for (const auto& row : r.ratio) ratio.add(row.series, row.x, row.y);
   }
   bench::finish(runtime, "fig12_nas_runtime");
   ratio.print("%12.3f");

@@ -36,39 +36,53 @@ int main() {
       "(MillionBytes/s)");
 
   const std::uint64_t file_bytes = (64ull << 20) * bench::scale();
-  const int threads_grid[] = {1, 2, 4, 8};
+  const std::vector<int> threads_grid = {1, 2, 4, 8};
 
   core::Table a("(a) NFS/RDMA: LAN and WAN delays", "threads");
-  for (int threads : threads_grid) {
-    a.add("LAN", threads,
-          read_bw(Transport::kRdma, 0, /*lan=*/true, threads, file_bytes));
+  bench::sweep_into(a, threads_grid, [&](int threads) {
+    bench::Rows rows;
+    rows.push_back(
+        {"LAN", static_cast<double>(threads),
+         read_bw(Transport::kRdma, 0, /*lan=*/true, threads, file_bytes)});
     for (sim::Duration d : {sim::Duration{0}, 100_us, 1000_us, 10'000_us}) {
-      a.add(bench::delay_label(d), threads,
-            read_bw(Transport::kRdma, d, false, threads, file_bytes));
+      rows.push_back(
+          {bench::delay_label(d), static_cast<double>(threads),
+           read_bw(Transport::kRdma, d, false, threads, file_bytes)});
     }
-  }
+    return rows;
+  });
   bench::finish(a, "fig13a_nfs_rdma");
 
   core::Table b("(b) transports at 100 us delay", "threads");
-  for (int threads : threads_grid) {
-    b.add("RDMA", threads,
-          read_bw(Transport::kRdma, 100_us, false, threads, file_bytes));
-    b.add("IPoIB-RC", threads,
-          read_bw(Transport::kIpoibRc, 100_us, false, threads, file_bytes));
-    b.add("IPoIB-UD", threads,
-          read_bw(Transport::kIpoibUd, 100_us, false, threads, file_bytes));
-  }
+  bench::sweep_into(b, threads_grid, [&](int threads) {
+    bench::Rows rows;
+    rows.push_back(
+        {"RDMA", static_cast<double>(threads),
+         read_bw(Transport::kRdma, 100_us, false, threads, file_bytes)});
+    rows.push_back(
+        {"IPoIB-RC", static_cast<double>(threads),
+         read_bw(Transport::kIpoibRc, 100_us, false, threads, file_bytes)});
+    rows.push_back(
+        {"IPoIB-UD", static_cast<double>(threads),
+         read_bw(Transport::kIpoibUd, 100_us, false, threads, file_bytes)});
+    return rows;
+  });
   bench::finish(b, "fig13b_nfs_100us");
 
   core::Table c("(c) transports at 1000 us delay", "threads");
-  for (int threads : threads_grid) {
-    c.add("RDMA", threads,
-          read_bw(Transport::kRdma, 1000_us, false, threads, file_bytes));
-    c.add("IPoIB-RC", threads,
-          read_bw(Transport::kIpoibRc, 1000_us, false, threads, file_bytes));
-    c.add("IPoIB-UD", threads,
-          read_bw(Transport::kIpoibUd, 1000_us, false, threads, file_bytes));
-  }
+  bench::sweep_into(c, threads_grid, [&](int threads) {
+    bench::Rows rows;
+    rows.push_back(
+        {"RDMA", static_cast<double>(threads),
+         read_bw(Transport::kRdma, 1000_us, false, threads, file_bytes)});
+    rows.push_back(
+        {"IPoIB-RC", static_cast<double>(threads),
+         read_bw(Transport::kIpoibRc, 1000_us, false, threads, file_bytes)});
+    rows.push_back(
+        {"IPoIB-UD", static_cast<double>(threads),
+         read_bw(Transport::kIpoibUd, 1000_us, false, threads, file_bytes)});
+    return rows;
+  });
   bench::finish(c, "fig13c_nfs_1000us");
   return 0;
 }

@@ -38,19 +38,27 @@ int main() {
       "back-to-back");
 
   const int iters = 200 * bench::scale();
+  const std::vector<std::uint32_t> sizes = {1u, 8u, 64u, 256u, 1024u};
+
   core::Table table("one-way latency (us) by message size", "msg_bytes");
-  for (std::uint32_t size : {1u, 8u, 64u, 256u, 1024u}) {
-    table.add("SendRecv/UD", size,
-              through_longbows(Transport::kUd, Op::kSendRecv, size, iters));
-    table.add("SendRecv/RC", size,
-              through_longbows(Transport::kRc, Op::kSendRecv, size, iters));
-    table.add("RDMAWrite/RC", size,
-              through_longbows(Transport::kRc, Op::kRdmaWrite, size, iters));
-    table.add("BackToBack-SR/RC", size,
-              back_to_back(Transport::kRc, Op::kSendRecv, size, iters));
-    table.add("BackToBack-Write/RC", size,
-              back_to_back(Transport::kRc, Op::kRdmaWrite, size, iters));
-  }
+  bench::sweep_into(table, sizes, [&](std::uint32_t size) {
+    bench::Rows rows;
+    rows.push_back({"SendRecv/UD", static_cast<double>(size),
+                    through_longbows(Transport::kUd, Op::kSendRecv, size,
+                                     iters)});
+    rows.push_back({"SendRecv/RC", static_cast<double>(size),
+                    through_longbows(Transport::kRc, Op::kSendRecv, size,
+                                     iters)});
+    rows.push_back({"RDMAWrite/RC", static_cast<double>(size),
+                    through_longbows(Transport::kRc, Op::kRdmaWrite, size,
+                                     iters)});
+    rows.push_back({"BackToBack-SR/RC", static_cast<double>(size),
+                    back_to_back(Transport::kRc, Op::kSendRecv, size, iters)});
+    rows.push_back({"BackToBack-Write/RC", static_cast<double>(size),
+                    back_to_back(Transport::kRc, Op::kRdmaWrite, size,
+                                 iters)});
+    return rows;
+  });
   bench::finish(table, "fig3_verbs_latency");
   return 0;
 }

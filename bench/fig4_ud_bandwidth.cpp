@@ -14,30 +14,44 @@ using ib::perftest::Transport;
 int main() {
   core::banner("Figure 4: Verbs-level throughput using UD (MillionBytes/s)");
 
+  struct DelayResult {
+    bench::Rows uni, bidir;
+  };
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [](sim::Duration delay) {
+        DelayResult r;
+        const std::string label = bench::delay_label(delay);
+        for (std::uint32_t size : {2u, 16u, 128u, 512u, 1024u, 2048u}) {
+          const int iters = ib::perftest::iters_for_bytes(
+              (4u << 20) * bench::scale(), size, 256, 8192);
+          {
+            core::Testbed tb(1, delay);
+            r.uni.push_back(
+                {label, static_cast<double>(size),
+                 ib::perftest::run_bandwidth(
+                     tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
+                     {.msg_size = size, .iterations = iters})
+                     .mbytes_per_sec});
+          }
+          {
+            core::Testbed tb(1, delay);
+            r.bidir.push_back(
+                {label, static_cast<double>(size),
+                 ib::perftest::run_bidir_bandwidth(
+                     tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
+                     {.msg_size = size, .iterations = iters})
+                     .mbytes_per_sec});
+          }
+        }
+        return r;
+      });
+
   core::Table uni("(a) UD bandwidth", "msg_bytes");
   core::Table bidir("(b) UD bidirectional bandwidth", "msg_bytes");
-  for (sim::Duration delay : bench::delay_grid()) {
-    const std::string label = bench::delay_label(delay);
-    for (std::uint32_t size : {2u, 16u, 128u, 512u, 1024u, 2048u}) {
-      const int iters = ib::perftest::iters_for_bytes(
-          (4u << 20) * bench::scale(), size, 256, 8192);
-      {
-        core::Testbed tb(1, delay);
-        uni.add(label, size,
-                ib::perftest::run_bandwidth(
-                    tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
-                    {.msg_size = size, .iterations = iters})
-                    .mbytes_per_sec);
-      }
-      {
-        core::Testbed tb(1, delay);
-        bidir.add(label, size,
-                  ib::perftest::run_bidir_bandwidth(
-                      tb.fabric(), tb.node_a(), tb.node_b(), Transport::kUd,
-                      {.msg_size = size, .iterations = iters})
-                      .mbytes_per_sec);
-      }
-    }
+  for (const auto& r : results) {
+    for (const auto& row : r.uni) uni.add(row.series, row.x, row.y);
+    for (const auto& row : r.bidir) bidir.add(row.series, row.x, row.y);
   }
   bench::finish(uni, "fig4a_ud_bw");
   bench::finish(bidir, "fig4b_ud_bibw");

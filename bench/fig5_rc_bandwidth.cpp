@@ -19,30 +19,44 @@ int main() {
       1u << 10, 4u << 10, 16u << 10, 64u << 10,
       256u << 10, 1u << 20, 4u << 20};
 
+  struct DelayResult {
+    bench::Rows uni, bidir;
+  };
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [&](sim::Duration delay) {
+        DelayResult r;
+        const std::string label = bench::delay_label(delay);
+        for (std::uint32_t size : sizes) {
+          const int iters = ib::perftest::iters_for_bytes(
+              (32u << 20) * bench::scale(), size, 32, 4096);
+          {
+            core::Testbed tb(1, delay);
+            r.uni.push_back(
+                {label, static_cast<double>(size),
+                 ib::perftest::run_bandwidth(
+                     tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
+                     {.msg_size = size, .iterations = iters})
+                     .mbytes_per_sec});
+          }
+          {
+            core::Testbed tb(1, delay);
+            r.bidir.push_back(
+                {label, static_cast<double>(size),
+                 ib::perftest::run_bidir_bandwidth(
+                     tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
+                     {.msg_size = size, .iterations = iters})
+                     .mbytes_per_sec});
+          }
+        }
+        return r;
+      });
+
   core::Table uni("(a) RC bandwidth", "msg_bytes");
   core::Table bidir("(b) RC bidirectional bandwidth", "msg_bytes");
-  for (sim::Duration delay : bench::delay_grid()) {
-    const std::string label = bench::delay_label(delay);
-    for (std::uint32_t size : sizes) {
-      const int iters = ib::perftest::iters_for_bytes(
-          (32u << 20) * bench::scale(), size, 32, 4096);
-      {
-        core::Testbed tb(1, delay);
-        uni.add(label, size,
-                ib::perftest::run_bandwidth(
-                    tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
-                    {.msg_size = size, .iterations = iters})
-                    .mbytes_per_sec);
-      }
-      {
-        core::Testbed tb(1, delay);
-        bidir.add(label, size,
-                  ib::perftest::run_bidir_bandwidth(
-                      tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
-                      {.msg_size = size, .iterations = iters})
-                      .mbytes_per_sec);
-      }
-    }
+  for (const auto& r : results) {
+    for (const auto& row : r.uni) uni.add(row.series, row.x, row.y);
+    for (const auto& row : r.bidir) bidir.add(row.series, row.x, row.y);
   }
   bench::finish(uni, "fig5a_rc_bw");
   bench::finish(bidir, "fig5b_rc_bibw");

@@ -16,39 +16,49 @@ int main() {
 
   const std::uint64_t volume = (24ull << 20) * bench::scale();
 
-  core::Table single("(a) single stream, window sweep", "delay_us");
-  const std::pair<const char*, std::uint32_t> windows[] = {
-      {"64k-window", 64u << 10},
-      {"256k-window", 256u << 10},
-      {"512k-window", 512u << 10},
-      {"default(1M)", 1u << 20},
+  struct DelayResult {
+    bench::Rows single, parallel;
   };
-  for (sim::Duration delay : bench::delay_grid()) {
-    for (const auto& [name, wnd] : windows) {
-      core::Testbed tb(1, delay);
-      const double mbps = core::tcpbench::tcp_throughput(
-          tb, {.device = core::ipoib_ud(),
-               .tcp = core::tcp_window(wnd),
-               .streams = 1,
-               .bytes_per_stream = volume});
-      single.add(name, static_cast<double>(delay) / 1000.0, mbps);
-    }
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [&](sim::Duration delay) {
+        DelayResult r;
+        const double x = static_cast<double>(delay) / 1000.0;
+        const std::pair<const char*, std::uint32_t> windows[] = {
+            {"64k-window", 64u << 10},
+            {"256k-window", 256u << 10},
+            {"512k-window", 512u << 10},
+            {"default(1M)", 1u << 20},
+        };
+        for (const auto& [name, wnd] : windows) {
+          core::Testbed tb(1, delay);
+          r.single.push_back({name, x,
+                              core::tcpbench::tcp_throughput(
+                                  tb, {.device = core::ipoib_ud(),
+                                       .tcp = core::tcp_window(wnd),
+                                       .streams = 1,
+                                       .bytes_per_stream = volume})});
+        }
+        for (int streams : {1, 2, 4, 6, 8}) {
+          core::Testbed tb(1, delay);
+          r.parallel.push_back(
+              {std::to_string(streams) + "-streams", x,
+               core::tcpbench::tcp_throughput(
+                   tb, {.device = core::ipoib_ud(),
+                        .tcp = core::tcp_window(1u << 20),
+                        .streams = streams,
+                        .bytes_per_stream = volume / streams})});
+        }
+        return r;
+      });
+
+  core::Table single("(a) single stream, window sweep", "delay_us");
+  core::Table parallel("(b) parallel streams, default window", "delay_us");
+  for (const auto& r : results) {
+    for (const auto& row : r.single) single.add(row.series, row.x, row.y);
+    for (const auto& row : r.parallel) parallel.add(row.series, row.x, row.y);
   }
   bench::finish(single, "fig6a_ipoib_ud_window");
-
-  core::Table parallel("(b) parallel streams, default window", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
-    for (int streams : {1, 2, 4, 6, 8}) {
-      core::Testbed tb(1, delay);
-      const double mbps = core::tcpbench::tcp_throughput(
-          tb, {.device = core::ipoib_ud(),
-               .tcp = core::tcp_window(1u << 20),
-               .streams = streams,
-               .bytes_per_stream = volume / streams});
-      parallel.add(std::to_string(streams) + "-streams",
-                   static_cast<double>(delay) / 1000.0, mbps);
-    }
-  }
   bench::finish(parallel, "fig6b_ipoib_ud_streams");
   return 0;
 }

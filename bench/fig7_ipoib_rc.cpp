@@ -17,38 +17,48 @@ int main() {
 
   const std::uint64_t volume = (48ull << 20) * bench::scale();
 
-  core::Table single("(a) single stream, MTU sweep", "delay_us");
-  const std::pair<const char*, std::uint32_t> mtus[] = {
-      {"2K-MTU", 2044u},
-      {"16K-MTU", 16u << 10},
-      {"64K-MTU", ipoib::kConnectedIpMtu},
+  struct DelayResult {
+    bench::Rows single, parallel;
   };
-  for (sim::Duration delay : bench::delay_grid()) {
-    for (const auto& [name, mtu] : mtus) {
-      core::Testbed tb(1, delay);
-      const double mbps = core::tcpbench::tcp_throughput(
-          tb, {.device = core::ipoib_rc(mtu),
-               .tcp = core::tcp_window(1u << 20),
-               .streams = 1,
-               .bytes_per_stream = volume});
-      single.add(name, static_cast<double>(delay) / 1000.0, mbps);
-    }
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [&](sim::Duration delay) {
+        DelayResult r;
+        const double x = static_cast<double>(delay) / 1000.0;
+        const std::pair<const char*, std::uint32_t> mtus[] = {
+            {"2K-MTU", 2044u},
+            {"16K-MTU", 16u << 10},
+            {"64K-MTU", ipoib::kConnectedIpMtu},
+        };
+        for (const auto& [name, mtu] : mtus) {
+          core::Testbed tb(1, delay);
+          r.single.push_back({name, x,
+                              core::tcpbench::tcp_throughput(
+                                  tb, {.device = core::ipoib_rc(mtu),
+                                       .tcp = core::tcp_window(1u << 20),
+                                       .streams = 1,
+                                       .bytes_per_stream = volume})});
+        }
+        for (int streams : {1, 2, 4, 6, 8}) {
+          core::Testbed tb(1, delay);
+          r.parallel.push_back(
+              {std::to_string(streams) + "-streams", x,
+               core::tcpbench::tcp_throughput(
+                   tb, {.device = core::ipoib_rc(ipoib::kConnectedIpMtu),
+                        .tcp = core::tcp_window(1u << 20),
+                        .streams = streams,
+                        .bytes_per_stream = volume / streams})});
+        }
+        return r;
+      });
+
+  core::Table single("(a) single stream, MTU sweep", "delay_us");
+  core::Table parallel("(b) parallel streams, 64K MTU", "delay_us");
+  for (const auto& r : results) {
+    for (const auto& row : r.single) single.add(row.series, row.x, row.y);
+    for (const auto& row : r.parallel) parallel.add(row.series, row.x, row.y);
   }
   bench::finish(single, "fig7a_ipoib_rc_mtu");
-
-  core::Table parallel("(b) parallel streams, 64K MTU", "delay_us");
-  for (sim::Duration delay : bench::delay_grid()) {
-    for (int streams : {1, 2, 4, 6, 8}) {
-      core::Testbed tb(1, delay);
-      const double mbps = core::tcpbench::tcp_throughput(
-          tb, {.device = core::ipoib_rc(ipoib::kConnectedIpMtu),
-               .tcp = core::tcp_window(1u << 20),
-               .streams = streams,
-               .bytes_per_stream = volume / streams});
-      parallel.add(std::to_string(streams) + "-streams",
-                   static_cast<double>(delay) / 1000.0, mbps);
-    }
-  }
   bench::finish(parallel, "fig7b_ipoib_rc_streams");
   return 0;
 }

@@ -19,30 +19,43 @@ int main() {
       1u << 10, 4u << 10, 16u << 10, 64u << 10,
       256u << 10, 1u << 20, 4u << 20};
 
+  struct DelayResult {
+    bench::Rows uni, bidir;
+  };
+  bench::SweepRunner runner;
+  const auto results =
+      runner.map(bench::delay_grid(), [&](sim::Duration delay) {
+        DelayResult r;
+        const std::string label = bench::delay_label(delay);
+        for (std::uint64_t size : sizes) {
+          const int window = size >= (1u << 20) ? 16 : 64;
+          const int iters =
+              std::max<int>(2, static_cast<int>(((8u << 20) * bench::scale()) /
+                                                (size * window)));
+          {
+            core::Testbed tb(1, delay);
+            r.uni.push_back({label, static_cast<double>(size),
+                             core::mpibench::osu_bw(tb, {.msg_size = size,
+                                                         .window = window,
+                                                         .iterations = iters})});
+          }
+          {
+            core::Testbed tb(1, delay);
+            r.bidir.push_back(
+                {label, static_cast<double>(size),
+                 core::mpibench::osu_bibw(tb, {.msg_size = size,
+                                               .window = window,
+                                               .iterations = iters})});
+          }
+        }
+        return r;
+      });
+
   core::Table uni("(a) MPI bandwidth", "msg_bytes");
   core::Table bidir("(b) MPI bidirectional bandwidth", "msg_bytes");
-  for (sim::Duration delay : bench::delay_grid()) {
-    const std::string label = bench::delay_label(delay);
-    for (std::uint64_t size : sizes) {
-      const int window = size >= (1u << 20) ? 16 : 64;
-      const int iters =
-          std::max<int>(2, static_cast<int>(((8u << 20) * bench::scale()) /
-                                            (size * window)));
-      {
-        core::Testbed tb(1, delay);
-        uni.add(label, static_cast<double>(size),
-                core::mpibench::osu_bw(tb, {.msg_size = size,
-                                            .window = window,
-                                            .iterations = iters}));
-      }
-      {
-        core::Testbed tb(1, delay);
-        bidir.add(label, static_cast<double>(size),
-                  core::mpibench::osu_bibw(tb, {.msg_size = size,
-                                                .window = window,
-                                                .iterations = iters}));
-      }
-    }
+  for (const auto& r : results) {
+    for (const auto& row : r.uni) uni.add(row.series, row.x, row.y);
+    for (const auto& row : r.bidir) bidir.add(row.series, row.x, row.y);
   }
   bench::finish(uni, "fig8a_mpi_bw");
   bench::finish(bidir, "fig8b_mpi_bibw");

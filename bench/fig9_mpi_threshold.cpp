@@ -28,45 +28,53 @@ int main() {
 
   core::Table uni("(a) bandwidth, original vs tuned threshold",
                   "msg_bytes");
-  for (std::uint64_t size : {1u << 10, 2u << 10, 4u << 10, 8u << 10,
-                             16u << 10, 32u << 10}) {
+  const std::vector<std::uint64_t> uni_sizes = {
+      1u << 10, 2u << 10, 4u << 10, 8u << 10, 16u << 10, 32u << 10};
+  bench::sweep_into(uni, uni_sizes, [&](std::uint64_t size) {
+    bench::Rows rows;
     {
       core::Testbed tb(1, delay);
-      uni.add("original(8K)", static_cast<double>(size),
-              core::mpibench::osu_bw(
-                  tb, {.msg_size = size, .window = 64, .iterations = iters}));
+      rows.push_back(
+          {"original(8K)", static_cast<double>(size),
+           core::mpibench::osu_bw(
+               tb, {.msg_size = size, .window = 64, .iterations = iters})});
     }
     {
       core::Testbed tb(1, delay);
-      uni.add("tuned(64K)", static_cast<double>(size),
-              core::mpibench::osu_bw(tb, {.msg_size = size,
-                                          .window = 64,
-                                          .iterations = iters,
-                                          .rendezvous_threshold = 64u << 10}));
+      rows.push_back(
+          {"tuned(64K)", static_cast<double>(size),
+           core::mpibench::osu_bw(tb, {.msg_size = size,
+                                       .window = 64,
+                                       .iterations = iters,
+                                       .rendezvous_threshold = 64u << 10})});
     }
-  }
+    return rows;
+  });
   bench::finish(uni, "fig9a_mpi_threshold_bw");
 
   core::Table bidir("(b) bidirectional bandwidth, thresh-8K vs thresh-64K",
                     "msg_bytes");
-  for (std::uint64_t size :
-       {4u << 10, 8u << 10, 16u << 10, 32u << 10, 64u << 10}) {
+  const std::vector<std::uint64_t> bidir_sizes = {
+      4u << 10, 8u << 10, 16u << 10, 32u << 10, 64u << 10};
+  bench::sweep_into(bidir, bidir_sizes, [&](std::uint64_t size) {
+    bench::Rows rows;
     {
       core::Testbed tb(1, delay);
-      bidir.add("thresh-8k", static_cast<double>(size),
-                core::mpibench::osu_bibw(
-                    tb, {.msg_size = size, .window = 64,
-                         .iterations = iters}));
+      rows.push_back({"thresh-8k", static_cast<double>(size),
+                      core::mpibench::osu_bibw(
+                          tb, {.msg_size = size, .window = 64,
+                               .iterations = iters})});
     }
     {
       core::Testbed tb(1, delay);
-      bidir.add("thresh-64k", static_cast<double>(size),
-                core::mpibench::osu_bibw(
-                    tb, {.msg_size = size, .window = 64,
-                         .iterations = iters,
-                         .rendezvous_threshold = 64u << 10}));
+      rows.push_back({"thresh-64k", static_cast<double>(size),
+                      core::mpibench::osu_bibw(
+                          tb, {.msg_size = size, .window = 64,
+                               .iterations = iters,
+                               .rendezvous_threshold = 64u << 10})});
     }
-  }
+    return rows;
+  });
   bench::finish(bidir, "fig9b_mpi_threshold_bibw");
   return 0;
 }

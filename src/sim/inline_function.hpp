@@ -1,0 +1,162 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// The event loop schedules millions of short-lived callbacks whose
+// captures are almost always a node pointer plus a couple of integers.
+// std::function copies that pattern fine, but its type-erased storage is
+// moved through the priority queue on every sift and falls back to the
+// heap for captures past ~16 bytes. InlineFunction gives the engine a
+// callable that (a) stores any capture up to kInlineCapacity bytes in
+// place — no allocation on the schedule hot path — and (b) is move-only,
+// so captures holding unique_ptr or other move-only state schedule
+// directly without shared_ptr wrapping.
+//
+// Callables larger than the buffer (or with stronger alignment than
+// max_align_t, or throwing moves) degrade gracefully to a single heap
+// allocation; behaviour is identical either way.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ibwan::sim {
+
+class InlineFunction {
+ public:
+  /// Sized for the library's common captures: a `this` pointer, a
+  /// shared_ptr payload, and a few 64-bit ids fit without allocating.
+  /// 48 + the vtable pointer keeps sizeof(InlineFunction) at 56, so an
+  /// event slot (8 bytes of header + callback) is exactly a cache line.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  /// Captures needing over-aligned storage (> 8) take the heap path;
+  /// none of the simulator's callbacks do, and the relaxed alignment is
+  /// what keeps the object — and the event slots built around it — from
+  /// padding out to 64+16 bytes.
+  static constexpr std::size_t kInlineAlign = 8;
+
+  InlineFunction() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  /// Constructs the callable directly in this object's storage (the
+  /// scheduling hot path: captures are written straight into the event
+  /// slot, never moved through a temporary).
+  template <class F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kVTable<D, /*Inline=*/true>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      vt_ = &kVTable<D, /*Inline=*/false>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { take(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      take(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  /// Destroys the held callable (and its captures), leaving *this empty.
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// True when the held callable lives in the inline buffer (test hook).
+  bool is_inline() const noexcept { return vt_ != nullptr && vt_->inline_storage; }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-constructs src's callable into dst and destroys src's.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+    // Relocation is a plain byte copy (trivially-copyable inline capture,
+    // or the heap pointer itself): take() skips the indirect call.
+    bool trivial_relocate;
+  };
+
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineCapacity && alignof(D) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <class D, bool Inline>
+  struct Ops {
+    static void invoke(void* p) {
+      if constexpr (Inline) {
+        (*static_cast<D*>(p))();
+      } else {
+        (**static_cast<D**>(p))();
+      }
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      if constexpr (Inline) {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      } else {
+        // Heap case: ownership transfers by moving the pointer itself.
+        ::new (dst) D*(*static_cast<D**>(src));
+      }
+    }
+    static void destroy(void* p) noexcept {
+      if constexpr (Inline) {
+        static_cast<D*>(p)->~D();
+      } else {
+        delete *static_cast<D**>(p);
+      }
+    }
+  };
+
+  template <class D, bool Inline>
+  static constexpr VTable kVTable{
+      &Ops<D, Inline>::invoke, &Ops<D, Inline>::relocate,
+      &Ops<D, Inline>::destroy, Inline,
+      /*trivial_relocate=*/!Inline || std::is_trivially_copyable_v<D>};
+
+  void take(InlineFunction& other) noexcept {
+    vt_ = other.vt_;
+    if (vt_ != nullptr) {
+      if (vt_->trivial_relocate) {
+        __builtin_memcpy(buf_, other.buf_, kInlineCapacity);
+      } else {
+        vt_->relocate(other.buf_, buf_);
+      }
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineCapacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace ibwan::sim

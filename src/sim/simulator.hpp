@@ -4,27 +4,52 @@
 // callbacks; ties are broken by insertion order so runs are fully
 // deterministic. Everything in the library (links, HCAs, TCP timers,
 // MPI progress) is driven by this one clock.
+//
+// Two structures back the queue, both feeding off one slot pool that
+// stores the callbacks:
+//
+//   - an indexed 4-ary min-heap over (time, seq) for future events.
+//     Heap entries are 16-byte PODs (time, seq|slot packed), so the four
+//     children scanned per sift level share one cache line and sifting
+//     never moves a callback. Each slot records its heap position, so
+//     cancel() removes the event in place in O(log n) — no tombstone
+//     set, no deferred garbage — and cancelling a stale id is an O(1)
+//     generation-check no-op.
+//
+//   - a same-instant FIFO for events scheduled at exactly `now()` (the
+//     coroutine layer and completion dispatch produce these in bulk).
+//     They never touch the heap: append and fire are O(1), and the
+//     global sequence number keeps their ordering against heap events
+//     bit-for-bit identical to a single queue.
+//
+// Freed slots recycle through a free list and callbacks are
+// InlineFunction (see inline_function.hpp), so steady-state traffic —
+// schedule/fire/cancel churn with captures up to 48 bytes — runs with
+// zero heap allocations and zero callback moves on the schedule path.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace ibwan::sim {
 
 /// Handle identifying a scheduled event; usable with Simulator::cancel().
+/// Encodes (slot generation << 32 | slot index); generations start at 1,
+/// so a forged small-integer id never matches a live event.
 using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -34,36 +59,82 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `cb` to run `delay` ns from now. Returns a cancellable id.
-  EventId schedule(Duration delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  /// Accepts any void() callable; captures are constructed in place.
+  template <class F>
+  EventId schedule(Duration delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Schedules `cb` at absolute time `t` (must not be in the past).
-  EventId schedule_at(Time t, Callback cb) {
+  template <class F>
+  EventId schedule_at(Time t, F&& cb) {
     assert(t >= now_ && "cannot schedule into the past");
-    const EventId id = next_seq_++;
-    queue_.push(Entry{t, id, std::move(cb)});
-    return id;
+    const std::uint32_t slot = alloc_slot();
+    Slot& s = slots_[slot];
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      s.cb = std::forward<F>(cb);
+    } else {
+      s.cb.emplace(std::forward<F>(cb));
+    }
+    const std::uint64_t seq = next_seq_++;
+    assert(seq < (1ull << kSeqBits) && "event sequence space exhausted");
+    const std::uint64_t key = (seq << kSlotBits) | slot;
+    if (t == now_) {
+      // Same-instant dispatch: O(1) FIFO append, no heap traffic. The
+      // FIFO only ever holds events for the current instant — the heap
+      // is never fired past a live FIFO entry, so time cannot advance
+      // while one is pending.
+      assert(fifo_head_ == fifo_.size() || fifo_time_ == now_);
+      fifo_time_ = now_;
+      s.pos = kInFifo;
+      fifo_.push_back(FifoEntry{key, s.gen});
+      ++fifo_live_;
+    } else {
+      heap_.emplace_back();  // open a hole; sift_up fills it
+      sift_up(heap_.size() - 1, HeapEntry{t, key});
+    }
+    return make_id(slot, s.gen);
   }
 
-  /// Cancels a pending event. Cancelling an already-run or unknown id is a
-  /// harmless no-op (timers commonly race with the work they guard).
-  void cancel(EventId id) { cancelled_.insert(id); }
+  /// Cancels a pending event in place (O(log n) for future events, O(1)
+  /// for same-instant ones). Cancelling an already-run or unknown id is
+  /// an O(1) no-op (timers commonly race with the work they guard); it
+  /// leaves no residue behind, and the captured state is destroyed
+  /// immediately.
+  void cancel(EventId id) {
+    const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    // A generation match implies the event is pending: both firing and
+    // cancellation bump the slot's generation when they release it.
+    if (slot >= slots_.size() || slots_[slot].gen != gen) return;
+    Slot& s = slots_[slot];
+    if (s.pos == kInFifo) {
+      // The FIFO entry stays behind; the generation bump below marks it
+      // stale and the drain skips it. Bounded: the FIFO never outlives
+      // the current instant.
+      --fifo_live_;
+    } else {
+      remove_at(s.pos);
+    }
+    s.cb.reset();
+    free_slot(slot);
+  }
 
   /// Runs until the event queue drains.
   void run() {
-    while (step()) {
-    }
+    while (next_event_time() != kNoEvent) fire_one();
   }
 
   /// Runs events with time <= t, then advances the clock to exactly t.
   /// Returns true if events remain scheduled after t.
   bool run_until(Time t) {
-    while (!queue_.empty() && queue_.top().time <= t) {
-      step();
+    for (;;) {
+      const Time nt = next_event_time();
+      if (nt == kNoEvent || nt > t) break;
+      fire_one();
     }
     if (now_ < t) now_ = t;
-    return !queue_.empty();
+    return pending() > 0;
   }
 
   /// Runs for `d` ns of simulated time from the current instant.
@@ -71,51 +142,220 @@ class Simulator {
 
   /// Executes the next event, if any. Returns false when the queue is empty.
   bool step() {
-    while (!queue_.empty()) {
-      // priority_queue::top() is const; the callback is moved out under a
-      // const_cast, which is safe because the entry is popped immediately.
-      Entry& top = const_cast<Entry&>(queue_.top());
-      const Time t = top.time;
-      const EventId id = top.seq;
-      Callback cb = std::move(top.cb);
-      queue_.pop();
-      if (auto it = cancelled_.find(id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        continue;
-      }
-      assert(t >= now_);
-      now_ = t;
-      ++executed_;
-      cb();
-      return true;
-    }
-    return false;
+    if (next_event_time() == kNoEvent) return false;
+    fire_one();
+    return true;
   }
 
   /// Number of events executed so far (for performance reporting).
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size(); }
+  /// Number of events currently pending (cancelled events excluded).
+  std::size_t pending() const { return heap_.size() + fifo_live_; }
+
+  /// Total callback slots ever allocated. Bounded by the maximum number
+  /// of *concurrently* pending events — it must not grow with the number
+  /// of schedule/fire/cancel operations (regression hook for the old
+  /// tombstone-set leak).
+  std::size_t slot_capacity() const { return slots_.size(); }
 
   /// Simulator-owned RNG so all stochastic behaviour shares one seed.
   Rng& rng() { return rng_; }
   void seed(std::uint64_t s) { rng_.reseed(s); }
 
  private:
-  struct Entry {
+  // seq gets 40 bits (~10^12 events per run), slot 24 (16M concurrently
+  // pending events). seq is unique, so the packed key's slot bits never
+  // influence ordering; they just ride along to keep the entry at 16 B.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr unsigned kSeqBits = 64 - kSlotBits;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  static constexpr std::uint32_t kInFifo = 0xfffffffeu;
+  static constexpr Time kNoEvent = ~Time{0};
+
+  struct HeapEntry {
     Time time;
-    EventId seq;
-    Callback cb;
-    bool operator>(const Entry& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
+    std::uint64_t key;  // (seq << kSlotBits) | slot
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & kSlotMask;
     }
   };
+  static_assert(sizeof(HeapEntry) == 16);
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  struct FifoEntry {
+    std::uint64_t key;  // same packing as HeapEntry::key
+    std::uint32_t gen;  // stale (cancelled / slot reused) when != slot gen
+  };
+
+  struct Slot {
+    std::uint32_t gen = 1;
+    std::uint32_t pos = kNone;  // heap position / kInFifo while pending,
+                                // free-list link while free
+    Callback cb;
+  };
+  static_assert(sizeof(Slot) == 64, "one event slot per cache line");
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    return a.time != b.time ? a.time < b.time : a.key < b.key;
+  }
+
+  /// Time of the next live event (kNoEvent if none), popping any stale
+  /// cancelled entries off the FIFO front on the way.
+  Time next_event_time() {
+    while (fifo_head_ != fifo_.size()) {
+      const FifoEntry& e = fifo_[fifo_head_];
+      if (slots_[static_cast<std::uint32_t>(e.key) & kSlotMask].gen == e.gen) {
+        return fifo_time_;  // never later than any heap event
+      }
+      pop_fifo_front();
+    }
+    return heap_.empty() ? kNoEvent : heap_[0].time;
+  }
+
+  /// Fires the earliest live event. Precondition: next_event_time() was
+  /// just called and did not return kNoEvent (so a live FIFO entry, if
+  /// any, sits exactly at the FIFO front).
+  void fire_one() {
+    if (fifo_head_ != fifo_.size()) {
+      const FifoEntry e = fifo_[fifo_head_];
+      // A heap event at the same instant with a smaller sequence number
+      // was scheduled earlier and must fire first.
+      if (heap_.empty() || heap_[0].time > fifo_time_ ||
+          heap_[0].key > e.key) {
+        pop_fifo_front();
+        --fifo_live_;
+        const std::uint32_t slot = static_cast<std::uint32_t>(e.key) & kSlotMask;
+        Slot& s = slots_[slot];
+        assert(fifo_time_ == now_);
+        Callback cb = std::move(s.cb);
+        free_slot(slot);
+        ++executed_;
+        cb();
+        return;
+      }
+    }
+    fire_top();
+  }
+
+  void pop_fifo_front() {
+    if (++fifo_head_ == fifo_.size()) {
+      fifo_.clear();
+      fifo_head_ = 0;
+    }
+  }
+
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNone) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].pos;
+      return slot;
+    }
+    if (slots_.size() > kSlotMask) {
+      std::fprintf(stderr, "Simulator: > %u concurrently pending events\n",
+                   kSlotMask);
+      std::abort();
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void free_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    ++s.gen;  // invalidates outstanding EventIds for this slot
+    s.pos = free_head_;
+    free_head_ = slot;
+  }
+
+  // sift_up/sift_down place `e` starting the search at position `i`,
+  // whose current contents the caller has already saved or vacated.
+  void sift_up(std::size_t i, const HeapEntry& e) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      slots_[heap_[i].slot()].pos = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = e;
+    slots_[e.slot()].pos = static_cast<std::uint32_t>(i);
+  }
+
+  void sift_down(std::size_t i, const HeapEntry& e) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best;
+      if (first + 4 <= n) {
+        // Full fan-out (the common case): tournament min — the two
+        // halves compare independently, halving the serial chain.
+        const std::size_t b01 =
+            earlier(heap_[first + 1], heap_[first]) ? first + 1 : first;
+        const std::size_t b23 =
+            earlier(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
+        best = earlier(heap_[b23], heap_[b01]) ? b23 : b01;
+      } else {
+        best = first;
+        for (std::size_t c = first + 1; c < n; ++c) {
+          if (earlier(heap_[c], heap_[best])) best = c;
+        }
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      slots_[heap_[i].slot()].pos = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = e;
+    slots_[e.slot()].pos = static_cast<std::uint32_t>(i);
+  }
+
+  /// Removes the entry at heap position `pos`, refilling the hole with
+  /// the last entry.
+  void remove_at(std::size_t pos) {
+    const HeapEntry moved = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size()) return;  // removed the last entry
+    // The replacement may need to travel either direction.
+    if (pos > 0 && earlier(moved, heap_[(pos - 1) / 4])) {
+      sift_up(pos, moved);
+    } else {
+      sift_down(pos, moved);
+    }
+  }
+
+  void fire_top() {
+    const HeapEntry top = heap_[0];
+    const std::uint32_t slot = top.slot();
+    Slot& s = slots_[slot];
+    assert(top.time >= now_);
+    now_ = top.time;
+    Callback cb = std::move(s.cb);
+    // Pop the root: refill with the last entry.
+    const HeapEntry moved = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, moved);
+    // Free before invoking so (a) the callback can recycle the slot for
+    // events it schedules and (b) cancel() of the firing event's own id
+    // from inside the callback is a generation-checked no-op.
+    free_slot(slot);
+    ++executed_;
+    cb();
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<FifoEntry> fifo_;
+  std::size_t fifo_head_ = 0;
+  std::size_t fifo_live_ = 0;
+  Time fifo_time_ = 0;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNone;
   Time now_ = 0;
-  EventId next_seq_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   Rng rng_;
 };

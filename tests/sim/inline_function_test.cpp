@@ -1,0 +1,196 @@
+#include "sim/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace ibwan::sim {
+namespace {
+
+// Counts constructions and destructions of captured state so tests can
+// assert that InlineFunction destroys exactly what it creates.
+struct Tracker {
+  static int live;
+  static int destroyed;
+  static void reset() {
+    live = 0;
+    destroyed = 0;
+  }
+  Tracker() { ++live; }
+  Tracker(const Tracker&) { ++live; }
+  Tracker(Tracker&&) noexcept { ++live; }
+  ~Tracker() {
+    --live;
+    ++destroyed;
+  }
+};
+int Tracker::live = 0;
+int Tracker::destroyed = 0;
+
+TEST(InlineFunction, DefaultIsEmpty) {
+  InlineFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_FALSE(f.is_inline());
+}
+
+TEST(InlineFunction, InvokesSmallCapture) {
+  int calls = 0;
+  InlineFunction f([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, CaptureExactlyAtBufferLimitStaysInline) {
+  std::array<std::byte, InlineFunction::kInlineCapacity> payload{};
+  payload[0] = std::byte{7};
+  int sink = 0;
+  InlineFunction f([payload, &sink]() mutable {
+    sink += static_cast<int>(payload[0]);
+  });
+  // capture = 48B array + 8B pointer > 48: heap path.
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(sink, 7);
+
+  std::array<std::byte, InlineFunction::kInlineCapacity - sizeof(void*)>
+      small{};
+  small[0] = std::byte{3};
+  static int static_sink;
+  static_sink = 0;
+  InlineFunction g([small, p = &static_sink] {
+    *p += static_cast<int>(small[0]);
+  });
+  // capture = 40B array + 8B pointer == 48: inline path.
+  EXPECT_TRUE(g.is_inline());
+  g();
+  EXPECT_EQ(static_sink, 3);
+}
+
+TEST(InlineFunction, LargeCaptureTakesHeapPathAndStillWorks) {
+  std::array<std::uint64_t, 16> big{};  // 128 bytes
+  big[15] = 99;
+  std::uint64_t out = 0;
+  InlineFunction f([big, &out] { out = big[15]; });
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(out, 99u);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureInline) {
+  auto owned = std::make_unique<int>(41);
+  InlineFunction f([p = std::move(owned)]() mutable { ++*p; });
+  EXPECT_TRUE(f.is_inline());
+  f();
+  // Move the callable; ownership must follow.
+  InlineFunction g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+}
+
+TEST(InlineFunction, MoveTransfersInlineState) {
+  int calls = 0;
+  InlineFunction f([&calls, pad = std::array<std::uint64_t, 4>{}] {
+    ++calls;
+  });
+  ASSERT_TRUE(f.is_inline());
+  InlineFunction g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));
+  g();
+  EXPECT_EQ(calls, 1);
+
+  InlineFunction h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));
+  h();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFunction, MoveTransfersHeapState) {
+  Tracker::reset();
+  {
+    std::array<std::byte, 100> pad{};
+    InlineFunction f([t = Tracker(), pad] { (void)pad; });
+    EXPECT_FALSE(f.is_inline());
+    const int live_after_emplace = Tracker::live;
+    InlineFunction g(std::move(f));
+    // Heap relocation moves the pointer, not the capture: no new Tracker.
+    EXPECT_EQ(Tracker::live, live_after_emplace);
+    g();
+  }
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(InlineFunction, DestroysInlineCaptureExactlyOnce) {
+  Tracker::reset();
+  {
+    InlineFunction f([t = Tracker()] {});
+    EXPECT_TRUE(f.is_inline());
+    EXPECT_GE(Tracker::live, 1);
+  }
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(InlineFunction, ResetDestroysCapture) {
+  Tracker::reset();
+  InlineFunction f([t = Tracker()] {});
+  EXPECT_EQ(Tracker::live, 1);
+  f.reset();
+  EXPECT_EQ(Tracker::live, 0);
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(InlineFunction, ReassignmentDestroysPreviousCapture) {
+  Tracker::reset();
+  InlineFunction f([t = Tracker()] {});
+  EXPECT_EQ(Tracker::live, 1);
+  f = InlineFunction([] {});
+  EXPECT_EQ(Tracker::live, 0);
+  f();
+}
+
+TEST(InlineFunction, MoveAssignOntoHeldCallableDestroysIt) {
+  Tracker::reset();
+  InlineFunction a([t = Tracker()] {});
+  InlineFunction b([t = Tracker()] {});
+  EXPECT_EQ(Tracker::live, 2);
+  a = std::move(b);
+  EXPECT_EQ(Tracker::live, 1);
+  EXPECT_FALSE(static_cast<bool>(b));
+  a();
+}
+
+TEST(InlineFunction, EmplaceConstructsInPlace) {
+  InlineFunction f;
+  int calls = 0;
+  f.emplace([&calls] { ++calls; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(calls, 1);
+
+  // emplace over an existing callable destroys the old capture first.
+  Tracker::reset();
+  f.emplace([t = Tracker()] {});
+  EXPECT_EQ(Tracker::live, 1);
+  f.emplace([] {});
+  EXPECT_EQ(Tracker::live, 0);
+}
+
+TEST(InlineFunction, SelfMoveAssignIsSafe) {
+  int calls = 0;
+  InlineFunction f([&calls] { ++calls; });
+  InlineFunction& ref = f;
+  f = std::move(ref);
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace ibwan::sim

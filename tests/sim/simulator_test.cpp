@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 namespace ibwan::sim {
@@ -124,6 +127,180 @@ TEST(Simulator, EventCountersTrack) {
   sim.run();
   EXPECT_EQ(sim.events_executed(), 7u);
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelBeforeFireThenLaterEventsStillRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10, [&] { order.push_back(1); });
+  EventId victim = sim.schedule(20, [&] { order.push_back(2); });
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.cancel(victim);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.schedule(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(id);  // already fired: must not disturb anything
+  bool ran = false;
+  sim.schedule(5, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, DoubleCancelIsNoOp) {
+  Simulator sim;
+  bool victim_ran = false;
+  bool other_ran = false;
+  EventId id = sim.schedule(10, [&] { victim_ran = true; });
+  sim.schedule(20, [&] { other_ran = true; });
+  sim.cancel(id);
+  sim.cancel(id);  // second cancel of the same id
+  sim.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_TRUE(other_ran);
+}
+
+TEST(Simulator, SelfCancelDuringCallbackIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = 0;
+  id = sim.schedule(10, [&] {
+    ++fired;
+    sim.cancel(id);  // cancelling the event currently executing
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelZeroDelayEvent) {
+  Simulator sim;
+  sim.run_until(50);
+  bool ran = false;
+  std::vector<int> order;
+  sim.schedule(0, [&] { order.push_back(1); });
+  EventId id = sim.schedule(0, [&] { ran = true; });
+  sim.schedule(0, [&] { order.push_back(2); });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, MixedZeroDelayAndHeapEventsInterleaveBySequence) {
+  // Events at the same instant must run in global insertion order even
+  // when some were scheduled with delay 0 (FIFO path) and others with a
+  // positive delay landing at the same time (heap path).
+  Simulator sim;
+  std::vector<int> order;
+  // Both outer events land at t=10 and run in insertion order. The inner
+  // zero-delay event is scheduled while the first executes, so its
+  // sequence number is allocated after the second outer event's and it
+  // must run last despite taking the fast path.
+  sim.schedule(10, [&] {
+    order.push_back(0);
+    sim.schedule(0, [&] { order.push_back(1); });
+  });
+  sim.schedule(10, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Simulator, CancelledEventsDoNotLeakSlots) {
+  // Regression: the previous engine accumulated cancelled ids in a
+  // tombstone set; ids cancelled after their event had already fired
+  // were never erased. The slot pool must stay bounded under a
+  // schedule/cancel churn loop.
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) {
+    EventId id = sim.schedule(1, [] {});
+    sim.cancel(id);
+  }
+  sim.run();
+  const std::size_t settled = sim.slot_capacity();
+  for (int round = 0; round < 10'000; ++round) {
+    EventId pending = sim.schedule(1, [] {});
+    sim.cancel(pending);
+    EventId fired = sim.schedule(1, [] {});
+    sim.run();
+    sim.cancel(fired);  // cancel-after-fire must not grow anything either
+  }
+  EXPECT_EQ(sim.slot_capacity(), settled);
+}
+
+TEST(Simulator, PendingCountTracksCancellation) {
+  Simulator sim;
+  EventId a = sim.schedule(10, [] {});
+  sim.schedule(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(Simulator, DeterministicAcrossRunsWithSameSeed) {
+  // Two identical stochastic workloads must execute the same number of
+  // events in the same order — the property every figure regeneration
+  // depends on.
+  auto run_workload = [](std::uint64_t seed) {
+    Simulator sim;
+    sim.seed(seed);
+    std::vector<std::uint64_t> trace;
+    std::function<void()> tick = [&] {
+      trace.push_back(sim.now());
+      if (trace.size() < 500) {
+        sim.schedule(sim.rng().uniform(1, 100), tick);
+        if (trace.size() % 3 == 0) {
+          EventId id =
+              sim.schedule(sim.rng().uniform(1, 100), [&] {
+                trace.push_back(~sim.now());
+              });
+          if (trace.size() % 6 == 0) sim.cancel(id);
+        }
+      }
+    };
+    sim.schedule(1, tick);
+    sim.run();
+    return std::pair(trace, sim.events_executed());
+  };
+  const auto a = run_workload(42);
+  const auto b = run_workload(42);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  const auto c = run_workload(7);
+  EXPECT_NE(a.first, c.first);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  // Larger-scale ordering check exercising heap growth, removal from the
+  // middle, and the 4-ary sift paths.
+  Simulator sim;
+  sim.seed(123);
+  std::vector<std::pair<Time, int>> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    const Time t = sim.rng().uniform(0, 500);
+    ids.push_back(
+        sim.schedule_at(t, [&fired, &sim, i] { fired.push_back({sim.now(), i}); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) sim.cancel(ids[i]);
+  sim.run();
+  EXPECT_EQ(fired.size(), 2000u - (2000u + 2) / 3);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second);  // insertion order
+    }
+  }
 }
 
 TEST(DurationCeil, RoundsUpFractionalNanoseconds) {
