@@ -10,7 +10,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: adaptive rendezvous threshold vs fixed (16 KB "
       "messages, MillionBytes/s)");

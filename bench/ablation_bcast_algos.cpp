@@ -52,7 +52,8 @@ double bcast_us(Algo algo, std::uint64_t bytes, sim::Duration delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: broadcast algorithms over IB WAN (latency us, "
       "2 x 32 processes)");

@@ -14,7 +14,8 @@
 using namespace ibwan;
 using namespace ibwan::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: eager-message coalescing, aggregate message rate "
       "(Million messages/s, 8 pairs, 64 B messages)");

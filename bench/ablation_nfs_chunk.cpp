@@ -36,7 +36,8 @@ double nfs_read_mbps(std::uint32_t chunk_bytes, sim::Duration delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: NFS/RDMA chunk size vs WAN delay (MillionBytes/s, "
       "4 IOzone threads)");

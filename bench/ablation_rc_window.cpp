@@ -8,7 +8,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: RC in-flight window vs WAN delay (64 KB messages, "
       "MillionBytes/s)");

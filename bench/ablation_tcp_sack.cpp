@@ -43,7 +43,8 @@ double throughput(bool sack, double loss, sim::Duration delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Ablation: TCP SACK vs go-back-N on a lossy WAN link "
       "(IPoIB-UD, 100 us delay, MillionBytes/s)");

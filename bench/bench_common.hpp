@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -25,9 +26,48 @@
 
 #include "core/calibration.hpp"
 #include "core/report.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace ibwan::bench {
+
+namespace detail {
+/// Destination of the merged metrics export; empty when --metrics was
+/// not given.
+inline std::string g_metrics_path;  // NOLINT: bench-process singleton
+}  // namespace detail
+
+/// Bench entry hook: parses `--metrics <out.json>` (or
+/// `--metrics=<out.json>`). When present, activates the process-wide
+/// MetricsAggregator — every core::Testbed built afterwards enables its
+/// registry and feeds the aggregator on teardown — and arranges for the
+/// merged "ibwan.metrics.v1" JSON document to be written at exit.
+/// Without the flag this is a no-op and the bench output (including the
+/// CSV bytes) is identical to a build without metrics at all.
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string path;
+    if (arg == "--metrics" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      path = std::string(arg.substr(10));
+    }
+    if (path.empty()) continue;
+    detail::g_metrics_path = path;
+    sim::MetricsAggregator::global().activate();
+    std::atexit([] {
+      const sim::MetricsSnapshot snap =
+          sim::MetricsAggregator::global().merged();
+      if (snap.write_json(detail::g_metrics_path)) {
+        std::printf("  [metrics: %s]\n", detail::g_metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     detail::g_metrics_path.c_str());
+      }
+    });
+  }
+}
 
 /// The emulated one-way delays the paper sweeps (Table 1 distances).
 inline std::vector<sim::Duration> delay_grid() {

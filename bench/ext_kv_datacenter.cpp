@@ -33,7 +33,8 @@ kv::KvResult run_kv(sim::Duration delay, int clients,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Extension: RDMA key-value service over IB WAN "
       "(90% GET, 4 KB values)");

@@ -53,7 +53,8 @@ double striped_read_mbps(int servers, sim::Duration delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Extension: striped parallel-filesystem reads over IB WAN "
       "(MillionBytes/s)");

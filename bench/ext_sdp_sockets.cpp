@@ -32,7 +32,8 @@ double sdp_throughput(core::Testbed& tb, std::uint64_t bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Extension: sockets over IB WAN — SDP vs IPoIB (MillionBytes/s)");
 

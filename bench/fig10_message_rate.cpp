@@ -11,7 +11,8 @@
 using namespace ibwan;
 using namespace ibwan::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 10: Multi-pair aggregate message rate "
       "(Million messages/s)");

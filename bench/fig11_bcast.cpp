@@ -14,7 +14,8 @@
 using namespace ibwan;
 using namespace ibwan::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 11: MPI broadcast latency, Original vs Modified "
       "(hierarchical), 2 x 64 processes (us)");

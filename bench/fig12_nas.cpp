@@ -13,7 +13,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 12: NAS class-B benchmarks, 2 x 32 processes "
       "(projected runtime, s; and ratio vs 0-delay)");

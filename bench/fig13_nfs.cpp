@@ -30,7 +30,8 @@ double read_bw(Transport t, sim::Duration delay, bool lan, int threads,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 13: NFS read throughput, IOzone-style, 256 KB records "
       "(MillionBytes/s)");

@@ -32,7 +32,8 @@ double back_to_back(Transport t, Op op, std::uint32_t size, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 3: Verbs-level latency (us), Longbow pair at 0 km vs "
       "back-to-back");

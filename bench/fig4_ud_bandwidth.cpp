@@ -11,7 +11,8 @@
 using namespace ibwan;
 using ib::perftest::Transport;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner("Figure 4: Verbs-level throughput using UD (MillionBytes/s)");
 
   struct DelayResult {

@@ -12,7 +12,8 @@
 using namespace ibwan;
 using ib::perftest::Transport;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner("Figure 5: Verbs-level throughput using RC (MillionBytes/s)");
 
   const std::vector<std::uint32_t> sizes = {

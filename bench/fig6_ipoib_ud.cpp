@@ -11,7 +11,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner("Figure 6: IPoIB-UD TCP throughput (MillionBytes/s)");
 
   const std::uint64_t volume = (24ull << 20) * bench::scale();

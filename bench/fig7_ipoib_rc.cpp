@@ -12,7 +12,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner("Figure 7: IPoIB-RC TCP throughput (MillionBytes/s)");
 
   const std::uint64_t volume = (48ull << 20) * bench::scale();

@@ -10,7 +10,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 8: MPI-level throughput using MVAPICH2-style library "
       "(MillionBytes/s)");

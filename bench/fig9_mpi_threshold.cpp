@@ -14,7 +14,8 @@
 using namespace ibwan;
 using namespace ibwan::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Figure 9: MPI threshold tuning at 1 ms delay (MillionBytes/s)");
 

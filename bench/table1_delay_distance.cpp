@@ -7,7 +7,8 @@
 
 using namespace ibwan;
 
-int main() {
+int main(int argc, char** argv) {
+  ibwan::bench::init(argc, argv);
   core::banner(
       "Table 1: Delay overhead corresponding to wire length\n"
       "(Obsidian Longbow XR delay knob; 5 us of one-way delay per km)");

@@ -1,0 +1,104 @@
+// Walks the Figure 5 RC-bandwidth knee with the observability subsystem
+// switched on, printing the per-layer story behind the curve: as the
+// emulated WAN delay grows, the verbs-level throughput of a mid-size
+// message collapses — and the metrics show why. The RC transport's
+// bounded in-flight window (fence-to-16-messages) spends more and more
+// of the run stalled waiting for acknowledgements that are a WAN
+// round-trip away, while the WAN link itself sits nearly idle.
+//
+// This is the programmatic face of `--metrics`: enable a testbed's
+// registry directly, run a workload, and query the snapshot. The last
+// (10 ms) run also arms the packet flight recorder and dumps its tail,
+// showing the window-stall / ack-arrival cadence event by event.
+//
+// See docs/METRICS.md for the full metric inventory.
+#include <cstdio>
+#include <string>
+
+#include "core/report.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+using namespace ibwan;
+
+namespace {
+
+std::uint64_t counter_value(const sim::MetricsSnapshot& snap,
+                            const std::string& path) {
+  for (const auto& row : snap.counters) {
+    if (row.path == path) return row.value;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  core::banner(
+      "Cross-layer observability: why the Figure 5 RC knee happens\n"
+      "(256 KB messages over RC; metrics registry + flight recorder)");
+
+  const std::uint32_t msg_size = 256u << 10;
+  const int iterations = 256;
+  const std::vector<sim::Duration> delays = {0, 10'000, 100'000,
+                                             1'000'000, 10'000'000};
+
+  std::printf(
+      "  %10s %10s %14s %12s %12s %10s\n", "delay", "MB/s",
+      "window_stalls", "stalled_ms", "retransmits", "wan_busy%");
+
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    const sim::Duration delay = delays[i];
+    core::Testbed tb(1, delay);
+    tb.sim().metrics().set_enabled(true);
+
+    // On the deepest-delay run, also capture the event-level tail.
+    sim::FlightRecorder& fr = tb.sim().recorder();
+    const bool last = i + 1 == delays.size();
+    if (last) {
+      fr.set_capacity(12);  // keep only the final dozen events
+      fr.arm();
+    }
+
+    const auto bw = ib::perftest::run_bandwidth(
+        tb.fabric(), tb.node_a(), tb.node_b(),
+        ib::perftest::Transport::kRc,
+        {.msg_size = msg_size, .iterations = iterations});
+
+    const sim::MetricsSnapshot snap = tb.sim().metrics().snapshot();
+    const std::string rc = "node" + std::to_string(tb.node_a()) + "/ib.rc/";
+    const std::uint64_t stalls = counter_value(snap, rc + "window_stalls");
+    const std::uint64_t stall_ns =
+        counter_value(snap, rc + "window_stall_ns");
+    const std::uint64_t retx =
+        counter_value(snap, rc + "pkts_retransmitted");
+    const std::uint64_t wan_busy_ns =
+        counter_value(snap, "wan-a2b/net.link/busy_ns");
+    const double run_ns = bw.seconds * 1e9;
+    const double wan_busy_pct =
+        run_ns > 0 ? 100.0 * static_cast<double>(wan_busy_ns) / run_ns : 0;
+
+    std::printf("  %8ldus %10.1f %14llu %12.2f %12llu %9.1f%%\n",
+                static_cast<long>(delay / 1000), bw.mbytes_per_sec,
+                static_cast<unsigned long long>(stalls),
+                static_cast<double>(stall_ns) / 1e6,
+                static_cast<unsigned long long>(retx), wan_busy_pct);
+
+    if (last) {
+      fr.disarm();
+      std::printf(
+          "\n  Event tail of the 10 ms run — each ack burst releases the\n"
+          "  window for one more batch, then the sender stalls again:\n\n");
+      fr.dump(stdout);
+    }
+  }
+
+  std::printf(
+      "\n  Reading: the stall count barely moves, but the *time* spent\n"
+      "  stalled scales with the WAN round-trip — the 16-message RC\n"
+      "  window cannot cover the bandwidth-delay product, so throughput\n"
+      "  is window-limited, not wire-limited (the WAN link idles).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo's docs resolve.
+
+Usage: check_md_links.py [file.md ...]   (defaults to all tracked *.md)
+
+Only repo-relative targets are checked (external http(s) links are
+skipped — CI must not depend on the network). Anchors are stripped.
+"""
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def md_files(args: list[str]) -> list[Path]:
+    if args:
+        return [Path(a) for a in args]
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], cwd=REPO, check=True,
+        capture_output=True, text=True,
+    ).stdout
+    return [REPO / line for line in out.splitlines() if line]
+
+
+def main() -> int:
+    broken = []
+    for md in md_files(sys.argv[1:]):
+        text = md.read_text()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(REPO)}: {target}")
+    for b in broken:
+        print(f"BROKEN link: {b}")
+    if broken:
+        return 1
+    print("all relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Verify docs/METRICS.md against the compiled metric registry.
+
+Usage: check_metrics_docs.py <path-to-metrics_schema_dump-binary>
+
+Runs the schema dump tool (which constructs one of every instrumented
+layer and prints one `layer/metric kind unit` line per registered
+instrument) and two-way diffs it against the inventory tables in
+docs/METRICS.md. Rows in the docs use the form:
+
+    | `ib.rc/window_stalls` | counter | count | ... |
+
+Fails if a registered metric has no documentation row, or a documented
+row no longer exists in code.
+"""
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs" / "METRICS.md"
+
+# | `layer/metric` | kind | unit | ...
+ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_.-]+/[a-z0-9_]+)`\s*\|\s*(counter|gauge|histogram)"
+    r"\s*\|\s*(count|packets|bytes|messages|ns)\s*\|"
+)
+
+
+def documented_rows() -> set[str]:
+    rows = set()
+    for line in DOCS.read_text().splitlines():
+        m = ROW_RE.match(line.strip())
+        if m:
+            rows.add(f"{m.group(1)} {m.group(2)} {m.group(3)}")
+    return rows
+
+
+def registered_rows(tool: str) -> set[str]:
+    out = subprocess.run(
+        [tool], check=True, capture_output=True, text=True
+    ).stdout
+    return {line.strip() for line in out.splitlines() if line.strip()}
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    docs = documented_rows()
+    code = registered_rows(sys.argv[1])
+    missing_docs = sorted(code - docs)
+    stale_docs = sorted(docs - code)
+    for row in missing_docs:
+        print(f"UNDOCUMENTED metric (add to docs/METRICS.md): {row}")
+    for row in stale_docs:
+        print(f"STALE docs row (metric gone from code): {row}")
+    if missing_docs or stale_docs:
+        return 1
+    print(f"docs/METRICS.md inventory matches the registry "
+          f"({len(code)} metrics)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

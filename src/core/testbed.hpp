@@ -7,12 +7,18 @@
 
 #include "core/calibration.hpp"
 #include "net/fabric.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibwan::core {
 
 /// Owns a fresh Simulator and Fabric per measurement (experiments are
 /// independent runs, as on real hardware after a reboot).
+///
+/// When the process-wide MetricsAggregator is active (a bench ran with
+/// --metrics), each testbed enables its simulator's registry up front
+/// and folds the final snapshot into the aggregator on teardown, so a
+/// sweep's merged export covers every grid point.
 class Testbed {
  public:
   explicit Testbed(int nodes_per_cluster = 1,
@@ -25,6 +31,14 @@ class Testbed {
       : fabric_(sim_, fabric_defaults(nodes_a, nodes_b)) {
     sim_.seed(seed);
     fabric_.set_wan_delay(wan_delay);
+    if (sim::MetricsAggregator::global().active()) {
+      sim_.metrics().set_enabled(true);
+    }
+  }
+
+  ~Testbed() {
+    auto& agg = sim::MetricsAggregator::global();
+    if (agg.active()) agg.absorb(sim_.metrics().snapshot());
   }
 
   sim::Simulator& sim() { return sim_; }

@@ -87,6 +87,10 @@ class Hca {
   sim::Time rx_busy_ = 0;
   std::uint64_t next_pkt_id_ = 1;
   Stats stats_;
+  // Registered metrics (docs/METRICS.md §ib.hca); scope "node<lid>/ib.hca".
+  sim::Counter* obs_pkts_tx_ = nullptr;
+  sim::Counter* obs_pkts_rx_ = nullptr;
+  sim::Counter* obs_pkts_unroutable_ = nullptr;
 };
 
 }  // namespace ibwan::ib

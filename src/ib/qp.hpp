@@ -117,6 +117,7 @@ class RcQp : public QpBase {
     std::uint64_t start_psn = 0;
     std::uint64_t end_psn = 0;  // inclusive
     bool internal = false;      // read responses complete no local CQE
+    sim::Time sent_at = 0;      // first emission time (ack-latency metric)
   };
   struct IncomingMsg {
     std::uint64_t msg_seq = 0;
@@ -183,6 +184,26 @@ class RcQp : public QpBase {
   std::unordered_map<std::uint64_t, SendWr> pending_atomics_;
 
   Stats stats_;
+
+  // Registered metrics (docs/METRICS.md §ib.rc); scope "node<lid>/ib.rc".
+  struct Obs {
+    sim::Counter* msgs_sent;
+    sim::Counter* bytes_sent;
+    sim::Counter* pkts_retransmitted;
+    sim::Counter* acks_sent;
+    sim::Counter* naks_sent;
+    sim::Counter* rto_fires;
+    sim::Counter* window_stalls;
+    sim::Counter* window_stall_ns;
+    sim::Gauge* outstanding_wqes;
+    sim::Histogram* ack_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rc-qp<N>"
+  // Send-window stall tracking: stalled whenever the SQ is non-empty but
+  // the bounded in-flight window is full (the fig5 WAN bottleneck).
+  bool win_stalled_ = false;
+  sim::Time win_stall_since_ = 0;
 };
 
 /// Unreliable Datagram queue pair.
@@ -208,6 +229,11 @@ class UdQp : public QpBase {
  private:
   std::deque<RecvWr> rq_;
   Stats stats_;
+  // Registered metrics (docs/METRICS.md §ib.ud); scope "node<lid>/ib.ud".
+  sim::Counter* obs_sent_ = nullptr;
+  sim::Counter* obs_received_ = nullptr;
+  sim::Counter* obs_dropped_ = nullptr;
+  sim::Counter* obs_bytes_sent_ = nullptr;
 };
 
 }  // namespace ibwan::ib

@@ -32,7 +32,26 @@ void Srq::post_recv(const RecvWr& wr) {
 }
 
 RcQp::RcQp(Hca& hca, Qpn qpn, Cq& send_cq, Cq& recv_cq)
-    : QpBase(hca, qpn, send_cq, recv_cq) {}
+    : QpBase(hca, qpn, send_cq, recv_cq) {
+  auto& m = hca_.sim().metrics();
+  const std::string scope = "node" + std::to_string(hca_.lid()) + "/ib.rc";
+  using sim::MetricUnit;
+  obs_.msgs_sent = &m.counter(scope, "msgs_sent", MetricUnit::kMessages);
+  obs_.bytes_sent = &m.counter(scope, "bytes_sent", MetricUnit::kBytes);
+  obs_.pkts_retransmitted =
+      &m.counter(scope, "pkts_retransmitted", MetricUnit::kPackets);
+  obs_.acks_sent = &m.counter(scope, "acks_sent", MetricUnit::kPackets);
+  obs_.naks_sent = &m.counter(scope, "naks_sent", MetricUnit::kPackets);
+  obs_.rto_fires = &m.counter(scope, "rto_fires", MetricUnit::kCount);
+  obs_.window_stalls =
+      &m.counter(scope, "window_stalls", MetricUnit::kCount);
+  obs_.window_stall_ns =
+      &m.counter(scope, "window_stall_ns", MetricUnit::kNanoseconds);
+  obs_.outstanding_wqes =
+      &m.gauge(scope, "outstanding_wqes", MetricUnit::kMessages);
+  obs_.ack_ns = &m.histogram(scope, "ack_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "rc-qp%u", qpn_);
+}
 
 RcQp::~RcQp() {
   disarm_rto();
@@ -75,10 +94,29 @@ void RcQp::post_recv(const RecvWr& wr) {
 void RcQp::try_transmit() {
   const int window = hca_.config().rc_max_inflight_msgs;
   while (static_cast<int>(inflight_.size()) < window && !sq_.empty()) {
+    if (win_stalled_) {
+      // The window just reopened; account the time the SQ sat blocked.
+      win_stalled_ = false;
+      const sim::Duration stalled = hca_.sim().now() - win_stall_since_;
+      obs_.window_stall_ns->add(stalled);
+      hca_.sim().recorder().record(hca_.sim().now(),
+                                   sim::TraceKind::kWindowResume, trace_tag_,
+                                   stalled);
+    }
     SendWr wr = sq_.front();
     sq_.pop_front();
     start_message(wr, /*internal=*/false, /*read_wr_id=*/0);
   }
+  if (!win_stalled_ && !sq_.empty() &&
+      static_cast<int>(inflight_.size()) >= window) {
+    win_stalled_ = true;
+    win_stall_since_ = hca_.sim().now();
+    obs_.window_stalls->add();
+    hca_.sim().recorder().record(hca_.sim().now(),
+                                 sim::TraceKind::kWindowStall, trace_tag_,
+                                 sq_.size(), inflight_.size());
+  }
+  obs_.outstanding_wqes->set(static_cast<std::int64_t>(inflight_.size()));
 }
 
 void RcQp::start_message(const SendWr& wr, bool internal,
@@ -93,11 +131,14 @@ void RcQp::start_message(const SendWr& wr, bool internal,
                 .msg_seq = next_msg_seq_++,
                 .start_psn = next_psn_,
                 .end_psn = next_psn_ + pkts - 1,
-                .internal = internal};
+                .internal = internal,
+                .sent_at = hca_.sim().now()};
   next_psn_ += pkts;
   inflight_.push_back(m);
   ++stats_.msgs_sent;
   stats_.bytes_sent += wr.length;
+  obs_.msgs_sent->add();
+  obs_.bytes_sent->add(wr.length);
   emit_packets(m, m.start_psn, read_wr_id);
   arm_rto();
 }
@@ -139,10 +180,13 @@ void RcQp::handle_ack(std::uint64_t ack_psn) {
   if (ack_psn <= snd_una_) return;  // stale
   snd_una_ = ack_psn;
   bool completed_any = false;
+  std::uint64_t completed_msgs = 0;
   while (!inflight_.empty() && inflight_.front().end_psn < ack_psn) {
     const InflightMsg m = inflight_.front();
     inflight_.pop_front();
     completed_any = true;
+    ++completed_msgs;
+    obs_.ack_ns->observe(hca_.sim().now() - m.sent_at);
     if (m.internal) {
       // A fully-acked read response; allow future requests for this id.
       active_read_resps_.erase(m.wr.wr_id);
@@ -160,6 +204,9 @@ void RcQp::handle_ack(std::uint64_t ack_psn) {
                                .byte_len = m.wr.length});
     }
   }
+  if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed())
+    fr.record(hca_.sim().now(), sim::TraceKind::kAckRecv, trace_tag_,
+              ack_psn, completed_msgs);
   if (completed_any) {
     // Ack progress: restart the retransmission clock.
     disarm_rto();
@@ -173,6 +220,9 @@ void RcQp::retransmit_from(std::uint64_t psn) {
     if (m.end_psn < psn) continue;
     const std::uint64_t from = std::max(psn, m.start_psn);
     stats_.pkts_retransmitted += m.end_psn - from + 1;
+    obs_.pkts_retransmitted->add(m.end_psn - from + 1);
+    hca_.sim().recorder().record(hca_.sim().now(), sim::TraceKind::kRetransmit,
+                                 trace_tag_, from, next_psn_);
     // Read/atomic traffic must re-carry its correlation id.
     const bool correlated = m.wr.opcode == Opcode::kRdmaReadResp ||
                             m.wr.opcode == Opcode::kAtomicResp ||
@@ -188,6 +238,9 @@ void RcQp::arm_rto() {
     rto_armed_ = false;
     if (inflight_.empty()) return;
     ++stats_.rto_fires;
+    obs_.rto_fires->add();
+    hca_.sim().recorder().record(hca_.sim().now(), sim::TraceKind::kRtoFire,
+                                 trace_tag_, snd_una_);
     IBWAN_WARN(hca_.sim().now(), "rc-qp", "qpn=%u RTO, resend from psn=%llu",
                qpn_, static_cast<unsigned long long>(snd_una_));
     retransmit_from(snd_una_);
@@ -286,6 +339,9 @@ void RcQp::handle_packet(const IbPacket& pkt, Lid /*src_lid*/) {
     if (!nak_outstanding_) {
       nak_outstanding_ = true;
       ++stats_.naks_sent;
+      obs_.naks_sent->add();
+      hca_.sim().recorder().record(hca_.sim().now(), sim::TraceKind::kNakSend,
+                                   trace_tag_, expected_psn_, pkt.psn);
       send_ack(IbPacketType::kNak);
     }
     return;
@@ -330,6 +386,10 @@ void RcQp::send_ack(IbPacketType type) {
   pkt->src_qpn = qpn_;
   pkt->ack_psn = expected_psn_;
   ++stats_.acks_sent;
+  obs_.acks_sent->add();
+  if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed())
+    fr.record(hca_.sim().now(), sim::TraceKind::kAckSend, trace_tag_,
+              expected_psn_);
   hca_.transmit(remote_lid_, std::move(pkt), kAckBytes,
                 /*first_of_msg=*/false, /*on_serialized=*/{},
                 /*control=*/true);

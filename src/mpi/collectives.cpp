@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mpi/mpi.hpp"
+#include "sim/trace.hpp"
 
 namespace ibwan::mpi {
 
@@ -42,6 +43,11 @@ sim::Coro<void> Rank::bcast(int root, std::uint64_t bytes) {
 }
 
 sim::Coro<void> Rank::bcast_binomial(int root, std::uint64_t bytes) {
+  const sim::Time t0 = sim().now();
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(t0, sim::TraceKind::kBcastStart, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes, 0);
+  }
   const int seq = coll_seq_++;
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
@@ -65,9 +71,21 @@ sim::Coro<void> Rank::bcast_binomial(int root, std::uint64_t bytes) {
       co_await send(real(vrank + mask), bytes, coll_tag(seq));
     }
   }
+  const sim::Time elapsed = sim().now() - t0;
+  obs_.bcast_ns->observe(elapsed);
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(sim().now(), sim::TraceKind::kBcastDone, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes,
+              static_cast<std::uint64_t>(elapsed));
+  }
 }
 
 sim::Coro<void> Rank::bcast_scatter_allgather(int root, std::uint64_t bytes) {
+  const sim::Time t0 = sim().now();
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(t0, sim::TraceKind::kBcastStart, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes, 1);
+  }
   const int seq = coll_seq_++;
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
@@ -127,9 +145,21 @@ sim::Coro<void> Rank::bcast_scatter_allgather(int root, std::uint64_t bytes) {
     }
     co_await wait_all(std::move(reqs));
   }
+  const sim::Time elapsed = sim().now() - t0;
+  obs_.bcast_ns->observe(elapsed);
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(sim().now(), sim::TraceKind::kBcastDone, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes,
+              static_cast<std::uint64_t>(elapsed));
+  }
 }
 
 sim::Coro<void> Rank::bcast_hierarchical(int root, std::uint64_t bytes) {
+  const sim::Time t0 = sim().now();
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(t0, sim::TraceKind::kBcastStart, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes, 2);
+  }
   const int seq = coll_seq_++;
   const net::Cluster root_cluster = job_.rank(root).cluster();
   const auto& local = job_.ranks_in(cluster_);
@@ -151,7 +181,16 @@ sim::Coro<void> Rank::bcast_hierarchical(int root, std::uint64_t bytes) {
 
   // Phase 2: binomial tree within the cluster, over local indices.
   const int lp = static_cast<int>(local.size());
-  if (lp <= 1) co_return;
+  if (lp <= 1) {
+    const sim::Time elapsed = sim().now() - t0;
+    obs_.bcast_ns->observe(elapsed);
+    if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+      fr.record(sim().now(), sim::TraceKind::kBcastDone, trace_tag_,
+                static_cast<std::uint64_t>(root), bytes,
+                static_cast<std::uint64_t>(elapsed));
+    }
+    co_return;
+  }
   int lroot = 0;
   if (cluster_ == root_cluster) {
     for (int i = 0; i < lp; ++i) {
@@ -179,6 +218,13 @@ sim::Coro<void> Rank::bcast_hierarchical(int root, std::uint64_t bytes) {
       co_await send(real(vrank + mask), bytes, coll_tag(seq, 1));
     }
     mask >>= 1;
+  }
+  const sim::Time elapsed = sim().now() - t0;
+  obs_.bcast_ns->observe(elapsed);
+  if (sim::FlightRecorder& fr = sim().recorder(); fr.armed()) {
+    fr.record(sim().now(), sim::TraceKind::kBcastDone, trace_tag_,
+              static_cast<std::uint64_t>(root), bytes,
+              static_cast<std::uint64_t>(elapsed));
   }
 }
 

@@ -76,6 +76,20 @@ Rank::Rank(Job& job, int rank, net::Node& node, const MpiConfig& cfg)
   rcq_ = std::make_unique<ib::Cq>(node_.sim());
   scq_->set_callback([this](const ib::Cqe& e) { on_send_cqe(e); });
   rcq_->set_callback([this](const ib::Cqe& e) { on_recv_cqe(e); });
+
+  auto& m = sim().metrics();
+  const std::string scope = "node" + std::to_string(node_.id()) + "/mpi";
+  using sim::MetricUnit;
+  obs_.eager_sent = &m.counter(scope, "eager_sent", MetricUnit::kMessages);
+  obs_.rndv_sent = &m.counter(scope, "rndv_sent", MetricUnit::kMessages);
+  obs_.msgs_received =
+      &m.counter(scope, "msgs_received", MetricUnit::kMessages);
+  obs_.unexpected = &m.counter(scope, "unexpected", MetricUnit::kMessages);
+  obs_.bytes_sent = &m.counter(scope, "bytes_sent", MetricUnit::kBytes);
+  obs_.coalesce_flushes =
+      &m.counter(scope, "coalesce_flushes", MetricUnit::kCount);
+  obs_.bcast_ns = &m.histogram(scope, "bcast_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "rank%d", rank_);
 }
 
 int Rank::size() const { return job_.size(); }
@@ -123,6 +137,10 @@ Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
 
   if (bytes < rendezvous_threshold_) {
     ++stats_.eager_sent;
+    obs_.eager_sent->add();
+    obs_.bytes_sent->add(bytes);
+    sim().recorder().record(sim().now(), sim::TraceKind::kEagerSend,
+                            trace_tag_, dst, bytes);
     // Eager is a *buffered* send: the request completes once the data
     // is copied into the pre-registered buffer (MVAPICH2 semantics);
     // the RC transport delivers reliably behind the application's back.
@@ -164,6 +182,10 @@ Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
     });
   } else {
     ++stats_.rndv_sent;
+    obs_.rndv_sent->add();
+    obs_.bytes_sent->add(bytes);
+    sim().recorder().record(sim().now(), sim::TraceKind::kRndvRts,
+                            trace_tag_, dst, bytes);
     rndv_bytes_[id] = bytes;
     const sim::Time t = charge_cpu(cfg_.call_overhead);
     MsgHeader h{.kind = MsgHeader::Kind::kRts,
@@ -184,6 +206,7 @@ void Rank::flush_coalesce(int dst) {
   if (it == coalesce_.end() || !it->second || it->second->msgs.empty()) {
     return;
   }
+  obs_.coalesce_flushes->add();
   CoalesceBuf& buf = *it->second;
   MsgHeader h{.kind = MsgHeader::Kind::kBundle,
               .src_rank = rank_,
@@ -234,6 +257,7 @@ bool Rank::matches(const PostedRecv& r, int src, int tag) const {
 void Rank::complete_eager_recv(std::shared_ptr<detail::RequestState> req,
                                const MsgHeader& h) {
   ++stats_.msgs_received;
+  obs_.msgs_received->add();
   const auto copy = sim::duration_ceil(static_cast<double>(h.bytes) *
                                        cfg_.copy_ns_per_byte);
   const sim::Time t = charge_cpu(cfg_.call_overhead + copy);
@@ -247,6 +271,8 @@ void Rank::complete_eager_recv(std::shared_ptr<detail::RequestState> req,
 
 void Rank::send_cts(int src_rank, std::uint64_t sender_req,
                     std::uint64_t recv_req) {
+  sim().recorder().record(sim().now(), sim::TraceKind::kRndvCts, trace_tag_,
+                          src_rank);
   MsgHeader h{.kind = MsgHeader::Kind::kCts,
               .src_rank = rank_,
               .tag = 0,
@@ -295,6 +321,7 @@ void Rank::handle_eager(const MsgHeader& h) {
     }
   }
   ++stats_.unexpected;
+  obs_.unexpected->add();
   unexpected_.push_back(UnexpectedMsg{h});
 }
 
@@ -308,6 +335,7 @@ void Rank::handle_rts(const MsgHeader& h) {
     }
   }
   ++stats_.unexpected;
+  obs_.unexpected->add();
   unexpected_.push_back(UnexpectedMsg{h});
 }
 
@@ -341,6 +369,9 @@ void Rank::handle_cts(const MsgHeader& h) {
 
 void Rank::handle_fin(const MsgHeader& h) {
   ++stats_.msgs_received;
+  obs_.msgs_received->add();
+  sim().recorder().record(sim().now(), sim::TraceKind::kRndvFin, trace_tag_,
+                          h.src_rank, h.bytes);
   auto it = active_recvs_.find(h.recv_req);
   assert(it != active_recvs_.end() && "FIN for unknown receive");
   auto req = it->second;

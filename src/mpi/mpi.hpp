@@ -211,6 +211,19 @@ class Rank {
   std::unordered_map<int, std::unique_ptr<CoalesceBuf>> coalesce_;
   int coll_seq_ = 0;  // per-rank collective instance counter
   Stats stats_;
+
+  // Registered metrics (docs/METRICS.md §mpi); scope "node<id>/mpi".
+  struct Obs {
+    sim::Counter* eager_sent;
+    sim::Counter* rndv_sent;
+    sim::Counter* msgs_received;
+    sim::Counter* unexpected;
+    sim::Counter* bytes_sent;
+    sim::Counter* coalesce_flushes;
+    sim::Histogram* bcast_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rank<N>"
 };
 
 /// A parallel job: one rank per fabric node (placement must not repeat

@@ -8,9 +8,20 @@
 
 namespace ibwan::net {
 
+using sim::MetricUnit;
+using sim::TraceKind;
+
 Link::Link(sim::Simulator& sim, Config config, std::string name)
     : sim_(sim), config_(config), name_(std::move(name)) {
   assert(config_.bytes_per_ns > 0.0);
+  auto& m = sim_.metrics();
+  const std::string scope = name_ + "/net.link";
+  obs_.pkts_sent = &m.counter(scope, "pkts_sent", MetricUnit::kPackets);
+  obs_.bytes_sent = &m.counter(scope, "bytes_sent", MetricUnit::kBytes);
+  obs_.drops_buffer = &m.counter(scope, "drops_buffer", MetricUnit::kPackets);
+  obs_.drops_loss = &m.counter(scope, "drops_loss", MetricUnit::kPackets);
+  obs_.busy_ns = &m.counter(scope, "busy_ns", MetricUnit::kNanoseconds);
+  obs_.queued_bytes = &m.gauge(scope, "queued_bytes", MetricUnit::kBytes);
 }
 
 bool Link::send(Packet&& p) {
@@ -18,11 +29,15 @@ bool Link::send(Packet&& p) {
   if (config_.buffer_bytes != 0 &&
       queued_bytes_ + p.wire_size > config_.buffer_bytes) {
     ++stats_.packets_dropped_buffer;
+    obs_.drops_buffer->add();
+    sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
+                           p.id, p.wire_size, /*c=*/1);
     IBWAN_WARN(sim_.now(), name_.c_str(), "buffer drop pkt=%llu size=%u",
                static_cast<unsigned long long>(p.id), p.wire_size);
     return false;
   }
   queued_bytes_ += p.wire_size;
+  obs_.queued_bytes->set(static_cast<std::int64_t>(queued_bytes_));
   (p.control ? q_control_ : q_data_).push_back(std::move(p));
   if (!busy_) start_next();
   return true;
@@ -40,17 +55,30 @@ void Link::start_next() {
   q->pop_front();
   const sim::Duration ser = sim::duration_ceil(
       static_cast<double>(pkt->wire_size) / config_.bytes_per_ns);
-  sim_.schedule(ser, [this, pkt] {
+  if (sim_.recorder().armed())
+    sim_.recorder().record(sim_.now(), TraceKind::kPktSend, name_.c_str(),
+                           pkt->id, pkt->wire_size);
+  sim_.schedule(ser, [this, pkt, ser] {
     queued_bytes_ -= pkt->wire_size;
     ++stats_.packets_sent;
     stats_.bytes_sent += pkt->wire_size;
+    obs_.pkts_sent->add();
+    obs_.bytes_sent->add(pkt->wire_size);
+    obs_.busy_ns->add(ser);
+    obs_.queued_bytes->set(static_cast<std::int64_t>(queued_bytes_));
     if (pkt->on_serialized) pkt->on_serialized();
     const bool lost =
         config_.loss_rate > 0.0 && sim_.rng().chance(config_.loss_rate);
     if (lost) {
       ++stats_.packets_dropped_loss;
+      obs_.drops_loss->add();
+      sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
+                             pkt->id, pkt->wire_size, /*c=*/2);
     } else {
       sim_.schedule(config_.propagation + extra_delay_, [this, pkt] {
+        if (sim_.recorder().armed())
+          sim_.recorder().record(sim_.now(), TraceKind::kPktDeliver,
+                                 name_.c_str(), pkt->id, pkt->wire_size);
         Packet delivered = *pkt;
         delivered.on_serialized = nullptr;
         sink_(std::move(delivered));

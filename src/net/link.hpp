@@ -68,9 +68,20 @@ class Link {
  private:
   void start_next();
 
+  // Registered metrics (docs/METRICS.md §net.link); scope "<name>/net.link".
+  struct Obs {
+    sim::Counter* pkts_sent;
+    sim::Counter* bytes_sent;
+    sim::Counter* drops_buffer;
+    sim::Counter* drops_loss;
+    sim::Counter* busy_ns;
+    sim::Gauge* queued_bytes;
+  };
+
   sim::Simulator& sim_;
   Config config_;
   std::string name_;
+  Obs obs_;
   std::function<void(Packet&&)> sink_;
   std::deque<Packet> q_control_;
   std::deque<Packet> q_data_;

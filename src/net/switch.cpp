@@ -12,11 +12,13 @@ void Switch::receive(Packet&& p) {
   int port = default_port_;
   if (auto it = routes_.find(p.dst); it != routes_.end()) port = it->second;
   if (port < 0 || port >= static_cast<int>(ports_.size())) {
+    obs_drops_noroute_->add();
     IBWAN_WARN(sim_.now(), name_.c_str(), "no route for dst=%u, dropping",
                p.dst);
     return;
   }
   ++forwarded_;
+  obs_forwarded_->add();
   Link* out = ports_[port];
   auto shared = std::make_shared<Packet>(std::move(p));
   sim_.schedule(hop_latency_, [out, shared] {

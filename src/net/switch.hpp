@@ -15,7 +15,14 @@ namespace ibwan::net {
 class Switch {
  public:
   Switch(sim::Simulator& sim, std::string name, sim::Duration hop_latency)
-      : sim_(sim), name_(std::move(name)), hop_latency_(hop_latency) {}
+      : sim_(sim), name_(std::move(name)), hop_latency_(hop_latency) {
+    auto& m = sim_.metrics();
+    const std::string scope = name_ + "/net.switch";
+    obs_forwarded_ =
+        &m.counter(scope, "pkts_forwarded", sim::MetricUnit::kPackets);
+    obs_drops_noroute_ =
+        &m.counter(scope, "drops_no_route", sim::MetricUnit::kPackets);
+  }
 
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
@@ -46,6 +53,8 @@ class Switch {
   std::unordered_map<NodeId, int> routes_;
   int default_port_ = -1;
   std::uint64_t forwarded_ = 0;
+  sim::Counter* obs_forwarded_ = nullptr;
+  sim::Counter* obs_drops_noroute_ = nullptr;
 };
 
 }  // namespace ibwan::net

@@ -11,6 +11,7 @@ void Longbow::forward(Packet&& p, Link* out) {
     IBWAN_WARN(sim_.now(), name_.c_str(), "port not connected, dropping");
     return;
   }
+  obs_forwarded_->add();
   auto shared = std::make_shared<Packet>(std::move(p));
   sim_.schedule(latency_, [out, shared] { out->send(std::move(*shared)); });
 }

@@ -22,7 +22,10 @@ class Longbow {
  public:
   Longbow(sim::Simulator& sim, std::string name,
           sim::Duration pipeline_latency)
-      : sim_(sim), name_(std::move(name)), latency_(pipeline_latency) {}
+      : sim_(sim), name_(std::move(name)), latency_(pipeline_latency) {
+    obs_forwarded_ = &sim_.metrics().counter(
+        name_ + "/net.wan", "pkts_forwarded", sim::MetricUnit::kPackets);
+  }
 
   Longbow(const Longbow&) = delete;
   Longbow& operator=(const Longbow&) = delete;
@@ -43,6 +46,7 @@ class Longbow {
   sim::Duration latency_;
   Link* lan_tx_ = nullptr;
   Link* wan_tx_ = nullptr;
+  sim::Counter* obs_forwarded_ = nullptr;
 };
 
 /// The deployed unit: two Longbows and the long-haul fiber between them.

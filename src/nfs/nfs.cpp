@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <memory>
+#include <string>
 
 namespace ibwan::nfs {
 
@@ -11,7 +12,19 @@ namespace ibwan::nfs {
 // ---------------------------------------------------------------------------
 
 NfsServer::NfsServer(sim::Simulator& sim, NfsConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config) {
+  auto& m = sim_.metrics();
+  const std::string scope = "nfs-server/nfs";
+  using sim::MetricUnit;
+  obs_.reads = &m.counter(scope, "reads", MetricUnit::kCount);
+  obs_.writes = &m.counter(scope, "writes", MetricUnit::kCount);
+  obs_.getattrs = &m.counter(scope, "getattrs", MetricUnit::kCount);
+  obs_.bytes_read = &m.counter(scope, "bytes_read", MetricUnit::kBytes);
+  obs_.bytes_written =
+      &m.counter(scope, "bytes_written", MetricUnit::kBytes);
+  obs_.inflight_ops = &m.gauge(scope, "inflight_ops", MetricUnit::kCount);
+  obs_.op_ns = &m.histogram(scope, "op_ns", MetricUnit::kNanoseconds);
+}
 
 rpc::Handler NfsServer::handler() {
   return [this](const rpc::CallArgs& call) { return dispatch(call); };
@@ -23,15 +36,27 @@ sim::SleepAwaiter NfsServer::charge_cpu(sim::Duration d) {
 }
 
 sim::Coro<rpc::ReplyInfo> NfsServer::dispatch(const rpc::CallArgs& call) {
+  const sim::Time t0 = sim_.now();
+  obs_.inflight_ops->set(++inflight_);
+  rpc::ReplyInfo reply = co_await dispatch_inner(call);
+  obs_.inflight_ops->set(--inflight_);
+  obs_.op_ns->observe(sim_.now() - t0);
+  co_return reply;
+}
+
+sim::Coro<rpc::ReplyInfo> NfsServer::dispatch_inner(
+    const rpc::CallArgs& call) {
   switch (static_cast<Proc>(call.proc)) {
     case Proc::kGetattr: {
       ++stats_.getattrs;
+      obs_.getattrs->add();
       co_await charge_cpu(config_.per_op_cpu);
       co_return rpc::ReplyInfo{.reply_bytes = 96};
     }
     case Proc::kRead: {
       const auto& args = call.args_as<ReadArgs>();
       ++stats_.reads;
+      obs_.reads->add();
       const std::uint64_t size = file_size(args.fh);
       const std::uint64_t n =
           args.offset >= size
@@ -45,11 +70,13 @@ sim::Coro<rpc::ReplyInfo> NfsServer::dispatch(const rpc::CallArgs& call) {
       }
       co_await charge_cpu(cpu);
       stats_.bytes_read += n;
+      obs_.bytes_read->add(n);
       co_return rpc::ReplyInfo{.reply_bytes = 120, .data_to_client = n};
     }
     case Proc::kWrite: {
       const auto& args = call.args_as<WriteArgs>();
       ++stats_.writes;
+      obs_.writes->add();
       sim::Duration cpu = config_.per_op_cpu;
       if (config_.chunk_bytes > 0 && args.count > 0) {
         const std::uint64_t chunks =
@@ -60,6 +87,7 @@ sim::Coro<rpc::ReplyInfo> NfsServer::dispatch(const rpc::CallArgs& call) {
       auto& size = files_[args.fh];
       size = std::max(size, args.offset + args.count);
       stats_.bytes_written += args.count;
+      obs_.bytes_written->add(args.count);
       co_return rpc::ReplyInfo{.reply_bytes = 120};
     }
   }

@@ -77,6 +77,7 @@ class NfsServer {
 
  private:
   sim::Coro<rpc::ReplyInfo> dispatch(const rpc::CallArgs& call);
+  sim::Coro<rpc::ReplyInfo> dispatch_inner(const rpc::CallArgs& call);
   /// Serializes handler CPU on the (single) server, like knfsd threads
   /// contending for cores.
   sim::SleepAwaiter charge_cpu(sim::Duration d);
@@ -86,6 +87,19 @@ class NfsServer {
   std::unordered_map<FileHandle, std::uint64_t> files_;
   sim::Time cpu_busy_ = 0;
   Stats stats_;
+
+  // Registered metrics (docs/METRICS.md §nfs); scope "nfs-server/nfs".
+  struct Obs {
+    sim::Counter* reads;
+    sim::Counter* writes;
+    sim::Counter* getattrs;
+    sim::Counter* bytes_read;
+    sim::Counter* bytes_written;
+    sim::Gauge* inflight_ops;
+    sim::Histogram* op_ns;
+  };
+  Obs obs_;
+  std::int64_t inflight_ = 0;
 };
 
 /// Client-side NFS operations over any RPC transport.

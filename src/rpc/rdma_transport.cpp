@@ -5,9 +5,12 @@
 // into fixed-size chunks (4 KB), which is what makes NFS/RDMA
 // latency-bound on long WAN paths (Figure 13).
 #include <cassert>
+#include <cstdio>
+#include <string>
 
 #include "rpc/rpc.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace ibwan::rpc {
 
@@ -38,6 +41,16 @@ struct RdmaRpcClient::Pending {
 
 RdmaRpcServer::RdmaRpcServer(ib::Hca& hca, RdmaRpcConfig config)
     : hca_(hca), config_(config), scq_(hca.sim()), rcq_(hca.sim()) {
+  auto& m = hca_.sim().metrics();
+  const std::string scope =
+      "node" + std::to_string(hca_.lid()) + "/rpc.rdma";
+  using sim::MetricUnit;
+  obs_.chunks_read = &m.counter(scope, "chunks_read", MetricUnit::kCount);
+  obs_.chunks_written =
+      &m.counter(scope, "chunks_written", MetricUnit::kCount);
+  obs_.chunk_read_ns =
+      &m.histogram(scope, "chunk_read_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "rpc-s%u", hca_.lid());
   rcq_.set_callback([this](const ib::Cqe& e) { on_recv(e); });
   // Send completions: dispatch chunk-read completions to their waiters.
   scq_.set_callback([this](const ib::Cqe& e) {
@@ -46,6 +59,17 @@ RdmaRpcServer::RdmaRpcServer(ib::Hca& hca, RdmaRpcConfig config)
     if (it == read_waiters_.end()) return;
     auto wg = it->second;
     read_waiters_.erase(it);
+    if (auto issued = read_issued_.find(e.wr_id);
+        issued != read_issued_.end()) {
+      const sim::Time elapsed = hca_.sim().now() - issued->second;
+      obs_.chunk_read_ns->observe(elapsed);
+      read_issued_.erase(issued);
+      if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
+        fr.record(hca_.sim().now(), sim::TraceKind::kChunkComplete,
+                  trace_tag_, e.wr_id, e.byte_len,
+                  static_cast<std::uint64_t>(elapsed));
+      }
+    }
     wg->done();
   });
 }
@@ -88,6 +112,12 @@ sim::Task RdmaRpcServer::serve(ib::RcQp* qp, CallMsg call) {
       remaining -= n;
       const std::uint64_t wr_id = kWrReadBase + next_read_id_++;
       read_waiters_[wr_id] = wg;
+      read_issued_[wr_id] = hca_.sim().now();
+      obs_.chunks_read->add();
+      if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
+        fr.record(hca_.sim().now(), sim::TraceKind::kChunkIssue,
+                  trace_tag_, wr_id, n, 0);
+      }
       qp->post_send(ib::SendWr{.wr_id = wr_id,
                                .opcode = ib::Opcode::kRdmaRead,
                                .length = n,
@@ -107,6 +137,7 @@ sim::Task RdmaRpcServer::serve(ib::RcQp* qp, CallMsg call) {
     while (remaining > 0) {
       const std::uint64_t n =
           std::min<std::uint64_t>(remaining, config_.chunk_bytes);
+      obs_.chunks_written->add();
       qp->post_send(ib::SendWr{.opcode = ib::Opcode::kRdmaWrite,
                                .length = n,
                                .remote_addr = offset});
@@ -127,6 +158,14 @@ sim::Task RdmaRpcServer::serve(ib::RcQp* qp, CallMsg call) {
 
 RdmaRpcClient::RdmaRpcClient(ib::Hca& hca, RdmaRpcServer& server)
     : hca_(hca), scq_(hca.sim()), rcq_(hca.sim()) {
+  auto& m = hca_.sim().metrics();
+  const std::string scope =
+      "node" + std::to_string(hca_.lid()) + "/rpc.rdma";
+  using sim::MetricUnit;
+  obs_.calls = &m.counter(scope, "calls", MetricUnit::kCount);
+  obs_.inflight = &m.gauge(scope, "inflight", MetricUnit::kCount);
+  obs_.call_ns = &m.histogram(scope, "call_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "rpc-c%u", hca_.lid());
   rcq_.set_callback([this](const ib::Cqe& e) { on_recv(e); });
   scq_.set_callback([](const ib::Cqe&) {});
   qp_ = &hca_.create_rc_qp(scq_, rcq_);
@@ -148,14 +187,28 @@ void RdmaRpcClient::on_recv(const ib::Cqe& cqe) {
 
 sim::Coro<ReplyInfo> RdmaRpcClient::call(CallArgs args) {
   const std::uint64_t xid = next_xid_++;
+  const sim::Time t0 = hca_.sim().now();
   auto p = std::make_shared<Pending>(hca_.sim());
   pending_[xid] = p;
+  obs_.calls->add();
+  obs_.inflight->set(static_cast<std::int64_t>(pending_.size()));
+  if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
+    fr.record(t0, sim::TraceKind::kRpcIssue, trace_tag_, xid, args.proc,
+              args.arg_bytes + args.data_to_server);
+  }
   auto msg = std::make_shared<RdmaRpcServer::CallMsg>();
   msg->xid = xid;
   msg->args = args;
   qp_->post_send(ib::SendWr{.length = kCallHeaderBytes + args.arg_bytes,
                             .app_payload = std::move(msg)});
   if (!p->done) co_await p->trigger.wait();
+  const sim::Time elapsed = hca_.sim().now() - t0;
+  obs_.call_ns->observe(elapsed);
+  obs_.inflight->set(static_cast<std::int64_t>(pending_.size()));
+  if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
+    fr.record(hca_.sim().now(), sim::TraceKind::kRpcComplete, trace_tag_,
+              xid, args.proc, static_cast<std::uint64_t>(elapsed));
+  }
   co_return p->reply;
 }
 

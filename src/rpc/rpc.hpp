@@ -14,6 +14,7 @@
 #include "ib/hca.hpp"
 #include "ib/qp.hpp"
 #include "sim/coro.hpp"
+#include "sim/metrics.hpp"
 #include "sim/task.hpp"
 #include "tcp/tcp.hpp"
 
@@ -77,6 +78,7 @@ class TcpRpcServer {
 
   tcp::TcpStack& stack_;
   Handler handler_;
+  sim::Counter* obs_calls_served_;  // "node<lid>/rpc.tcp" calls_served
 };
 
 class TcpRpcClient : public RpcClient {
@@ -93,6 +95,15 @@ class TcpRpcClient : public RpcClient {
   tcp::TcpConnection& conn_;
   std::uint64_t next_xid_ = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+
+  // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.tcp".
+  struct Obs {
+    sim::Counter* calls;
+    sim::Gauge* inflight;
+    sim::Histogram* call_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rpc-c<lid>"
 };
 
 // ---------------------------------------------------------------------------
@@ -134,7 +145,18 @@ class RdmaRpcServer {
   std::vector<ib::RcQp*> qps_;
   std::unordered_map<std::uint64_t, std::shared_ptr<sim::WaitGroup>>
       read_waiters_;
+  /// Issue timestamps of outstanding chunk RDMA reads, keyed by wr_id.
+  std::unordered_map<std::uint64_t, sim::Time> read_issued_;
   std::uint64_t next_read_id_ = 1;
+
+  // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.rdma".
+  struct Obs {
+    sim::Counter* chunks_read;
+    sim::Counter* chunks_written;
+    sim::Histogram* chunk_read_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rpc-s<lid>"
 };
 
 class RdmaRpcClient : public RpcClient {
@@ -153,6 +175,15 @@ class RdmaRpcClient : public RpcClient {
   ib::RcQp* qp_ = nullptr;
   std::uint64_t next_xid_ = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+
+  // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.rdma".
+  struct Obs {
+    sim::Counter* calls;
+    sim::Gauge* inflight;
+    sim::Histogram* call_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rpc-c<lid>"
 };
 
 }  // namespace ibwan::rpc

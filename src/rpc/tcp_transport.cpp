@@ -1,8 +1,11 @@
 // RPC over TCP: record-marked call and reply messages on one stream.
 #include <cassert>
+#include <cstdio>
+#include <string>
 
 #include "rpc/rpc.hpp"
 #include "sim/task.hpp"
+#include "sim/trace.hpp"
 
 namespace ibwan::rpc {
 
@@ -29,6 +32,9 @@ struct TcpRpcClient::Pending {
 
 TcpRpcServer::TcpRpcServer(tcp::TcpStack& stack, tcp::Port port)
     : stack_(stack) {
+  obs_calls_served_ = &stack_.sim().metrics().counter(
+      "node" + std::to_string(stack_.lid()) + "/rpc.tcp", "calls_served",
+      sim::MetricUnit::kCount);
   stack_.listen(port, [this](tcp::TcpConnection& conn) {
     conn.set_on_marker([this, &conn](std::shared_ptr<const void> marker) {
       serve(conn, std::move(marker));
@@ -41,6 +47,7 @@ sim::Task TcpRpcServer::serve(tcp::TcpConnection& conn,
   const Record& rec = *static_cast<const Record*>(marker.get());
   assert(rec.is_call);
   assert(handler_ && "TcpRpcServer has no handler");
+  obs_calls_served_->add();
   ReplyInfo reply = co_await handler_(rec.args);
   auto out = std::make_shared<Record>();
   out->is_call = false;
@@ -59,6 +66,14 @@ sim::Task TcpRpcServer::serve(tcp::TcpConnection& conn,
 TcpRpcClient::TcpRpcClient(tcp::TcpStack& stack, NodeId server,
                            tcp::Port port)
     : sim_(stack.sim()), conn_(stack.connect(server, port)) {
+  auto& m = sim_.metrics();
+  const std::string scope =
+      "node" + std::to_string(stack.lid()) + "/rpc.tcp";
+  using sim::MetricUnit;
+  obs_.calls = &m.counter(scope, "calls", MetricUnit::kCount);
+  obs_.inflight = &m.gauge(scope, "inflight", MetricUnit::kCount);
+  obs_.call_ns = &m.histogram(scope, "call_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "rpc-c%u", stack.lid());
   conn_.set_on_marker([this](std::shared_ptr<const void> marker) {
     const Record& rec = *static_cast<const Record*>(marker.get());
     assert(!rec.is_call);
@@ -74,17 +89,31 @@ TcpRpcClient::TcpRpcClient(tcp::TcpStack& stack, NodeId server,
 
 sim::Coro<ReplyInfo> TcpRpcClient::call(CallArgs args) {
   const std::uint64_t xid = next_xid_++;
+  const sim::Time t0 = sim_.now();
   auto record = std::make_shared<Record>();
   record->is_call = true;
   record->xid = xid;
   record->args = args;
   auto p = std::make_shared<Pending>(sim_);
   pending_[xid] = p;
+  obs_.calls->add();
+  obs_.inflight->set(static_cast<std::int64_t>(pending_.size()));
+  if (sim::FlightRecorder& fr = sim_.recorder(); fr.armed()) {
+    fr.record(t0, sim::TraceKind::kRpcIssue, trace_tag_, xid, args.proc,
+              args.arg_bytes + args.data_to_server);
+  }
   // WRITE-style bulk data travels inline in the call stream.
   conn_.send_marked(
       kCallHeaderBytes + args.arg_bytes + args.data_to_server,
       std::move(record));
   if (!p->done) co_await p->trigger.wait();
+  const sim::Time elapsed = sim_.now() - t0;
+  obs_.call_ns->observe(elapsed);
+  obs_.inflight->set(static_cast<std::int64_t>(pending_.size()));
+  if (sim::FlightRecorder& fr = sim_.recorder(); fr.armed()) {
+    fr.record(sim_.now(), sim::TraceKind::kRpcComplete, trace_tag_, xid,
+              args.proc, static_cast<std::uint64_t>(elapsed));
+  }
   co_return p->reply;
 }
 

@@ -1,5 +1,7 @@
 #include "sim/log.hpp"
 
+#include "sim/trace.hpp"
+
 namespace ibwan::sim {
 
 namespace {
@@ -11,13 +13,17 @@ void set_log_level(LogLevel level) { g_level = level; }
 
 void log_line(LogLevel level, Time now, const char* tag, const char* fmt,
               ...) {
-  if (static_cast<int>(g_level) < static_cast<int>(level)) return;
-  std::fprintf(stderr, "[%12.3fus] %s: ", to_microseconds(now), tag);
+  if (!log_enabled(level)) return;
+  char msg[256];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(msg, sizeof(msg), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (level == LogLevel::kTrace && trace_capture_active())
+    detail::route_trace_log(now, tag, msg);
+  if (static_cast<int>(g_level) >= static_cast<int>(level))
+    std::fprintf(stderr, "[%12.3fus] %s: %s\n", to_microseconds(now), tag,
+                 msg);
 }
 
 }  // namespace ibwan::sim

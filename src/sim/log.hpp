@@ -17,7 +17,21 @@ enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// printf-style log line: "[   12.345us] tag: message".
+/// True when an armed FlightRecorder on this thread is capturing
+/// kTrace lines (defined in trace.cpp).
+bool trace_capture_active();
+
+/// Whether a line at `level` should be formatted at all: either the
+/// process threshold admits it, or it is a kTrace line and an armed
+/// flight recorder wants it even though stderr logging is quieter.
+inline bool log_enabled(LogLevel level) {
+  if (static_cast<int>(log_level()) >= static_cast<int>(level)) return true;
+  return level == LogLevel::kTrace && trace_capture_active();
+}
+
+/// printf-style log line: "[   12.345us] tag: message". Lines at
+/// kTrace are also routed to the armed flight recorder (if any);
+/// stderr output still obeys the process threshold.
 void log_line(LogLevel level, Time now, const char* tag, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 
@@ -26,8 +40,7 @@ void log_line(LogLevel level, Time now, const char* tag, const char* fmt, ...)
 // Guarded macros avoid formatting cost when the level is disabled.
 #define IBWAN_LOG(level, sim_now, tag, ...)                         \
   do {                                                              \
-    if (static_cast<int>(::ibwan::sim::log_level()) >=              \
-        static_cast<int>(level)) {                                  \
+    if (::ibwan::sim::log_enabled(level)) {                         \
       ::ibwan::sim::log_line(level, (sim_now), (tag), __VA_ARGS__); \
     }                                                               \
   } while (0)

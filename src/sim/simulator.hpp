@@ -37,8 +37,10 @@
 #include <vector>
 
 #include "sim/inline_function.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace ibwan::sim {
 
@@ -162,6 +164,15 @@ class Simulator {
   /// Simulator-owned RNG so all stochastic behaviour shares one seed.
   Rng& rng() { return rng_; }
   void seed(std::uint64_t s) { rng_.reseed(s); }
+
+  /// Per-run observability (docs/METRICS.md): every layer registers
+  /// its instruments here. Disabled by default — enabling must not
+  /// change simulated behaviour, only record it.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Per-run packet flight recorder; disarmed by default.
+  FlightRecorder& recorder() { return recorder_; }
 
  private:
   // seq gets 40 bits (~10^12 events per run), slot 24 (16M concurrently
@@ -358,6 +369,8 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   Rng rng_;
+  MetricsRegistry metrics_;
+  FlightRecorder recorder_;
 };
 
 }  // namespace ibwan::sim

@@ -1,0 +1,166 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace ibwan::sim {
+
+namespace {
+// The armed recorder acting as this thread's IBWAN_TRACE sink. Sweeps
+// run one simulator per worker thread, so thread-local keeps
+// concurrently armed recorders independent.
+thread_local FlightRecorder* t_sink = nullptr;
+
+void copy_padded(char* dst, std::size_t cap, const char* src) {
+  std::size_t i = 0;
+  if (src)
+    for (; i + 1 < cap && src[i]; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+}  // namespace
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kPktSend: return "pkt-send";
+    case TraceKind::kPktDeliver: return "pkt-deliver";
+    case TraceKind::kPktDrop: return "pkt-drop";
+    case TraceKind::kAckSend: return "ack-send";
+    case TraceKind::kAckRecv: return "ack-recv";
+    case TraceKind::kNakSend: return "nak-send";
+    case TraceKind::kRetransmit: return "retransmit";
+    case TraceKind::kRtoFire: return "rto-fire";
+    case TraceKind::kWindowStall: return "window-stall";
+    case TraceKind::kWindowResume: return "window-resume";
+    case TraceKind::kCwndStall: return "cwnd-stall";
+    case TraceKind::kRwndStall: return "rwnd-stall";
+    case TraceKind::kFastRetransmit: return "fast-retransmit";
+    case TraceKind::kTcpRto: return "tcp-rto";
+    case TraceKind::kEagerSend: return "eager-send";
+    case TraceKind::kRndvRts: return "rndv-rts";
+    case TraceKind::kRndvCts: return "rndv-cts";
+    case TraceKind::kRndvFin: return "rndv-fin";
+    case TraceKind::kBcastStart: return "bcast-start";
+    case TraceKind::kBcastDone: return "bcast-done";
+    case TraceKind::kRpcIssue: return "rpc-issue";
+    case TraceKind::kRpcComplete: return "rpc-complete";
+    case TraceKind::kChunkIssue: return "chunk-issue";
+    case TraceKind::kChunkComplete: return "chunk-complete";
+    case TraceKind::kLog: return "log";
+  }
+  return "?";
+}
+
+std::string TraceEvent::format() const {
+  char buf[160];
+  if (kind == TraceKind::kLog) {
+    std::snprintf(buf, sizeof(buf), "[%12.3fus] %-15s %s: %s",
+                  to_microseconds(time), trace_kind_name(kind), tag, text);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "[%12.3fus] %-15s %s: a=%llu b=%llu c=%llu",
+                  to_microseconds(time), trace_kind_name(kind), tag,
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(c));
+  }
+  return buf;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+FlightRecorder::~FlightRecorder() {
+  if (armed_) disarm();
+}
+
+void FlightRecorder::arm() {
+  if (armed_) return;
+  if (ring_.empty()) ring_.resize(capacity_);
+  armed_ = true;
+  prev_sink_ = t_sink;
+  t_sink = this;
+}
+
+void FlightRecorder::disarm() {
+  if (!armed_) return;
+  armed_ = false;
+  if (t_sink == this) t_sink = prev_sink_;
+  prev_sink_ = nullptr;
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = std::max<std::size_t>(capacity, 1);
+  ring_.clear();
+  if (armed_) ring_.resize(capacity_);
+  head_ = 0;
+  recorded_ = 0;
+}
+
+TraceEvent& FlightRecorder::next_slot() {
+  TraceEvent& slot = ring_[head_];
+  head_ = (head_ + 1) % capacity_;
+  ++recorded_;
+  return slot;
+}
+
+void FlightRecorder::record(Time now, TraceKind kind, const char* tag,
+                            std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  if (!armed_) return;
+  TraceEvent& e = next_slot();
+  e.time = now;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  copy_padded(e.tag, sizeof(e.tag), tag);
+  e.text[0] = '\0';
+}
+
+void FlightRecorder::record_text(Time now, const char* tag,
+                                 const char* text) {
+  if (!armed_) return;
+  TraceEvent& e = next_slot();
+  e.time = now;
+  e.kind = TraceKind::kLog;
+  e.a = e.b = e.c = 0;
+  copy_padded(e.tag, sizeof(e.tag), tag);
+  copy_padded(e.text, sizeof(e.text), text);
+}
+
+std::size_t FlightRecorder::size() const {
+  return recorded_ < capacity_ ? static_cast<std::size_t>(recorded_)
+                               : capacity_;
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  // Oldest event: head_ when the ring has wrapped, slot 0 otherwise.
+  const std::size_t start = recorded_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  const auto evs = events();
+  std::fprintf(out, "--- flight recorder: %zu event(s) held, %llu recorded ---\n",
+               evs.size(), static_cast<unsigned long long>(recorded_));
+  for (const auto& e : evs) std::fprintf(out, "%s\n", e.format().c_str());
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  recorded_ = 0;
+}
+
+bool trace_capture_active() { return t_sink != nullptr; }
+
+namespace detail {
+void route_trace_log(Time now, const char* tag, const char* text) {
+  if (t_sink) t_sink->record_text(now, tag, text);
+}
+}  // namespace detail
+
+}  // namespace ibwan::sim

@@ -1,0 +1,128 @@
+// Bounded ring-buffer flight recorder for packet/QP/TCP/MPI/RPC
+// events, stamped with simulated time.
+//
+// The recorder is owned by the Simulator (one per run) and is off
+// ("disarmed") by default: an unarmed record() is a single branch.
+// When armed it also registers itself as the thread-local sink for
+// IBWAN_TRACE log lines, so kTrace-level logging is captured even
+// when the process log level would suppress it (see docs/METRICS.md
+// §flight recorder and the README debugging section).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ibwan::sim {
+
+/// Typed event kinds; trace_kind_name() gives the wire/dump spelling.
+enum class TraceKind : std::uint8_t {
+  // net
+  kPktSend,        // a=packet id, b=wire bytes      (link starts serializing)
+  kPktDeliver,     // a=packet id, b=wire bytes      (link hands to sink)
+  kPktDrop,        // a=packet id, b=wire bytes, c=1 buffer / 2 loss
+  // ib.rc
+  kAckSend,        // a=cumulative psn acked
+  kAckRecv,        // a=cumulative psn acked, b=msgs completed
+  kNakSend,        // a=expected psn, b=got psn
+  kRetransmit,     // a=first psn resent, b=next fresh psn
+  kRtoFire,        // a=oldest unacked psn
+  kWindowStall,    // a=queued msgs, b=inflight msgs  (RC send window full)
+  kWindowResume,   // a=stalled ns
+  // tcp
+  kCwndStall,      // a=cwnd bytes, b=peer window bytes
+  kRwndStall,      // a=cwnd bytes, b=peer window bytes
+  kFastRetransmit, // a=seq resent
+  kTcpRto,         // a=snd_una
+  // mpi
+  kEagerSend,      // a=dst rank, b=bytes
+  kRndvRts,        // a=dst rank, b=bytes            (eager->rendezvous switch)
+  kRndvCts,        // a=src rank, b=bytes
+  kRndvFin,        // a=dst rank, b=bytes
+  kBcastStart,     // a=root, b=bytes
+  kBcastDone,      // a=root, b=elapsed ns
+  // rpc / nfs
+  kRpcIssue,       // a=xid, b=argument bytes
+  kRpcComplete,    // a=xid, b=elapsed ns
+  kChunkIssue,     // a=wr id, b=chunk bytes         (NFS/RDMA 4 KB chunk)
+  kChunkComplete,  // a=wr id, b=elapsed ns
+  // free-form (routed IBWAN_TRACE log lines)
+  kLog,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+/// Fixed-size POD record; `tag` identifies the emitting instance
+/// (link name, "rc-qp3", rank id...), a/b/c are kind-specific (above).
+struct TraceEvent {
+  Time time = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  TraceKind kind{};
+  char tag[15] = {};
+  char text[32] = {};  // only for kLog
+
+  std::string format() const;  // one dump line, no newline
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Arm: start recording and become the thread-local IBWAN_TRACE
+  /// sink (nesting restores the previous sink on disarm). Ring
+  /// storage is allocated lazily on first arm.
+  void arm();
+  void disarm();
+  bool armed() const { return armed_; }
+
+  /// Resize (and clear) the ring. Only meaningful before/between runs.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  void record(Time now, TraceKind kind, const char* tag, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint64_t c = 0);
+  void record_text(Time now, const char* tag, const char* text);
+
+  /// Events currently held, oldest first (at most capacity()).
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  /// Total events ever recorded, including overwritten ones.
+  std::uint64_t recorded() const { return recorded_; }
+
+  /// Human-readable dump, oldest first. Intended for on-demand
+  /// inspection and dump-on-test-failure guards.
+  void dump(std::FILE* out) const;
+  void clear();
+
+ private:
+  TraceEvent& next_slot();
+
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write position
+  std::uint64_t recorded_ = 0;
+  bool armed_ = false;
+  FlightRecorder* prev_sink_ = nullptr;  // restored on disarm
+};
+
+/// True when some recorder on this thread is armed — log_enabled()
+/// uses this to let IBWAN_TRACE lines through at low log levels.
+bool trace_capture_active();
+
+namespace detail {
+/// Route one formatted kTrace log line into the armed recorder.
+void route_trace_log(Time now, const char* tag, const char* text);
+}  // namespace detail
+
+}  // namespace ibwan::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <string>
 #include <utility>
 
 #include "sim/log.hpp"
@@ -91,6 +93,30 @@ TcpConnection::TcpConnection(TcpStack& stack, NodeId peer, Port local_port,
   cwnd_ = mss * cfg_.init_cwnd_segs;
   peer_wnd_ = cfg_.window_bytes;  // refined by the first ack received
   rto_ = std::max<sim::Duration>(cfg_.min_rto, 10 * sim::kMillisecond);
+
+  auto& m = stack_.sim().metrics();
+  const std::string scope = "node" + std::to_string(stack_.lid()) + "/tcp";
+  using sim::MetricUnit;
+  obs_.segs_sent = &m.counter(scope, "segs_sent", MetricUnit::kPackets);
+  obs_.segs_received =
+      &m.counter(scope, "segs_received", MetricUnit::kPackets);
+  obs_.acks_sent = &m.counter(scope, "acks_sent", MetricUnit::kPackets);
+  obs_.retransmits = &m.counter(scope, "retransmits", MetricUnit::kPackets);
+  obs_.fast_retransmits =
+      &m.counter(scope, "fast_retransmits", MetricUnit::kCount);
+  obs_.rto_fires = &m.counter(scope, "rto_fires", MetricUnit::kCount);
+  obs_.cwnd_stalls = &m.counter(scope, "cwnd_stalls", MetricUnit::kCount);
+  obs_.rwnd_stalls = &m.counter(scope, "rwnd_stalls", MetricUnit::kCount);
+  obs_.stall_ns = &m.counter(scope, "stall_ns", MetricUnit::kNanoseconds);
+  obs_.sack_blocks_advertised =
+      &m.counter(scope, "sack_blocks_advertised", MetricUnit::kCount);
+  obs_.sack_hole_retransmits =
+      &m.counter(scope, "sack_hole_retransmits", MetricUnit::kCount);
+  obs_.cwnd_bytes = &m.gauge(scope, "cwnd_bytes", MetricUnit::kBytes);
+  obs_.srtt_ns = &m.gauge(scope, "srtt_ns", MetricUnit::kNanoseconds);
+  std::snprintf(trace_tag_, sizeof(trace_tag_), "tcp-%u-%u",
+                static_cast<unsigned>(stack_.lid()),
+                static_cast<unsigned>(local_port_));
 }
 
 void TcpConnection::send(std::uint64_t bytes) {
@@ -114,6 +140,7 @@ void TcpConnection::enter_established() {
 
 void TcpConnection::on_segment(const Segment& seg) {
   ++stats_.segs_received;
+  obs_.segs_received->add();
   if (seg.syn && !seg.syn_ack) {
     // Server side: answer SYN with SYN|ACK. Data may ride later segments.
     emit(0, 0, /*syn=*/false, /*syn_ack=*/true, /*force_ack=*/false);
@@ -129,6 +156,7 @@ void TcpConnection::on_segment(const Segment& seg) {
     srtt_ns_ = sample;
     rttvar_ns_ = sample / 2;
     stats_.srtt_us = srtt_ns_ / 1000.0;
+    obs_.srtt_ns->set(static_cast<std::int64_t>(srtt_ns_));
     rto_ = std::clamp<sim::Duration>(
         static_cast<sim::Duration>(3.0 * sample), cfg_.min_rto,
         cfg_.max_rto);
@@ -266,6 +294,7 @@ void TcpConnection::on_ack(const Segment& seg) {
         rttvar_ns_ += 0.25 * (std::abs(err) - rttvar_ns_);
       }
       stats_.srtt_us = srtt_ns_ / 1000.0;
+      obs_.srtt_ns->set(static_cast<std::int64_t>(srtt_ns_));
       rto_ = std::clamp<sim::Duration>(
           static_cast<sim::Duration>(srtt_ns_ + 4 * rttvar_ns_),
           cfg_.min_rto, cfg_.max_rto);
@@ -288,6 +317,10 @@ void TcpConnection::on_ack(const Segment& seg) {
       if (dup_acks_ == 3) {
         // Enter fast recovery once; holes-only retransmission.
         ++stats_.fast_retransmits;
+        obs_.fast_retransmits->add();
+        stack_.sim().recorder().record(stack_.sim().now(),
+                                       sim::TraceKind::kFastRetransmit,
+                                       trace_tag_, snd_una_);
         const double flight = static_cast<double>(snd_nxt_ - snd_una_);
         ssthresh_ = std::max(flight / 2, 2 * mss);
         cwnd_ = ssthresh_;
@@ -297,6 +330,10 @@ void TcpConnection::on_ack(const Segment& seg) {
     } else if (dup_acks_ == 3) {
       // Fast retransmit; go-back-N (no SACK) with multiplicative decrease.
       ++stats_.fast_retransmits;
+      obs_.fast_retransmits->add();
+      stack_.sim().recorder().record(stack_.sim().now(),
+                                     sim::TraceKind::kFastRetransmit,
+                                     trace_tag_, snd_una_);
       const double flight = static_cast<double>(snd_nxt_ - snd_una_);
       ssthresh_ = std::max(flight / 2, 2 * mss);
       cwnd_ = ssthresh_;
@@ -315,6 +352,8 @@ void TcpConnection::retransmit_holes() {
   for (const auto& [start, end] : sacked_) {
     if (start > cursor && episode_resent_.insert(cursor).second) {
       ++stats_.retransmits;
+      obs_.retransmits->add();
+      obs_.sack_hole_retransmits->add();
       emit_range(cursor, start);
     }
     cursor = std::max(cursor, end);
@@ -344,10 +383,32 @@ void TcpConnection::pump() {
       if (!rtt_probe_) rtt_probe_ = {snd_nxt_, stack_.sim().now()};
     }
     emit(snd_nxt_, len, false, false, false);
-    if (stats_.segs_sent > 0 && snd_nxt_ < snd_una_) ++stats_.retransmits;
+    if (stats_.segs_sent > 0 && snd_nxt_ < snd_una_) {
+      ++stats_.retransmits;
+      obs_.retransmits->add();
+    }
     snd_nxt_ += len;
     arm_rto();
   }
+  // Sender-stall accounting: data queued but the effective window —
+  // min(cwnd, peer rwnd) — is exhausted. Which limit binds tells the
+  // per-layer WAN story (rwnd: fig6a's -w knob; cwnd: loss recovery).
+  const bool blocked =
+      established_ && snd_nxt_ < app_bytes_ && snd_nxt_ - snd_una_ >= wnd;
+  if (blocked && !stalled_) {
+    stalled_ = true;
+    stall_since_ = stack_.sim().now();
+    const bool rwnd_limited = static_cast<double>(peer_wnd_) < cwnd_;
+    (rwnd_limited ? obs_.rwnd_stalls : obs_.cwnd_stalls)->add();
+    stack_.sim().recorder().record(
+        stack_.sim().now(),
+        rwnd_limited ? sim::TraceKind::kRwndStall : sim::TraceKind::kCwndStall,
+        trace_tag_, static_cast<std::uint64_t>(cwnd_), peer_wnd_);
+  } else if (!blocked && stalled_) {
+    stalled_ = false;
+    obs_.stall_ns->add(stack_.sim().now() - stall_since_);
+  }
+  obs_.cwnd_bytes->set(static_cast<std::int64_t>(cwnd_));
 }
 
 void TcpConnection::emit(std::uint64_t seq, std::uint32_t len, bool syn,
@@ -368,6 +429,7 @@ void TcpConnection::emit(std::uint64_t seq, std::uint32_t len, bool syn,
     if (offset > seq) seg.markers.emplace_back(offset, marker);
   }
   ++stats_.segs_sent;
+  obs_.segs_sent->add();
   if (len > 0) {
     // Data segments piggyback the current ack state.
     unacked_segs_ = 0;
@@ -381,6 +443,7 @@ void TcpConnection::emit(std::uint64_t seq, std::uint32_t len, bool syn,
 
 void TcpConnection::send_pure_ack() {
   ++stats_.acks_sent;
+  obs_.acks_sent->add();
   unacked_segs_ = 0;
   if (dack_armed_) {
     stack_.sim().cancel(dack_timer_);
@@ -401,6 +464,7 @@ void TcpConnection::send_pure_ack() {
       if (++n > 3) break;
       seg.sack_blocks.emplace_back(start, end);
     }
+    obs_.sack_blocks_advertised->add(seg.sack_blocks.size());
   }
   stack_.transmit(peer_, seg);
 }
@@ -423,6 +487,7 @@ void TcpConnection::arm_syn_retry() {
   syn_timer_ = stack_.sim().schedule(rto_, [this] {
     if (established_) return;
     ++stats_.retransmits;
+    obs_.retransmits->add();
     emit(0, 0, /*syn=*/true, /*syn_ack=*/false, /*force_ack=*/false);
     rto_ = std::min<sim::Duration>(rto_ * 2, cfg_.max_rto);
     arm_syn_retry();
@@ -448,6 +513,10 @@ void TcpConnection::on_rto() {
   if (snd_nxt_ <= snd_una_) return;  // nothing outstanding
   ++stats_.rto_fires;
   ++stats_.retransmits;
+  obs_.rto_fires->add();
+  obs_.retransmits->add();
+  stack_.sim().recorder().record(stack_.sim().now(), sim::TraceKind::kTcpRto,
+                                 trace_tag_, snd_una_);
   const double mss = stack_.effective_mss(cfg_);
   const double flight = static_cast<double>(snd_nxt_ - snd_una_);
   ssthresh_ = std::max(flight / 2, 2 * mss);

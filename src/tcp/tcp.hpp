@@ -190,6 +190,29 @@ class TcpConnection {
   std::deque<std::pair<std::uint64_t, std::shared_ptr<const void>>>
       markers_;
   Stats stats_;
+
+  // Registered metrics (docs/METRICS.md §tcp); scope "node<lid>/tcp".
+  struct Obs {
+    sim::Counter* segs_sent;
+    sim::Counter* segs_received;
+    sim::Counter* acks_sent;
+    sim::Counter* retransmits;
+    sim::Counter* fast_retransmits;
+    sim::Counter* rto_fires;
+    sim::Counter* cwnd_stalls;
+    sim::Counter* rwnd_stalls;
+    sim::Counter* stall_ns;
+    sim::Counter* sack_blocks_advertised;
+    sim::Counter* sack_hole_retransmits;
+    sim::Gauge* cwnd_bytes;
+    sim::Gauge* srtt_ns;
+  };
+  Obs obs_;
+  char trace_tag_[15];  // "tcp-<lid>-<port>"
+  // Sender-stall tracking: stalled whenever queued app data cannot move
+  // because min(cwnd, peer window) is exhausted (fig6's WAN bottleneck).
+  bool stalled_ = false;
+  sim::Time stall_since_ = 0;
 };
 
 /// Per-node TCP endpoint: demultiplexes segments from the IPoIB device

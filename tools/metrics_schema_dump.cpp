@@ -1,0 +1,66 @@
+// Prints the complete metric namespace, one line per distinct
+// `<layer>/<metric>` with its kind and unit:
+//
+//   ib.rc/window_stalls counter count
+//
+// Registration is eager (layer constructors register their instruments
+// whether or not metrics are enabled), so merely constructing one of
+// every layer object enumerates the schema. CI diffs this output
+// against the inventory tables in docs/METRICS.md
+// (scripts/check_metrics_docs.py), which keeps the documentation
+// honest: a metric added in code without a docs row — or documented but
+// gone from code — fails the build.
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/testbed.hpp"
+#include "ib/cq.hpp"
+#include "ib/hca.hpp"
+#include "ipoib/ipoib.hpp"
+#include "mpi/mpi.hpp"
+#include "nfs/nfs.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/metrics.hpp"
+#include "tcp/tcp.hpp"
+
+using namespace ibwan;
+
+int main() {
+  // Two hosts per cluster: the first pair carries an MPI job (HCA, RC
+  // QPs, MPI layer), the second pair the socket/RPC stacks.
+  core::Testbed tb(2, 0);
+  sim::Simulator& s = tb.sim();
+
+  // MPI over IB registers ib.hca, ib.rc and mpi on its two ranks.
+  mpi::Job job(tb.fabric(), mpi::Job::split_placement(tb.fabric(), 1));
+
+  // A UD QP (fig4's transport) on a spare node.
+  ib::Hca hca_a(tb.fabric().node(tb.node_a(1)), {});
+  ib::Cq scq(s), rcq(s);
+  hca_a.create_ud_qp(scq, rcq);
+
+  // TCP over IPoIB plus both RPC transports and the NFS server.
+  ib::Hca hca_b(tb.fabric().node(tb.node_b(1)), {});
+  ipoib::IpoibDevice dev(hca_b, {});
+  tcp::TcpStack stack(dev);
+  rpc::TcpRpcServer tcp_server(stack, 2049);
+  rpc::TcpRpcClient tcp_client(stack, tb.node_b(1), 2049);
+  rpc::RdmaRpcServer rdma_server(hca_a);
+  rpc::RdmaRpcClient rdma_client(hca_b, rdma_server);
+  nfs::NfsServer nfs_server(s, {});
+
+  // Strip the instance prefix: "<instance>/<layer>/<metric>" lines
+  // collapse to one row per layer-level metric.
+  std::set<std::string> rows;
+  for (const auto& info : s.metrics().inventory()) {
+    const std::size_t slash = info.path.find('/');
+    const std::string layer_metric =
+        slash == std::string::npos ? info.path : info.path.substr(slash + 1);
+    rows.insert(layer_metric + " " +
+                sim::metric_kind_name(info.kind) + " " +
+                sim::metric_unit_name(info.unit));
+  }
+  for (const std::string& row : rows) std::printf("%s\n", row.c_str());
+  return 0;
+}
