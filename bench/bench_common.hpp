@@ -26,6 +26,7 @@
 
 #include "core/calibration.hpp"
 #include "core/report.hpp"
+#include "net/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
@@ -44,14 +45,37 @@ inline std::string g_metrics_path;  // NOLINT: bench-process singleton
 /// merged "ibwan.metrics.v1" JSON document to be written at exit.
 /// Without the flag this is a no-op and the bench output (including the
 /// CSV bytes) is identical to a build without metrics at all.
+///
+/// Also parses `--faults <plan.json>` (or `--faults=<plan.json>`): the
+/// fault plan (see src/net/faults.hpp for the format) is installed
+/// process-wide, and every Testbed built afterwards attaches it to its
+/// WAN links. The plan is set once before any sweep worker starts and
+/// is read-only thereafter, so threaded sweeps stay deterministic.
 inline void init(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string path;
+    std::string faults_path;
     if (arg == "--metrics" && i + 1 < argc) {
       path = argv[++i];
     } else if (arg.rfind("--metrics=", 0) == 0) {
       path = std::string(arg.substr(10));
+    } else if (arg == "--faults" && i + 1 < argc) {
+      faults_path = argv[++i];
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_path = std::string(arg.substr(9));
+    }
+    if (!faults_path.empty()) {
+      net::FaultPlanConfig plan;
+      std::string err;
+      if (!net::load_fault_plan(faults_path, &plan, &err)) {
+        std::fprintf(stderr, "bad fault plan %s: %s\n", faults_path.c_str(),
+                     err.c_str());
+        std::exit(2);
+      }
+      net::set_global_fault_plan(plan);
+      std::printf("  [faults: %s]\n", faults_path.c_str());
+      continue;
     }
     if (path.empty()) continue;
     detail::g_metrics_path = path;

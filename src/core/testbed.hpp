@@ -7,6 +7,7 @@
 
 #include "core/calibration.hpp"
 #include "net/fabric.hpp"
+#include "net/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -31,6 +32,12 @@ class Testbed {
       : fabric_(sim_, fabric_defaults(nodes_a, nodes_b)) {
     sim_.seed(seed);
     fabric_.set_wan_delay(wan_delay);
+    // A process-wide fault plan (bench --faults) attaches to the WAN
+    // links of every testbed; seeding first keeps the fault RNG streams
+    // tied to this run's seed.
+    if (const net::FaultPlanConfig* fp = net::global_fault_plan()) {
+      if (fabric_.longbows() != nullptr) fabric_.longbows()->apply_faults(*fp);
+    }
     if (sim::MetricsAggregator::global().active()) {
       sim_.metrics().set_enabled(true);
     }

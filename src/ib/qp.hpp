@@ -75,6 +75,8 @@ class RcQp : public QpBase {
     std::uint64_t naks_sent = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t rto_fires = 0;
+    std::uint64_t retries_exhausted = 0;  // error-state transitions
+    std::uint64_t flushed_wqes = 0;       // WQEs completed with success=false
   };
 
   RcQp(Hca& hca, Qpn qpn, Cq& send_cq, Cq& recv_cq);
@@ -108,6 +110,11 @@ class RcQp : public QpBase {
     return sq_.size() + inflight_.size();
   }
 
+  /// True once retry-count exhaustion moved the QP to the error state:
+  /// every outstanding WQE has been flushed with success=false and
+  /// further posts complete immediately the same way.
+  bool in_error() const { return error_; }
+
   void handle_packet(const IbPacket& pkt, Lid src_lid) override;
 
  private:
@@ -135,6 +142,7 @@ class RcQp : public QpBase {
   struct PendingRead {
     SendWr wr;
     sim::EventId retry_timer = 0;
+    int retries = 0;
   };
 
   friend class Srq;
@@ -151,7 +159,9 @@ class RcQp : public QpBase {
   void arm_rto();
   void disarm_rto();
   void issue_read(const SendWr& wr);
-  void send_read_request(const SendWr& wr);
+  void send_read_request(const SendWr& wr, int retries);
+  void enter_error();
+  void flush_wqe(CqeType type, const SendWr& wr);
 
   // --- Requester / sender state ---
   Lid remote_lid_ = 0;
@@ -163,6 +173,8 @@ class RcQp : public QpBase {
   std::uint64_t snd_una_ = 0;  // oldest unacked PSN
   sim::EventId rto_timer_ = 0;
   bool rto_armed_ = false;
+  int rto_retries_ = 0;  // consecutive fires with no ack progress
+  bool error_ = false;
   // Maps in-flight read wr_id -> pending request (bounded by
   // rc_max_outstanding_reads; excess queued in read_queue_).
   std::deque<SendWr> read_queue_;
@@ -193,6 +205,8 @@ class RcQp : public QpBase {
     sim::Counter* acks_sent;
     sim::Counter* naks_sent;
     sim::Counter* rto_fires;
+    sim::Counter* retries_exhausted;
+    sim::Counter* flushed_wqes;
     sim::Counter* window_stalls;
     sim::Counter* window_stall_ns;
     sim::Gauge* outstanding_wqes;

@@ -43,6 +43,10 @@ RcQp::RcQp(Hca& hca, Qpn qpn, Cq& send_cq, Cq& recv_cq)
   obs_.acks_sent = &m.counter(scope, "acks_sent", MetricUnit::kPackets);
   obs_.naks_sent = &m.counter(scope, "naks_sent", MetricUnit::kPackets);
   obs_.rto_fires = &m.counter(scope, "rto_fires", MetricUnit::kCount);
+  obs_.retries_exhausted =
+      &m.counter(scope, "retries_exhausted", MetricUnit::kCount);
+  obs_.flushed_wqes =
+      &m.counter(scope, "flushed_wqes", MetricUnit::kMessages);
   obs_.window_stalls =
       &m.counter(scope, "window_stalls", MetricUnit::kCount);
   obs_.window_stall_ns =
@@ -66,6 +70,14 @@ void RcQp::connect(Lid remote_lid, Qpn remote_qpn) {
 
 void RcQp::post_send(const SendWr& wr) {
   assert(connected() && "post_send on unconnected RC QP");
+  if (error_) {
+    // Error state: complete immediately, flushed.
+    flush_wqe(wr.opcode == Opcode::kRdmaRead ? CqeType::kRdmaReadComplete
+              : is_atomic(wr.opcode)         ? CqeType::kAtomicComplete
+                                             : CqeType::kSendComplete,
+              wr);
+    return;
+  }
   if (wr.opcode == Opcode::kRdmaRead) {
     issue_read(wr);
     return;
@@ -179,6 +191,7 @@ void RcQp::emit_packets(const InflightMsg& m, std::uint64_t from_psn,
 void RcQp::handle_ack(std::uint64_t ack_psn) {
   if (ack_psn <= snd_una_) return;  // stale
   snd_una_ = ack_psn;
+  rto_retries_ = 0;  // the wire is moving again
   bool completed_any = false;
   std::uint64_t completed_msgs = 0;
   while (!inflight_.empty() && inflight_.front().end_psn < ack_psn) {
@@ -241,6 +254,10 @@ void RcQp::arm_rto() {
     obs_.rto_fires->add();
     hca_.sim().recorder().record(hca_.sim().now(), sim::TraceKind::kRtoFire,
                                  trace_tag_, snd_una_);
+    if (++rto_retries_ > hca_.config().rc_retry_count) {
+      enter_error();
+      return;
+    }
     IBWAN_WARN(hca_.sim().now(), "rc-qp", "qpn=%u RTO, resend from psn=%llu",
                qpn_, static_cast<unsigned long long>(snd_una_));
     retransmit_from(snd_una_);
@@ -254,6 +271,74 @@ void RcQp::disarm_rto() {
   rto_armed_ = false;
 }
 
+void RcQp::flush_wqe(CqeType type, const SendWr& wr) {
+  ++stats_.flushed_wqes;
+  obs_.flushed_wqes->add();
+  send_cq_->push_after(hca_.config().cqe_latency, Cqe{.type = type,
+                                                      .wr_id = wr.wr_id,
+                                                      .qpn = qpn_,
+                                                      .byte_len = wr.length,
+                                                      .success = false});
+}
+
+void RcQp::enter_error() {
+  if (error_) return;
+  error_ = true;
+  ++stats_.retries_exhausted;
+  obs_.retries_exhausted->add();
+  const std::uint64_t outstanding = inflight_.size() + sq_.size() +
+                                    pending_reads_.size() +
+                                    read_queue_.size() +
+                                    pending_atomics_.size();
+  hca_.sim().recorder().record(hca_.sim().now(), sim::TraceKind::kQpError,
+                               trace_tag_, snd_una_, outstanding);
+  IBWAN_WARN(hca_.sim().now(), "rc-qp",
+             "qpn=%u retry count exhausted, flushing %llu WQEs", qpn_,
+             static_cast<unsigned long long>(outstanding));
+  disarm_rto();
+  // Flush every requester-side WQE with an error completion, oldest
+  // first. Atomics complete through pending_atomics_ (their inflight/SQ
+  // entry carries the same wr) and internal messages never complete
+  // locally.
+  for (const InflightMsg& m : inflight_) {
+    if (m.internal) {
+      active_read_resps_.erase(m.wr.wr_id);
+      continue;
+    }
+    if (is_atomic(m.wr.opcode)) continue;
+    flush_wqe(CqeType::kSendComplete, m.wr);
+  }
+  inflight_.clear();
+  for (const SendWr& wr : sq_) {
+    if (is_atomic(wr.opcode)) continue;
+    flush_wqe(CqeType::kSendComplete, wr);
+  }
+  sq_.clear();
+  for (const PendingRead& pr : pending_reads_) {
+    hca_.sim().cancel(pr.retry_timer);
+    flush_wqe(CqeType::kRdmaReadComplete, pr.wr);
+  }
+  pending_reads_.clear();
+  for (const SendWr& wr : read_queue_) {
+    flush_wqe(CqeType::kRdmaReadComplete, wr);
+  }
+  read_queue_.clear();
+  // Deterministic flush order for the atomics map: by wr_id.
+  std::vector<std::uint64_t> atomic_ids;
+  atomic_ids.reserve(pending_atomics_.size());
+  for (const auto& [id, wr] : pending_atomics_) atomic_ids.push_back(id);
+  std::sort(atomic_ids.begin(), atomic_ids.end());
+  for (std::uint64_t id : atomic_ids) {
+    flush_wqe(CqeType::kAtomicComplete, pending_atomics_[id]);
+  }
+  pending_atomics_.clear();
+  if (win_stalled_) {
+    win_stalled_ = false;
+    obs_.window_stall_ns->add(hca_.sim().now() - win_stall_since_);
+  }
+  obs_.outstanding_wqes->set(0);
+}
+
 // ---------------------------------------------------------------------------
 // RDMA read (requester).
 // ---------------------------------------------------------------------------
@@ -261,13 +346,13 @@ void RcQp::disarm_rto() {
 void RcQp::issue_read(const SendWr& wr) {
   if (static_cast<int>(pending_reads_.size()) <
       hca_.config().rc_max_outstanding_reads) {
-    send_read_request(wr);
+    send_read_request(wr, /*retries=*/0);
   } else {
     read_queue_.push_back(wr);
   }
 }
 
-void RcQp::send_read_request(const SendWr& wr) {
+void RcQp::send_read_request(const SendWr& wr, int retries) {
   auto pkt = std::make_shared<IbPacket>();
   pkt->type = IbPacketType::kRdmaReadReq;
   pkt->dst_qpn = remote_qpn_;
@@ -278,11 +363,17 @@ void RcQp::send_read_request(const SendWr& wr) {
   hca_.transmit(remote_lid_, std::move(pkt), kRcHeaderBytes,
                 /*first_of_msg=*/true);
   // Requests are not covered by the PSN stream; a per-read timer retries
-  // if the response never starts (request lost on the wire).
-  PendingRead pr{.wr = wr, .retry_timer = 0};
-  pr.retry_timer = hca_.sim().schedule(hca_.config().rto, [this, wr] {
+  // if the response never starts (request lost on the wire), up to the
+  // QP retry budget — then the whole QP faults.
+  PendingRead pr{.wr = wr, .retry_timer = 0, .retries = retries};
+  pr.retry_timer = hca_.sim().schedule(hca_.config().rto, [this, wr,
+                                                           retries] {
     for (auto& p : pending_reads_) {
       if (p.wr.wr_id == wr.wr_id) {
+        if (retries + 1 > hca_.config().rc_retry_count) {
+          enter_error();
+          return;
+        }
         IBWAN_WARN(hca_.sim().now(), "rc-qp", "qpn=%u read retry wr=%llu",
                    qpn_, static_cast<unsigned long long>(wr.wr_id));
         // Re-send the request and re-arm by replacing the entry.
@@ -292,7 +383,7 @@ void RcQp::send_read_request(const SendWr& wr) {
                          [&](const PendingRead& q) {
                            return q.wr.wr_id == wr.wr_id;
                          }));
-        send_read_request(wr);
+        send_read_request(wr, retries + 1);
         return;
       }
     }
@@ -305,6 +396,9 @@ void RcQp::send_read_request(const SendWr& wr) {
 // ---------------------------------------------------------------------------
 
 void RcQp::handle_packet(const IbPacket& pkt, Lid /*src_lid*/) {
+  // An errored QP neither sends nor receives (IB error-state semantics);
+  // late acks and stale data are dropped on the floor.
+  if (error_) return;
   switch (pkt.type) {
     case IbPacketType::kAck:
       handle_ack(pkt.ack_psn);
@@ -436,7 +530,7 @@ void RcQp::deliver_message(const IncomingMsg& m) {
       if (!read_queue_.empty()) {
         SendWr next = read_queue_.front();
         read_queue_.pop_front();
-        send_read_request(next);
+        send_read_request(next, /*retries=*/0);
       }
       break;
     }

@@ -142,6 +142,12 @@ struct HcaConfig {
   /// case). Must exceed the worst-case WAN round trip: IB local ack
   /// timeouts are configured in the hundreds of milliseconds.
   sim::Duration rto = 200 * sim::kMillisecond;
+  /// Consecutive unproductive retries (RTO fires with no ack progress,
+  /// or unanswered RDMA-read requests) before the QP transitions to the
+  /// error state and flushes outstanding WQEs with success=false — the
+  /// IB retry_cnt semantics. Without the bound, a severed WAN link
+  /// would retransmit forever and the requester would hang.
+  int rc_retry_count = 7;
 };
 
 }  // namespace ibwan::ib

@@ -18,18 +18,36 @@ Link::Link(sim::Simulator& sim, Config config, std::string name)
   const std::string scope = name_ + "/net.link";
   obs_.pkts_sent = &m.counter(scope, "pkts_sent", MetricUnit::kPackets);
   obs_.bytes_sent = &m.counter(scope, "bytes_sent", MetricUnit::kBytes);
+  obs_.pkts_delivered =
+      &m.counter(scope, "pkts_delivered", MetricUnit::kPackets);
+  obs_.bytes_delivered =
+      &m.counter(scope, "bytes_delivered", MetricUnit::kBytes);
   obs_.drops_buffer = &m.counter(scope, "drops_buffer", MetricUnit::kPackets);
   obs_.drops_loss = &m.counter(scope, "drops_loss", MetricUnit::kPackets);
+  obs_.drops_fault = &m.counter(scope, "drops_fault", MetricUnit::kPackets);
+  obs_.drops_link_down =
+      &m.counter(scope, "drops_link_down", MetricUnit::kPackets);
+  obs_.drops_brownout =
+      &m.counter(scope, "drops_brownout", MetricUnit::kPackets);
+  obs_.bytes_dropped = &m.counter(scope, "bytes_dropped", MetricUnit::kBytes);
+  obs_.flaps = &m.counter(scope, "flaps", MetricUnit::kCount);
+  obs_.down_ns = &m.counter(scope, "down_ns", MetricUnit::kNanoseconds);
   obs_.busy_ns = &m.counter(scope, "busy_ns", MetricUnit::kNanoseconds);
   obs_.queued_bytes = &m.gauge(scope, "queued_bytes", MetricUnit::kBytes);
+  obs_.jitter_ns = &m.histogram(scope, "jitter_ns", MetricUnit::kNanoseconds);
 }
 
 bool Link::send(Packet&& p) {
   assert(sink_ && "link sink not connected");
-  if (config_.buffer_bytes != 0 &&
-      queued_bytes_ + p.wire_size > config_.buffer_bytes) {
+  const std::uint64_t cap =
+      buffer_override_active_ ? buffer_override_ : config_.buffer_bytes;
+  if (cap != 0 && queued_bytes_ + p.wire_size > cap) {
     ++stats_.packets_dropped_buffer;
     obs_.drops_buffer->add();
+    if (buffer_override_active_) {
+      ++stats_.packets_dropped_brownout;
+      obs_.drops_brownout->add();
+    }
     sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
                            p.id, p.wire_size, /*c=*/1);
     IBWAN_WARN(sim_.now(), name_.c_str(), "buffer drop pkt=%llu size=%u",
@@ -43,7 +61,57 @@ bool Link::send(Packet&& p) {
   return true;
 }
 
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) {
+    ++down_epoch_;  // kills everything serializing or propagating
+    ++stats_.flaps;
+    obs_.flaps->add();
+    down_since_ = sim_.now();
+    sim_.recorder().record(sim_.now(), TraceKind::kLinkDown, name_.c_str(),
+                           queued_bytes_);
+    IBWAN_WARN(sim_.now(), name_.c_str(), "link down (%llu bytes queued)",
+               static_cast<unsigned long long>(queued_bytes_));
+  } else {
+    const sim::Duration outage = sim_.now() - down_since_;
+    stats_.down_ns += outage;
+    obs_.down_ns->add(outage);
+    sim_.recorder().record(sim_.now(), TraceKind::kLinkUp, name_.c_str(),
+                           outage);
+    IBWAN_WARN(sim_.now(), name_.c_str(), "link up after %llu ns",
+               static_cast<unsigned long long>(outage));
+    if (!busy_) start_next();
+  }
+}
+
+void Link::set_buffer_override(std::uint64_t bytes) {
+  buffer_override_active_ = true;
+  buffer_override_ = bytes;
+  sim_.recorder().record(sim_.now(), TraceKind::kBrownoutStart, name_.c_str(),
+                         bytes, config_.buffer_bytes);
+}
+
+void Link::clear_buffer_override() {
+  buffer_override_active_ = false;
+  sim_.recorder().record(sim_.now(), TraceKind::kBrownoutEnd, name_.c_str(),
+                         config_.buffer_bytes);
+}
+
+void Link::drop_down(const Packet& p) {
+  ++stats_.packets_dropped_down;
+  stats_.bytes_dropped += p.wire_size;
+  obs_.drops_link_down->add();
+  obs_.bytes_dropped->add(p.wire_size);
+  sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(), p.id,
+                         p.wire_size, /*c=*/4);
+}
+
 void Link::start_next() {
+  if (down_) {  // serializer pauses; set_down(false) restarts it
+    busy_ = false;
+    return;
+  }
   std::deque<Packet>* q =
       !q_control_.empty() ? &q_control_ : (!q_data_.empty() ? &q_data_ : nullptr);
   if (q == nullptr) {
@@ -58,7 +126,8 @@ void Link::start_next() {
   if (sim_.recorder().armed())
     sim_.recorder().record(sim_.now(), TraceKind::kPktSend, name_.c_str(),
                            pkt->id, pkt->wire_size);
-  sim_.schedule(ser, [this, pkt, ser] {
+  const std::uint64_t epoch = down_epoch_;
+  sim_.schedule(ser, [this, pkt, ser, epoch] {
     queued_bytes_ -= pkt->wire_size;
     ++stats_.packets_sent;
     stats_.bytes_sent += pkt->wire_size;
@@ -67,18 +136,53 @@ void Link::start_next() {
     obs_.busy_ns->add(ser);
     obs_.queued_bytes->set(static_cast<std::int64_t>(queued_bytes_));
     if (pkt->on_serialized) pkt->on_serialized();
+    if (down_ || epoch != down_epoch_) {
+      // The flap hit while this packet was on the wire.
+      drop_down(*pkt);
+      start_next();
+      return;
+    }
+    // Flat config loss draws first, and only when configured, so the main
+    // RNG stream sees the exact same sequence whether or not a fault
+    // model is installed.
     const bool lost =
         config_.loss_rate > 0.0 && sim_.rng().chance(config_.loss_rate);
     if (lost) {
       ++stats_.packets_dropped_loss;
+      stats_.bytes_dropped += pkt->wire_size;
       obs_.drops_loss->add();
+      obs_.bytes_dropped->add(pkt->wire_size);
       sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
                              pkt->id, pkt->wire_size, /*c=*/2);
+    } else if (loss_model_ && loss_model_(*pkt)) {
+      ++stats_.packets_dropped_fault;
+      stats_.bytes_dropped += pkt->wire_size;
+      obs_.drops_fault->add();
+      obs_.bytes_dropped->add(pkt->wire_size);
+      sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
+                             pkt->id, pkt->wire_size, /*c=*/3);
     } else {
-      sim_.schedule(config_.propagation + extra_delay_, [this, pkt] {
+      sim::Duration delay = config_.propagation + extra_delay_;
+      if (jitter_model_) {
+        const sim::Duration jitter = jitter_model_();
+        obs_.jitter_ns->observe(static_cast<std::uint64_t>(jitter));
+        delay += jitter;
+      }
+      const std::uint64_t fly_epoch = down_epoch_;
+      sim_.schedule(delay, [this, pkt, fly_epoch] {
+        if (fly_epoch != down_epoch_) {
+          // A flap killed the packet mid-flight, even if the link is
+          // already back up by now.
+          drop_down(*pkt);
+          return;
+        }
         if (sim_.recorder().armed())
           sim_.recorder().record(sim_.now(), TraceKind::kPktDeliver,
                                  name_.c_str(), pkt->id, pkt->wire_size);
+        ++stats_.packets_delivered;
+        stats_.bytes_delivered += pkt->wire_size;
+        obs_.pkts_delivered->add();
+        obs_.bytes_delivered->add(pkt->wire_size);
         Packet delivered = *pkt;
         delivered.on_serialized = nullptr;
         sink_(std::move(delivered));

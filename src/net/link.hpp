@@ -36,8 +36,19 @@ class Link {
   struct Stats {
     std::uint64_t packets_sent = 0;
     std::uint64_t bytes_sent = 0;
+    std::uint64_t packets_delivered = 0;
+    std::uint64_t bytes_delivered = 0;
     std::uint64_t packets_dropped_buffer = 0;
     std::uint64_t packets_dropped_loss = 0;
+    std::uint64_t packets_dropped_fault = 0;     // injected loss model
+    std::uint64_t packets_dropped_down = 0;      // link-flap windows
+    std::uint64_t packets_dropped_brownout = 0;  // buffer drops while squeezed
+    /// Bytes of every in-flight drop (loss + fault + down). Buffer drops
+    /// never reach the wire, so after the queue drains:
+    ///   bytes_sent == bytes_delivered + bytes_dropped.
+    std::uint64_t bytes_dropped = 0;
+    std::uint64_t flaps = 0;
+    std::uint64_t down_ns = 0;
   };
 
   Link(sim::Simulator& sim, Config config, std::string name = "link");
@@ -58,6 +69,36 @@ class Link {
   void set_extra_delay(sim::Duration d) { extra_delay_ = d; }
   sim::Duration extra_delay() const { return extra_delay_; }
 
+  // --- Fault-injection hooks (driven by net::FaultPlan) -------------
+
+  /// Per-packet injected-loss decision, consulted at serialization time.
+  /// The model must draw from its own RNG stream (Simulator::rng_stream),
+  /// never Simulator::rng(), so installing it cannot perturb fault-free
+  /// runs. Applied after the flat config loss_rate draw; drops count as
+  /// packets_dropped_fault.
+  void set_loss_model(std::function<bool(const Packet&)> model) {
+    loss_model_ = std::move(model);
+  }
+
+  /// Per-packet extra propagation delay (WAN jitter); same RNG-stream
+  /// rule as set_loss_model. Jitter may reorder deliveries, as real
+  /// WAN jitter does.
+  void set_jitter_model(std::function<sim::Duration()> model) {
+    jitter_model_ = std::move(model);
+  }
+
+  /// Takes the link down / brings it back up. Going down kills whatever
+  /// is serializing or propagating (it was on the wire) and pauses the
+  /// serializer; queued packets wait and resume on the up transition.
+  void set_down(bool down);
+  bool down() const { return down_; }
+
+  /// Temporarily squeezes (or relaxes) the send buffer — a WAN-router
+  /// brownout. Overflow drops during the override additionally count as
+  /// packets_dropped_brownout; clear restores config().buffer_bytes.
+  void set_buffer_override(std::uint64_t bytes);
+  void clear_buffer_override();
+
   /// Bytes currently waiting to go onto the wire.
   std::uint64_t queued_bytes() const { return queued_bytes_; }
 
@@ -67,15 +108,25 @@ class Link {
 
  private:
   void start_next();
+  void drop_down(const Packet& p);
 
   // Registered metrics (docs/METRICS.md §net.link); scope "<name>/net.link".
   struct Obs {
     sim::Counter* pkts_sent;
     sim::Counter* bytes_sent;
+    sim::Counter* pkts_delivered;
+    sim::Counter* bytes_delivered;
     sim::Counter* drops_buffer;
     sim::Counter* drops_loss;
+    sim::Counter* drops_fault;
+    sim::Counter* drops_link_down;
+    sim::Counter* drops_brownout;
+    sim::Counter* bytes_dropped;
+    sim::Counter* flaps;
+    sim::Counter* down_ns;
     sim::Counter* busy_ns;
     sim::Gauge* queued_bytes;
+    sim::Histogram* jitter_ns;
   };
 
   sim::Simulator& sim_;
@@ -83,9 +134,16 @@ class Link {
   std::string name_;
   Obs obs_;
   std::function<void(Packet&&)> sink_;
+  std::function<bool(const Packet&)> loss_model_;
+  std::function<sim::Duration()> jitter_model_;
   std::deque<Packet> q_control_;
   std::deque<Packet> q_data_;
   bool busy_ = false;
+  bool down_ = false;
+  std::uint64_t down_epoch_ = 0;  // bumped on every down transition
+  sim::Time down_since_ = 0;
+  bool buffer_override_active_ = false;
+  std::uint64_t buffer_override_ = 0;
   std::uint64_t queued_bytes_ = 0;
   sim::Duration extra_delay_ = 0;
   Stats stats_;

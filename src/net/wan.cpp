@@ -2,12 +2,17 @@
 
 #include <utility>
 
+#include "net/faults.hpp"
 #include "sim/log.hpp"
 
 namespace ibwan::net {
 
 void Longbow::forward(Packet&& p, Link* out) {
   if (out == nullptr) {
+    ++drops_no_port_;
+    obs_drops_no_port_->add();
+    sim_.recorder().record(sim_.now(), sim::TraceKind::kPktDrop,
+                           name_.c_str(), p.id, p.wire_size, /*c=*/5);
     IBWAN_WARN(sim_.now(), name_.c_str(), "port not connected, dropping");
     return;
   }
@@ -16,7 +21,8 @@ void Longbow::forward(Packet&& p, Link* out) {
   sim_.schedule(latency_, [out, shared] { out->send(std::move(*shared)); });
 }
 
-LongbowPair::LongbowPair(sim::Simulator& sim, const Config& config) {
+LongbowPair::LongbowPair(sim::Simulator& sim, const Config& config)
+    : sim_(sim) {
   a_ = std::make_unique<Longbow>(sim, "longbow-a", config.pipeline_latency);
   b_ = std::make_unique<Longbow>(sim, "longbow-b", config.pipeline_latency);
 
@@ -30,6 +36,13 @@ LongbowPair::LongbowPair(sim::Simulator& sim, const Config& config) {
   b_to_a_->set_sink([this](Packet&& p) { a_->receive_from_wan(std::move(p)); });
   a_->set_wan_tx(a_to_b_.get());
   b_->set_wan_tx(b_to_a_.get());
+}
+
+LongbowPair::~LongbowPair() = default;
+
+void LongbowPair::apply_faults(const FaultPlanConfig& cfg) {
+  faults_a_to_b_ = std::make_unique<FaultPlan>(sim_, *a_to_b_, cfg);
+  faults_b_to_a_ = std::make_unique<FaultPlan>(sim_, *b_to_a_, cfg);
 }
 
 }  // namespace ibwan::net

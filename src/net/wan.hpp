@@ -16,6 +16,9 @@
 
 namespace ibwan::net {
 
+class FaultPlan;
+struct FaultPlanConfig;
+
 /// One Longbow router: two-port store-and-forward bridge with a fixed
 /// pipeline latency per traversal.
 class Longbow {
@@ -23,8 +26,11 @@ class Longbow {
   Longbow(sim::Simulator& sim, std::string name,
           sim::Duration pipeline_latency)
       : sim_(sim), name_(std::move(name)), latency_(pipeline_latency) {
-    obs_forwarded_ = &sim_.metrics().counter(
-        name_ + "/net.wan", "pkts_forwarded", sim::MetricUnit::kPackets);
+    auto& m = sim_.metrics();
+    obs_forwarded_ = &m.counter(name_ + "/net.wan", "pkts_forwarded",
+                                sim::MetricUnit::kPackets);
+    obs_drops_no_port_ = &m.counter(name_ + "/net.wan", "drops_no_port",
+                                    sim::MetricUnit::kPackets);
   }
 
   Longbow(const Longbow&) = delete;
@@ -38,6 +44,10 @@ class Longbow {
 
   const std::string& name() const { return name_; }
 
+  /// Packets that arrived for an unconnected port (misconfiguration or a
+  /// chaos plan that severed the topology) — never dropped silently.
+  std::uint64_t drops_no_port() const { return drops_no_port_; }
+
  private:
   void forward(Packet&& p, Link* out);
 
@@ -46,7 +56,9 @@ class Longbow {
   sim::Duration latency_;
   Link* lan_tx_ = nullptr;
   Link* wan_tx_ = nullptr;
+  std::uint64_t drops_no_port_ = 0;
   sim::Counter* obs_forwarded_ = nullptr;
+  sim::Counter* obs_drops_no_port_ = nullptr;
 };
 
 /// The deployed unit: two Longbows and the long-haul fiber between them.
@@ -67,9 +79,21 @@ class LongbowPair {
   };
 
   LongbowPair(sim::Simulator& sim, const Config& config);
+  ~LongbowPair();
 
   Longbow& side_a() { return *a_; }
   Longbow& side_b() { return *b_; }
+
+  /// Attaches a fault plan to both WAN directions (net/faults.hpp).
+  /// Call after Simulator::seed() so the fault RNG streams derive from
+  /// the run seed. Replaces any previously applied plan's RNG-driven
+  /// models; scheduled windows from an earlier plan still fire.
+  void apply_faults(const FaultPlanConfig& cfg);
+
+  /// The raw long-haul links, exposed so tests and chaos harnesses can
+  /// install targeted fault hooks (Link::set_loss_model and friends).
+  Link& wan_link_a_to_b() { return *a_to_b_; }
+  Link& wan_link_b_to_a() { return *b_to_a_; }
 
   /// Emulated one-way wire delay (Table 1: 5 us of delay per km).
   void set_oneway_delay(sim::Duration d) {
@@ -84,10 +108,13 @@ class LongbowPair {
   const Link::Stats& wan_stats_b_to_a() const { return b_to_a_->stats(); }
 
  private:
+  sim::Simulator& sim_;
   std::unique_ptr<Longbow> a_;
   std::unique_ptr<Longbow> b_;
   std::unique_ptr<Link> a_to_b_;
   std::unique_ptr<Link> b_to_a_;
+  std::unique_ptr<FaultPlan> faults_a_to_b_;
+  std::unique_ptr<FaultPlan> faults_b_to_a_;
 };
 
 }  // namespace ibwan::net

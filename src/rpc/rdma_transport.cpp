@@ -4,9 +4,11 @@
 // replies, reads from the client for WRITE-style calls — fragmented
 // into fixed-size chunks (4 KB), which is what makes NFS/RDMA
 // latency-bound on long WAN paths (Figure 13).
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "rpc/rpc.hpp"
 #include "sim/task.hpp"
@@ -61,14 +63,19 @@ RdmaRpcServer::RdmaRpcServer(ib::Hca& hca, RdmaRpcConfig config)
     read_waiters_.erase(it);
     if (auto issued = read_issued_.find(e.wr_id);
         issued != read_issued_.end()) {
-      const sim::Time elapsed = hca_.sim().now() - issued->second;
-      obs_.chunk_read_ns->observe(elapsed);
-      read_issued_.erase(issued);
-      if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
-        fr.record(hca_.sim().now(), sim::TraceKind::kChunkComplete,
-                  trace_tag_, e.wr_id, e.byte_len,
-                  static_cast<std::uint64_t>(elapsed));
+      // Flushed reads (QP retry exhaustion) still release the waiter so
+      // the serve coroutine unwinds, but record no timing — the chunk
+      // never arrived.
+      if (e.success) {
+        const sim::Time elapsed = hca_.sim().now() - issued->second;
+        obs_.chunk_read_ns->observe(elapsed);
+        if (sim::FlightRecorder& fr = hca_.sim().recorder(); fr.armed()) {
+          fr.record(hca_.sim().now(), sim::TraceKind::kChunkComplete,
+                    trace_tag_, e.wr_id, e.byte_len,
+                    static_cast<std::uint64_t>(elapsed));
+        }
       }
+      read_issued_.erase(issued);
     }
     wg->done();
   });
@@ -91,6 +98,7 @@ void RdmaRpcServer::on_recv(const ib::Cqe& cqe) {
   auto it = by_qpn_.find(cqe.qpn);
   if (it == by_qpn_.end()) return;
   it->second->post_recv(ib::RecvWr{});  // repost the consumed receive
+  if (!cqe.success) return;             // flushed receive: nothing arrived
   if (!cqe.app_payload) return;
   serve(it->second, cqe.payload_as<CallMsg>());
 }
@@ -163,17 +171,46 @@ RdmaRpcClient::RdmaRpcClient(ib::Hca& hca, RdmaRpcServer& server)
       "node" + std::to_string(hca_.lid()) + "/rpc.rdma";
   using sim::MetricUnit;
   obs_.calls = &m.counter(scope, "calls", MetricUnit::kCount);
+  obs_.call_failures =
+      &m.counter(scope, "call_failures", MetricUnit::kCount);
   obs_.inflight = &m.gauge(scope, "inflight", MetricUnit::kCount);
   obs_.call_ns = &m.histogram(scope, "call_ns", MetricUnit::kNanoseconds);
   std::snprintf(trace_tag_, sizeof(trace_tag_), "rpc-c%u", hca_.lid());
   rcq_.set_callback([this](const ib::Cqe& e) { on_recv(e); });
-  scq_.set_callback([](const ib::Cqe&) {});
+  // A flushed send completion means the QP exhausted its retry budget
+  // (WAN severed past the IB timeout horizon): no call on this
+  // connection can ever complete, so fail them all.
+  scq_.set_callback([this](const ib::Cqe& e) {
+    if (!e.success) fail_all_pending();
+  });
   qp_ = &hca_.create_rc_qp(scq_, rcq_);
   server.accept(*qp_, hca_.lid());
 }
 
+void RdmaRpcClient::fail_all_pending() {
+  if (pending_.empty()) return;
+  // Deterministic completion order: fail by ascending xid, not map order.
+  std::vector<std::uint64_t> xids;
+  xids.reserve(pending_.size());
+  for (const auto& [xid, p] : pending_) xids.push_back(xid);
+  std::sort(xids.begin(), xids.end());
+  for (std::uint64_t xid : xids) {
+    auto p = pending_.at(xid);
+    p->reply = ReplyInfo{};
+    p->reply.ok = false;
+    p->done = true;
+    obs_.call_failures->add();
+    p->trigger.fire();
+  }
+  pending_.clear();
+}
+
 void RdmaRpcClient::on_recv(const ib::Cqe& cqe) {
   qp_->post_recv(ib::RecvWr{});
+  if (!cqe.success) {
+    fail_all_pending();
+    return;
+  }
   if (!cqe.app_payload) return;
   const ReplyMsg& msg = cqe.payload_as<ReplyMsg>();
   auto it = pending_.find(msg.xid);

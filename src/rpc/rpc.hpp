@@ -45,6 +45,22 @@ struct ReplyInfo {
   /// Bulk payload returned to the client (e.g. NFS READ data).
   std::uint64_t data_to_client = 0;
   std::shared_ptr<const void> body;
+  /// False when the transport gave up — the retry budget was exhausted
+  /// (TCP transport) or the underlying QP flushed (RDMA transport).
+  /// The payload fields are meaningless in that case.
+  bool ok = true;
+};
+
+/// Client-side bounded retry-with-backoff for timed-out calls.
+/// timeout == 0 (the default) preserves the wait-forever behaviour;
+/// chaos runs set a finite budget so a faulted WAN cannot hang a
+/// caller. Retries reuse the xid, so a duplicate execution on the
+/// server is absorbed by the first reply winning (ONC-RPC semantics;
+/// handlers are idempotent the way NFS ops are).
+struct RpcRetryConfig {
+  sim::Duration timeout = 0;
+  int max_retries = 3;
+  double backoff = 2.0;
 };
 
 /// Server-side dispatch: one concurrently-running coroutine per call.
@@ -89,16 +105,21 @@ class TcpRpcClient : public RpcClient {
 
   sim::Coro<ReplyInfo> call(CallArgs args) override;
 
+  void set_retry(const RpcRetryConfig& retry) { retry_ = retry; }
+
  private:
   struct Pending;
   sim::Simulator& sim_;
   tcp::TcpConnection& conn_;
   std::uint64_t next_xid_ = 1;
+  RpcRetryConfig retry_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
 
   // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.tcp".
   struct Obs {
     sim::Counter* calls;
+    sim::Counter* retries;
+    sim::Counter* call_failures;
     sim::Gauge* inflight;
     sim::Histogram* call_ns;
   };
@@ -168,6 +189,9 @@ class RdmaRpcClient : public RpcClient {
  private:
   struct Pending;
   void on_recv(const ib::Cqe& cqe);
+  /// QP retry exhaustion flushed a WQE: every outstanding call fails
+  /// with ok=false (there is no path left to a reply).
+  void fail_all_pending();
 
   ib::Hca& hca_;
   ib::Cq scq_;
@@ -179,6 +203,7 @@ class RdmaRpcClient : public RpcClient {
   // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.rdma".
   struct Obs {
     sim::Counter* calls;
+    sim::Counter* call_failures;
     sim::Gauge* inflight;
     sim::Histogram* call_ns;
   };

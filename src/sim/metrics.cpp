@@ -18,7 +18,7 @@ std::uint64_t bins_quantile(const std::vector<std::uint64_t>& bins,
     seen += bins[i];
     if (seen > target) return i == 0 ? 0 : (1ULL << (i - 1));
   }
-  return bins.empty() ? 0 : 1ULL << (bins.size() - 1);
+  return bins.size() < 2 ? 0 : (1ULL << (bins.size() - 2));
 }
 
 void json_string(std::FILE* out, const std::string& s) {

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -163,7 +164,25 @@ class Simulator {
 
   /// Simulator-owned RNG so all stochastic behaviour shares one seed.
   Rng& rng() { return rng_; }
-  void seed(std::uint64_t s) { rng_.reseed(s); }
+  void seed(std::uint64_t s) {
+    seed_ = s;
+    rng_.reseed(s);
+  }
+
+  /// Independent RNG derived from the run seed and a stream name
+  /// (FNV-1a). Consumers that must not perturb the main stream — fault
+  /// injection, optional instrumentation — draw from their own named
+  /// stream, so enabling them leaves rng()'s sequence untouched.
+  Rng rng_stream(std::string_view name) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    Rng r;
+    r.reseed(seed_ ^ h);
+    return r;
+  }
 
   /// Per-run observability (docs/METRICS.md): every layer registers
   /// its instruments here. Disabled by default — enabling must not
@@ -368,6 +387,7 @@ class Simulator {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t seed_ = 0x9e3779b97f4a7c15ULL;  // Rng's default seed
   Rng rng_;
   MetricsRegistry metrics_;
   FlightRecorder recorder_;

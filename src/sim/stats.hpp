@@ -68,7 +68,9 @@ class LogHistogram {
 
   const std::vector<std::uint64_t>& bins() const { return bins_; }
 
-  /// Approximate p-quantile (returns the lower edge of the bin).
+  /// Approximate p-quantile (returns the lower edge of the bin). The
+  /// p≈1.0 fall-through lands in the last occupied bin and must report
+  /// the same lower edge the in-loop path would — not the upper edge.
   std::uint64_t quantile(double p) const {
     if (total_ == 0) return 0;
     const auto target =
@@ -78,7 +80,7 @@ class LogHistogram {
       seen += bins_[i];
       if (seen > target) return i == 0 ? 0 : (1ULL << (i - 1));
     }
-    return 1ULL << (bins_.size() - 1);
+    return bins_.size() < 2 ? 0 : (1ULL << (bins_.size() - 2));
   }
 
  private:
@@ -94,11 +96,19 @@ struct Series {
 
   void add(double x, double y) { points.emplace_back(x, y); }
 
-  /// y value at exact x, or NaN if absent.
+  /// y value at x, or NaN if absent. x values are often computed
+  /// (delay_us / 1000.0 and the like), so exact double equality would
+  /// silently miss; match within a relative epsilon instead.
   double at(double x) const {
     for (const auto& [px, py] : points)
-      if (px == x) return py;
+      if (nearly_equal(px, x)) return py;
     return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  static bool nearly_equal(double a, double b) {
+    if (a == b) return true;  // covers exact matches and both zero
+    const double scale = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= scale * 1e-9;
   }
 };
 

@@ -44,6 +44,11 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kRpcComplete: return "rpc-complete";
     case TraceKind::kChunkIssue: return "chunk-issue";
     case TraceKind::kChunkComplete: return "chunk-complete";
+    case TraceKind::kLinkDown: return "link-down";
+    case TraceKind::kLinkUp: return "link-up";
+    case TraceKind::kBrownoutStart: return "brownout-start";
+    case TraceKind::kBrownoutEnd: return "brownout-end";
+    case TraceKind::kQpError: return "qp-error";
     case TraceKind::kLog: return "log";
   }
   return "?";

@@ -24,7 +24,8 @@ enum class TraceKind : std::uint8_t {
   // net
   kPktSend,        // a=packet id, b=wire bytes      (link starts serializing)
   kPktDeliver,     // a=packet id, b=wire bytes      (link hands to sink)
-  kPktDrop,        // a=packet id, b=wire bytes, c=1 buffer / 2 loss
+  kPktDrop,        // a=packet id, b=wire bytes, c=1 buffer / 2 loss /
+                   //   3 fault (Gilbert–Elliott) / 4 link down / 5 no port
   // ib.rc
   kAckSend,        // a=cumulative psn acked
   kAckRecv,        // a=cumulative psn acked, b=msgs completed
@@ -50,6 +51,12 @@ enum class TraceKind : std::uint8_t {
   kRpcComplete,    // a=xid, b=elapsed ns
   kChunkIssue,     // a=wr id, b=chunk bytes         (NFS/RDMA 4 KB chunk)
   kChunkComplete,  // a=wr id, b=elapsed ns
+  // fault injection (src/net/faults.hpp)
+  kLinkDown,       // a=in-flight+queued bytes at the flap
+  kLinkUp,         // a=outage ns
+  kBrownoutStart,  // a=squeezed buffer bytes, b=normal buffer bytes
+  kBrownoutEnd,    // a=restored buffer bytes
+  kQpError,        // a=oldest unacked psn, b=WQEs flushed (RC retry exhausted)
   // free-form (routed IBWAN_TRACE log lines)
   kLog,
 };

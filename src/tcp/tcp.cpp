@@ -338,6 +338,7 @@ void TcpConnection::on_ack(const Segment& seg) {
       ssthresh_ = std::max(flight / 2, 2 * mss);
       cwnd_ = ssthresh_;
       dup_acks_ = 0;
+      rewind_high_ = std::max(rewind_high_, snd_nxt_);
       snd_nxt_ = snd_una_;
       rtt_probe_.reset();
       pump();
@@ -357,6 +358,22 @@ void TcpConnection::retransmit_holes() {
       emit_range(cursor, start);
     }
     cursor = std::max(cursor, end);
+  }
+  // The rescue retransmission (after RFC 6675's rule 4): a dropped
+  // final segment sits above every SACK block, so the hole pass never
+  // touches it and it used to wait out a full RTO. Resend only the last
+  // segment, once per episode — the rest of the un-sacked tail is
+  // usually still in flight, and if it really is lost the SACK this
+  // elicits turns it into an ordinary hole for the pass above.
+  if (!sacked_.empty() && cursor < snd_nxt_ &&
+      episode_resent_.insert(snd_nxt_).second) {
+    const std::uint32_t mss = stack_.effective_mss(cfg_);
+    const std::uint64_t from =
+        std::max(cursor, snd_nxt_ - std::min<std::uint64_t>(mss, snd_nxt_));
+    ++stats_.retransmits;
+    obs_.retransmits->add();
+    obs_.sack_hole_retransmits->add();
+    emit_range(from, snd_nxt_);
   }
 }
 
@@ -383,7 +400,10 @@ void TcpConnection::pump() {
       if (!rtt_probe_) rtt_probe_ = {snd_nxt_, stack_.sim().now()};
     }
     emit(snd_nxt_, len, false, false, false);
-    if (stats_.segs_sent > 0 && snd_nxt_ < snd_una_) {
+    // Anything below the rewind watermark has been on the wire before —
+    // this send is a go-back-N retransmission. (snd_nxt_ < snd_una_ can
+    // never hold here: the ack path clamps snd_nxt_ up to snd_una_.)
+    if (snd_nxt_ < rewind_high_) {
       ++stats_.retransmits;
       obs_.retransmits->add();
     }
@@ -512,16 +532,15 @@ void TcpConnection::disarm_rto() {
 void TcpConnection::on_rto() {
   if (snd_nxt_ <= snd_una_) return;  // nothing outstanding
   ++stats_.rto_fires;
-  ++stats_.retransmits;
   obs_.rto_fires->add();
-  obs_.retransmits->add();
   stack_.sim().recorder().record(stack_.sim().now(), sim::TraceKind::kTcpRto,
                                  trace_tag_, snd_una_);
   const double mss = stack_.effective_mss(cfg_);
   const double flight = static_cast<double>(snd_nxt_ - snd_una_);
   ssthresh_ = std::max(flight / 2, 2 * mss);
   cwnd_ = mss;
-  snd_nxt_ = snd_una_;  // go-back-N
+  rewind_high_ = std::max(rewind_high_, snd_nxt_);
+  snd_nxt_ = snd_una_;  // go-back-N; pump() counts the resends
   rtt_probe_.reset();
   rto_ = std::min<sim::Duration>(rto_ * 2, cfg_.max_rto);  // backoff
   pump();

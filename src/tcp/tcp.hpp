@@ -155,6 +155,9 @@ class TcpConnection {
   std::uint64_t app_bytes_ = 0;  // total bytes the app has queued
   std::uint64_t snd_una_ = 0;
   std::uint64_t snd_nxt_ = 0;
+  /// Highest snd_nxt_ reached before any go-back-N rewind; sends below
+  /// it are retransmissions (counted in Stats::retransmits by pump()).
+  std::uint64_t rewind_high_ = 0;
   double cwnd_ = 0;
   double ssthresh_ = 1e18;
   std::uint32_t peer_wnd_ = 0;

@@ -62,6 +62,32 @@ TEST(LogHistogram, QuantileMonotone) {
   EXPECT_GE(h.quantile(0.9), 4096u);
 }
 
+TEST(LogHistogram, QuantileEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogram, QuantileSingleBinConsistentAcrossP) {
+  // Regression: p near 1.0 used to fall through to the *upper* edge of
+  // the last bin while every other p reported lower edges, so
+  // quantile(1.0) of a single-sample histogram disagreed with
+  // quantile(0.5) of the same histogram.
+  LogHistogram h;
+  h.add(1);  // bin 0, lower edge 0
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogram, QuantileTopBinReportsLowerEdge) {
+  LogHistogram h;
+  h.add(100);  // bin 7: (64, 128]
+  EXPECT_EQ(h.quantile(0.5), 64u);
+  EXPECT_EQ(h.quantile(1.0), 64u);  // was 128 (upper edge) before the fix
+}
+
 TEST(Series, AtFindsExactPoint) {
   Series s;
   s.name = "curve";
@@ -69,6 +95,29 @@ TEST(Series, AtFindsExactPoint) {
   s.add(2.0, 20.0);
   EXPECT_DOUBLE_EQ(s.at(2.0), 20.0);
   EXPECT_TRUE(std::isnan(s.at(3.0)));
+}
+
+TEST(Series, AtToleratesFloatingPointNoise) {
+  // Regression: lookups used exact double equality, so an x computed by
+  // accumulation (0.1 summed ten times != 1.0) missed the point and the
+  // report printed a hole in the table.
+  double x = 0.0;
+  for (int i = 0; i < 10; ++i) x += 0.1;
+  ASSERT_NE(x, 1.0);  // the classic binary-fraction drift
+  Series s;
+  s.add(x, 42.0);
+  EXPECT_DOUBLE_EQ(s.at(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.at(x), 42.0);
+  // Distinct points stay distinct: the epsilon is relative and tiny.
+  EXPECT_TRUE(std::isnan(s.at(1.01)));
+  EXPECT_TRUE(std::isnan(s.at(0.0)));
+}
+
+TEST(Series, AtZeroMatchesZero) {
+  Series s;
+  s.add(0.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 7.0);
+  EXPECT_TRUE(std::isnan(s.at(1e-30)));  // not "nearly equal" to 0
 }
 
 }  // namespace
