@@ -26,6 +26,7 @@
 
 #include "core/calibration.hpp"
 #include "core/report.hpp"
+#include "core/seed.hpp"
 #include "net/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
@@ -52,6 +53,21 @@ inline std::string g_metrics_path;  // NOLINT: bench-process singleton
 /// WAN links. The plan is set once before any sweep worker starts and
 /// is read-only thereafter, so threaded sweeps stay deterministic.
 inline void init(int argc, char** argv) {
+  // IBWAN_SEED=N re-runs the whole bench under a different master seed
+  // (default 42, the seed the committed CSVs were generated with).
+  // Read once here, before any Testbed or sweep worker exists, so the
+  // override is part of the declared run input. (getenv is legal in
+  // bench::init by DET001's allowlist — this is where env knobs live.)
+  if (const char* env = std::getenv("IBWAN_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0') {
+      std::fprintf(stderr, "bad IBWAN_SEED '%s': not an integer\n", env);
+      std::exit(2);
+    }
+    core::set_default_seed(v);
+    if (v != 42) std::printf("  [seed: %llu]\n", v);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string path;
@@ -105,6 +121,7 @@ inline std::string delay_label(sim::Duration d) {
 
 /// Volume multiplier: 1 for quick runs, larger with IBWAN_FULL=1.
 inline int scale() {
+  // NOLINT-IBWAN(DET001): explicit user knob, read once before sweeps start
   const char* full = std::getenv("IBWAN_FULL");
   return (full != nullptr && full[0] == '1') ? 8 : 1;
 }
@@ -129,6 +146,8 @@ class SweepRunner {
 
   /// Pool size: IBWAN_THREADS if set, else hardware concurrency.
   static int default_threads() {
+    // NOLINT-IBWAN(DET001): pool size never affects CSV bytes (rows
+    // merge in grid order); read once before workers start
     if (const char* env = std::getenv("IBWAN_THREADS")) {
       const int n = std::atoi(env);
       if (n > 0) return n;
@@ -178,10 +197,11 @@ struct SweepPoint {
   std::uint64_t seed;
 };
 
-/// The delay grid crossed with `seeds` repetition seeds (42, 43, ...),
-/// delay-major so merged output groups repetitions per delay.
-inline std::vector<SweepPoint> delay_seed_grid(int seeds = 1,
-                                               std::uint64_t first_seed = 42) {
+/// The delay grid crossed with `seeds` repetition seeds counting up
+/// from the master seed (42, 43, ... by default; IBWAN_SEED shifts the
+/// base), delay-major so merged output groups repetitions per delay.
+inline std::vector<SweepPoint> delay_seed_grid(
+    int seeds = 1, std::uint64_t first_seed = core::default_seed()) {
   std::vector<SweepPoint> points;
   for (sim::Duration d : delay_grid()) {
     for (int s = 0; s < seeds; ++s) {

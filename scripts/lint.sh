@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# One-shot static-analysis entry point: everything the `static-analysis`
+# CI job runs, in the same order, runnable locally.
+#
+#   scripts/lint.sh            # ibwan-lint + docs checks (+ clang-tidy
+#                              # when installed and a build exists)
+#   scripts/lint.sh --fast     # ibwan-lint only
+#
+# Exit: nonzero iff any enabled check fails. clang-tidy and the
+# metrics-docs check degrade to a notice when their prerequisites
+# (clang-tidy binary / a configured build) are missing, so the script
+# works in minimal containers; CI installs both so nothing is skipped
+# there.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+BUILD_DIR="${IBWAN_BUILD_DIR:-build}"
+fail=0
+
+step() { printf '\n== %s ==\n' "$1"; }
+
+step "ibwan-lint (determinism & invariant rules)"
+if ! python3 tools/ibwan_lint \
+    --compile-commands "$BUILD_DIR/compile_commands.json" \
+    src bench examples tools; then
+  fail=1
+fi
+
+if [[ "$FAST" == "1" ]]; then
+  exit "$fail"
+fi
+
+step "clang-tidy (bugprone/performance profile)"
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed — skipped (CI runs it)"
+elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "no $BUILD_DIR/compile_commands.json — configure first (cmake -B $BUILD_DIR -S .)"
+else
+  # Sources only; headers are covered through HeaderFilterRegex.
+  mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    if ! run-clang-tidy -quiet -p "$BUILD_DIR" "${sources[@]}"; then
+      fail=1
+    fi
+  else
+    if ! printf '%s\n' "${sources[@]}" | \
+        xargs -P "$(nproc)" -n 4 clang-tidy -quiet -p "$BUILD_DIR"; then
+      fail=1
+    fi
+  fi
+fi
+
+step "markdown links"
+if ! python3 scripts/check_md_links.py; then
+  fail=1
+fi
+
+step "docs/METRICS.md vs registry"
+DUMP="$BUILD_DIR/tools/metrics_schema_dump"
+if [[ -x "$DUMP" ]]; then
+  if ! python3 scripts/check_metrics_docs.py "$DUMP"; then
+    fail=1
+  fi
+else
+  echo "$DUMP not built — skipped (cmake --build $BUILD_DIR --target metrics_schema_dump)"
+fi
+
+if [[ "$fail" == "0" ]]; then
+  printf '\nlint.sh: all checks passed\n'
+else
+  printf '\nlint.sh: FAILURES above\n'
+fi
+exit "$fail"

@@ -1,0 +1,30 @@
+// Process-wide default master seed (42, the repo's published-CSV seed).
+//
+// bench::init overrides it from IBWAN_SEED before any sweep starts, so
+// every Testbed and delay_seed_grid() built afterwards derives from the
+// user's seed without each bench threading a parameter through. The
+// value is set once, pre-threads, and read-only thereafter — the same
+// contract as the global fault plan.
+#pragma once
+
+#include <cstdint>
+
+namespace ibwan::core {
+
+namespace detail {
+inline std::uint64_t& default_seed_storage() {
+  static std::uint64_t seed = 42;
+  return seed;
+}
+}  // namespace detail
+
+/// The master seed a run derives from when no explicit seed is given.
+inline std::uint64_t default_seed() { return detail::default_seed_storage(); }
+
+/// Set before any simulation is constructed (bench::init does this from
+/// IBWAN_SEED); changing it mid-run would split one run across seeds.
+inline void set_default_seed(std::uint64_t seed) {
+  detail::default_seed_storage() = seed;
+}
+
+}  // namespace ibwan::core

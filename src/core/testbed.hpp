@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "core/calibration.hpp"
+#include "core/seed.hpp"
 #include "net/fabric.hpp"
 #include "net/faults.hpp"
 #include "sim/metrics.hpp"
@@ -24,11 +25,11 @@ class Testbed {
  public:
   explicit Testbed(int nodes_per_cluster = 1,
                    sim::Duration wan_delay = 0,
-                   std::uint64_t seed = 42)
+                   std::uint64_t seed = default_seed())
       : Testbed(nodes_per_cluster, nodes_per_cluster, wan_delay, seed) {}
 
   Testbed(int nodes_a, int nodes_b, sim::Duration wan_delay,
-          std::uint64_t seed = 42)
+          std::uint64_t seed = default_seed())
       : fabric_(sim_, fabric_defaults(nodes_a, nodes_b)) {
     sim_.seed(seed);
     fabric_.set_wan_delay(wan_delay);

@@ -179,6 +179,8 @@ class Simulator {
       h ^= static_cast<unsigned char>(c);
       h *= 0x100000001b3ULL;
     }
+    // NOLINT-IBWAN(DET004): this IS the stream factory — the state is
+    // overwritten from the run seed on the next line
     Rng r;
     r.reseed(seed_ ^ h);
     return r;

@@ -47,9 +47,9 @@ TEST(Kv, GetReturnsValueSizeAndMissReturnsZero) {
   KvWorld w;
   w.server.preload(5, 4096);
   std::uint64_t hit = 1, miss = 1;
-  [](KvWorld& w, std::uint64_t* hit, std::uint64_t* miss) -> sim::Task {
-    *hit = co_await w.client.get(5);
-    *miss = co_await w.client.get(6);
+  [](KvWorld& kw, std::uint64_t* h, std::uint64_t* m) -> sim::Task {
+    *h = co_await kw.client.get(5);
+    *m = co_await kw.client.get(6);
   }(w, &hit, &miss);
   w.sim.run();
   EXPECT_EQ(hit, 4096u);
@@ -60,8 +60,8 @@ TEST(Kv, GetReturnsValueSizeAndMissReturnsZero) {
 
 TEST(Kv, PutStoresValue) {
   KvWorld w;
-  [](KvWorld& w) -> sim::Task {
-    co_await w.client.put(9, 100'000);
+  [](KvWorld& kw) -> sim::Task {
+    co_await kw.client.put(9, 100'000);
   }(w);
   w.sim.run();
   EXPECT_EQ(w.server.value_size(9), 100'000u);
@@ -73,10 +73,10 @@ TEST(Kv, GetLatencyTracksWanDelay) {
     KvWorld w(delay);
     w.server.preload(1, 128);
     sim::Time t0 = 0, t1 = 0;
-    [](KvWorld& w, sim::Time* t0, sim::Time* t1) -> sim::Task {
-      *t0 = w.sim.now();
-      co_await w.client.get(1);
-      *t1 = w.sim.now();
+    [](KvWorld& kw, sim::Time* a, sim::Time* b) -> sim::Task {
+      *a = kw.sim.now();
+      co_await kw.client.get(1);
+      *b = kw.sim.now();
     }(w, &t0, &t1);
     w.sim.run();
     return sim::to_microseconds(t1 - t0);
@@ -167,8 +167,8 @@ TEST(Pfs, PlanCoversExactlyOnce) {
   w.provision(64 << 20);
   pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 1 << 20});
   std::uint64_t got = 0;
-  [](pfs::StripedFile& f, std::uint64_t* got) -> sim::Task {
-    *got = co_await f.read(3 << 20, 9 << 20);  // straddles stripes
+  [](pfs::StripedFile& f, std::uint64_t* out) -> sim::Task {
+    *out = co_await f.read(3 << 20, 9 << 20);  // straddles stripes
   }(file, &got);
   w.sim.run();
   EXPECT_EQ(got, 9u << 20);
@@ -179,8 +179,8 @@ TEST(Pfs, UnalignedReadsComplete) {
   w.provision(8 << 20);
   pfs::StripedFile file(w.sim, w.mounts, 1, {.stripe_bytes = 333'333});
   std::uint64_t got = 0;
-  [](pfs::StripedFile& f, std::uint64_t* got) -> sim::Task {
-    *got = co_await f.read(12'345, 2'000'000);
+  [](pfs::StripedFile& f, std::uint64_t* out) -> sim::Task {
+    *out = co_await f.read(12'345, 2'000'000);
   }(file, &got);
   w.sim.run();
   EXPECT_EQ(got, 2'000'000u);

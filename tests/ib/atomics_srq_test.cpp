@@ -139,7 +139,7 @@ TEST(Srq, SharedPoolServesMultipleQps) {
   Srq srq;
   qb1.set_srq(&srq);
   qb2.set_srq(&srq);
-  for (int i = 0; i < 8; ++i) srq.post_recv(RecvWr{.wr_id = 500 + i});
+  for (int i = 0; i < 8; ++i) srq.post_recv(RecvWr{.wr_id = 500 + static_cast<std::uint64_t>(i)});
 
   int got = 0;
   f.rcq_b.set_callback([&](const Cqe& e) {

@@ -39,8 +39,8 @@ TEST(Cm, EstablishesWorkingConnection) {
   w.cm_b.listen(42, w.scq_b, w.rcq_b,
                 [&](RcQp& qp) { server_qp = &qp; });
   RcQp* client_qp = nullptr;
-  [](CmWorld& w, RcQp** out) -> sim::Task {
-    *out = co_await w.cm_a.connect(1, 42, w.scq_a, w.rcq_a);
+  [](CmWorld& cw, RcQp** out) -> sim::Task {
+    *out = co_await cw.cm_a.connect(1, 42, cw.scq_a, cw.rcq_a);
   }(w, &client_qp);
   w.sim.run();
   ASSERT_NE(client_qp, nullptr);
@@ -60,8 +60,8 @@ TEST(Cm, EstablishesWorkingConnection) {
 TEST(Cm, UnknownServiceIsRejected) {
   CmWorld w;
   RcQp* qp = reinterpret_cast<RcQp*>(1);
-  [](CmWorld& w, RcQp** out) -> sim::Task {
-    *out = co_await w.cm_a.connect(1, 999, w.scq_a, w.rcq_a);
+  [](CmWorld& cw, RcQp** out) -> sim::Task {
+    *out = co_await cw.cm_a.connect(1, 999, cw.scq_a, cw.rcq_a);
   }(w, &qp);
   w.sim.run();
   EXPECT_EQ(qp, nullptr);
@@ -73,9 +73,9 @@ TEST(Cm, HandshakeCostsOneRoundTripOverWan) {
   w.fabric.set_wan_delay(1000_us);
   w.cm_b.listen(42, w.scq_b, w.rcq_b, [](RcQp&) {});
   sim::Time done = 0;
-  [](CmWorld& w, sim::Time* t) -> sim::Task {
-    co_await w.cm_a.connect(1, 42, w.scq_a, w.rcq_a);
-    *t = w.sim.now();
+  [](CmWorld& cw, sim::Time* t) -> sim::Task {
+    co_await cw.cm_a.connect(1, 42, cw.scq_a, cw.rcq_a);
+    *t = cw.sim.now();
   }(w, &done);
   w.sim.run();
   EXPECT_GT(done, 2000_us);  // REQ there + REP back
@@ -88,8 +88,8 @@ TEST(Cm, SurvivesMadLoss) {
   int connected = 0;
   w.cm_b.listen(42, w.scq_b, w.rcq_b, [&](RcQp&) { ++connected; });
   RcQp* qp = nullptr;
-  [](CmWorld& w, RcQp** out) -> sim::Task {
-    *out = co_await w.cm_a.connect(1, 42, w.scq_a, w.rcq_a);
+  [](CmWorld& cw, RcQp** out) -> sim::Task {
+    *out = co_await cw.cm_a.connect(1, 42, cw.scq_a, cw.rcq_a);
   }(w, &qp);
   w.sim.run();
   ASSERT_NE(qp, nullptr);
@@ -104,8 +104,8 @@ TEST(Cm, ManyConcurrentConnections) {
   w.cm_b.listen(42, w.scq_b, w.rcq_b, [&](RcQp&) { ++accepted; });
   int established = 0;
   for (int i = 0; i < 10; ++i) {
-    [](CmWorld& w, int* count) -> sim::Task {
-      RcQp* qp = co_await w.cm_a.connect(1, 42, w.scq_a, w.rcq_a);
+    [](CmWorld& cw, int* count) -> sim::Task {
+      RcQp* qp = co_await cw.cm_a.connect(1, 42, cw.scq_a, cw.rcq_a);
       if (qp != nullptr) ++*count;
     }(w, &established);
   }
@@ -120,11 +120,11 @@ TEST(Cm, BothDirectionsSimultaneously) {
   w.cm_a.listen(7, w.scq_a, w.rcq_a, [](RcQp&) {});
   w.cm_b.listen(7, w.scq_b, w.rcq_b, [](RcQp&) {});
   int ok = 0;
-  [](CmWorld& w, int* count) -> sim::Task {
-    if (co_await w.cm_a.connect(1, 7, w.scq_a, w.rcq_a)) ++*count;
+  [](CmWorld& cw, int* count) -> sim::Task {
+    if (co_await cw.cm_a.connect(1, 7, cw.scq_a, cw.rcq_a)) ++*count;
   }(w, &ok);
-  [](CmWorld& w, int* count) -> sim::Task {
-    if (co_await w.cm_b.connect(0, 7, w.scq_b, w.rcq_b)) ++*count;
+  [](CmWorld& cw, int* count) -> sim::Task {
+    if (co_await cw.cm_b.connect(0, 7, cw.scq_b, cw.rcq_b)) ++*count;
   }(w, &ok);
   w.sim.run();
   EXPECT_EQ(ok, 2);

@@ -1,0 +1,41 @@
+// Clean fixture: deterministic-by-construction code. The driver
+// asserts zero findings, active or suppressed.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace ibwan::test {
+
+struct Emitter {
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_;
+  std::map<std::string, std::uint64_t> by_name_;
+
+  // Ordered-map iteration may emit freely.
+  void dump() const {
+    for (const auto& [name, v] : by_name_) {
+      std::printf("%s=%llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+    }
+  }
+
+  // Unordered iteration is fine when the body is effect-free
+  // (sort-before-act idiom).
+  std::vector<std::uint64_t> sorted_keys() const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pending_.size());
+    for (const auto& [k, v] : pending_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+};
+
+// Seeded draws through the sim RNG are fine.
+std::uint64_t draw(sim::Rng& rng) { return rng.next_u64(); }
+
+}  // namespace ibwan::test

@@ -1,0 +1,49 @@
+// DET001 fixture: every banned nondeterminism API must be flagged.
+#include <cstdlib>
+#include <ctime>
+#include <chrono>
+#include <random>
+
+namespace ibwan::test {
+
+int draw_badly() {
+  return rand();  // EXPECT-IBWAN(DET001)
+}
+
+void seed_badly() {
+  srand(42);  // EXPECT-IBWAN(DET001)
+}
+
+long stamp_badly() {
+  return time(nullptr);  // EXPECT-IBWAN(DET001)
+}
+
+long tick_badly() {
+  return clock();  // EXPECT-IBWAN(DET001)
+}
+
+long chrono_badly() {
+  auto t = std::chrono::system_clock::now();  // EXPECT-IBWAN(DET001)
+  auto s = std::chrono::steady_clock::now();  // EXPECT-IBWAN(DET001)
+  return t.time_since_epoch().count() + s.time_since_epoch().count();
+}
+
+unsigned device_badly() {
+  std::random_device rd;  // EXPECT-IBWAN(DET001)
+  return rd();
+}
+
+const char* env_badly() {
+  return std::getenv("IBWAN_FULL");  // EXPECT-IBWAN(DET001)
+}
+
+}  // namespace ibwan::test
+
+namespace ibwan::bench {
+
+// getenv is allowed here: bench::init is the centralized entry hook.
+void init(int, char**) {
+  (void)std::getenv("IBWAN_FULL");  // no finding
+}
+
+}  // namespace ibwan::bench

@@ -1,0 +1,44 @@
+// DET002 fixture: effectful iteration over unordered containers.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Sim {
+  void schedule(int, int) {}
+};
+
+struct Demux {
+  std::unordered_map<int, int> by_qpn_;
+  std::unordered_set<std::string> names_;
+  Sim sim_;
+
+  void drain_badly() {
+    for (const auto& [qpn, qp] : by_qpn_) {  // EXPECT-IBWAN(DET002)
+      sim_.schedule(qpn, qp);
+    }
+  }
+
+  void dump_badly() {
+    for (const auto& n : names_) {  // EXPECT-IBWAN(DET002)
+      std::printf("%s\n", n.c_str());
+    }
+  }
+
+  void iterate_badly() {
+    for (auto it = by_qpn_.begin(); it != by_qpn_.end(); ++it) {  // EXPECT-IBWAN(DET002)
+      std::printf("%d\n", it->first);
+    }
+  }
+
+  // The sort-before-act idiom: collecting keys has no side effects, so
+  // neither loop is a finding.
+  void drain_well() {
+    std::vector<int> keys;
+    keys.reserve(by_qpn_.size());
+    for (const auto& [qpn, qp] : by_qpn_) keys.push_back(qpn);
+    // (sort keys, then act — acting loop iterates the sorted vector)
+    for (int k : keys) sim_.schedule(k, by_qpn_[k]);
+  }
+};

@@ -1,0 +1,26 @@
+// DET003 fixture: ordering keyed on pointer values.
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+struct Qp {
+  int id;
+};
+
+struct IdLess {
+  bool operator()(const Qp* a, const Qp* b) const { return a->id < b->id; }
+};
+
+struct Registry {
+  std::map<Qp*, int> by_qp_;            // EXPECT-IBWAN(DET003)
+  std::set<const Qp*> active_;          // EXPECT-IBWAN(DET003)
+  std::priority_queue<Qp*> heap_;       // EXPECT-IBWAN(DET003)
+  std::less<Qp*> cmp_;                  // EXPECT-IBWAN(DET003)
+
+  // Custom comparators over a stable id are fine.
+  std::map<Qp*, int, IdLess> ordered_by_id_;
+  std::set<const Qp*, IdLess> active_by_id_;
+  // Value-position pointers are fine: only keys order iteration.
+  std::map<int, Qp*> by_id_;
+};

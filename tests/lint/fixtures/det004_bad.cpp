@@ -1,0 +1,41 @@
+// DET004 fixture: RNG draws bypassing the seeded simulator streams.
+#include <cstdint>
+#include <random>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace ibwan::test {
+
+std::uint64_t engine_badly() {
+  std::mt19937 gen;  // EXPECT-IBWAN(DET004)
+  return gen();
+}
+
+std::uint64_t engine64_badly() {
+  std::mt19937_64 gen{1234};  // EXPECT-IBWAN(DET004)
+  return gen();
+}
+
+std::uint64_t default_badly() {
+  std::default_random_engine gen;  // EXPECT-IBWAN(DET004)
+  return gen();
+}
+
+std::uint64_t rng_badly() {
+  sim::Rng r;  // EXPECT-IBWAN(DET004)
+  return r.next_u64();
+}
+
+std::uint64_t rng_braced_badly() {
+  sim::Rng r{};  // EXPECT-IBWAN(DET004)
+  return r.next_u64();
+}
+
+std::uint64_t rng_well(sim::Simulator& s) {
+  sim::Rng r = s.rng_stream("workload");  // no finding: seeded stream
+  sim::Rng explicit_seed(42);             // no finding: explicit seed
+  return r.next_u64() ^ explicit_seed.next_u64();
+}
+
+}  // namespace ibwan::test

@@ -1,0 +1,7 @@
+// HDR001 fixture: no include guard in this header. EXPECT-IBWAN(HDR001)
+// (the missing-guard finding anchors to line 1, where this comment sits)
+
+#include <iostream>  // EXPECT-IBWAN(HDR001)
+#include <cstdint>   // fine
+
+inline std::uint64_t fixture_id() { return 7; }

@@ -1,0 +1,19 @@
+// INV001 fixture (violating half): outside code poking conserved
+// counters directly, bypassing the owning class's accounting.
+#include "inv001_counters.hpp"
+
+namespace fixture {
+
+void cook_the_books(Wire& w) {
+  w.mutable_stats().fx_bytes_sent += 64;      // EXPECT-IBWAN(INV001)
+  w.mutable_stats().fx_bytes_delivered = 0;   // EXPECT-IBWAN(INV001)
+  w.mutable_stats().fx_bytes_dropped++;       // EXPECT-IBWAN(INV001)
+  w.mutable_stats().unrelated = 7;            // not conserved: no finding
+}
+
+std::uint64_t read_only(const Wire& w) {
+  // Reads are always fine.
+  return w.stats().fx_bytes_sent + w.stats().fx_bytes_dropped;
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// INV001 fixture (owning half): accounting inside the declaring
+// translation-unit pair is legal — no findings in this file.
+#include "inv001_counters.hpp"
+
+namespace fixture {
+
+void Wire::on_send(std::uint64_t n) {
+  stats_.fx_bytes_sent += n;       // owning unit: allowed
+  stats_.fx_bytes_delivered += n;  // owning unit: allowed
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// INV001 fixture (declaration half): a link-like stats block whose
+// fields participate in the bytes_sent == delivered + dropped
+// conservation invariant. Writes are only legal from this header's
+// translation-unit pair (inv001_counters.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct WireStats {
+  std::uint64_t fx_bytes_sent = 0;       // lint:conserved
+  std::uint64_t fx_bytes_delivered = 0;  // lint:conserved
+  std::uint64_t fx_bytes_dropped = 0;    // lint:conserved
+  std::uint64_t unrelated = 0;           // not conserved: writable anywhere
+};
+
+class Wire {
+ public:
+  void on_send(std::uint64_t n);
+  const WireStats& stats() const { return stats_; }
+  WireStats& mutable_stats() { return stats_; }
+
+ private:
+  WireStats stats_;
+};
+
+}  // namespace fixture

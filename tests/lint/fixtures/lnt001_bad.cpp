@@ -1,0 +1,11 @@
+// LNT001 fixture: a suppression with no reason is itself a finding
+// (and still suppresses its target rule, so only LNT001 fires here).
+#include <cstdlib>
+
+namespace ibwan::test {
+
+int lazy_suppression() {
+  return rand();  // NOLINT-IBWAN(DET001) EXPECT-IBWAN(LNT001)
+}
+
+}  // namespace ibwan::test

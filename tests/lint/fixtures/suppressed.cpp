@@ -1,0 +1,25 @@
+// Suppression fixture: real violations carrying NOLINT-IBWAN comments
+// with reasons. The driver asserts this file reports ZERO active
+// findings (and that --show-suppressed can still surface them).
+#include <cstdlib>
+#include <random>
+
+namespace ibwan::test {
+
+int suppressed_same_line() {
+  return rand();  // NOLINT-IBWAN(DET001): fixture exercises same-line form
+}
+
+unsigned suppressed_line_above() {
+  // NOLINT-IBWAN(DET001): fixture exercises the own-line form, with a
+  // reason that wraps across two comment lines
+  std::random_device rd;
+  return rd();
+}
+
+std::uint32_t suppressed_engine() {
+  std::mt19937 gen{7};  // NOLINT-IBWAN(DET004): fixture: fixed literal seed
+  return gen();
+}
+
+}  // namespace ibwan::test

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fixture tests for ibwan-lint.
+
+Every fixture under tests/lint/fixtures/ carries `EXPECT-IBWAN(RULE)`
+markers on the lines where a rule must fire.  This driver runs the
+linter over the corpus and asserts an exact match: each rule fires
+exactly where expected (same file, same line) and nowhere else, the
+suppressed fixture reports zero active findings, and the clean fixture
+reports zero findings of any kind.
+
+Runs under plain python3 (ctest) or pytest.
+"""
+
+import os
+import sys
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+FIXTURES = os.path.join(REPO, "tests", "lint", "fixtures")
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+from ibwan_lint import engine  # noqa: E402
+from ibwan_lint.model import EXPECT_RE  # noqa: E402
+from ibwan_lint.rules import RULES  # noqa: E402
+
+
+def lint_corpus():
+    paths = engine.discover([FIXTURES])
+    files, errors = engine.parse_files(paths)
+    if errors:
+        raise AssertionError(f"fixture corpus failed to lex: {errors}")
+    return files, engine.run_rules(files)
+
+
+def expected_markers(files):
+    out = set()
+    for sf in files:
+        for rule, line in sf.expects:
+            out.add((os.path.basename(sf.path), line, rule))
+    return out
+
+
+class LintFixtureTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.files, cls.findings = lint_corpus()
+        cls.active = {(os.path.basename(f.path), f.line, f.rule)
+                      for f in cls.findings if not f.suppressed}
+        cls.everything = {(os.path.basename(f.path), f.line, f.rule)
+                          for f in cls.findings}
+
+    def test_each_rule_fires_exactly_where_expected(self):
+        expected = expected_markers(self.files)
+        missing = expected - self.active
+        unexpected = self.active - expected
+        self.assertFalse(
+            missing, f"rules that failed to fire: {sorted(missing)}")
+        self.assertFalse(
+            unexpected, f"unexpected findings: {sorted(unexpected)}")
+
+    def test_every_shipped_rule_has_a_failing_fixture(self):
+        fired = {rule for (_, _, rule) in self.active}
+        # INV001 etc. must each be exercised by at least one fixture.
+        self.assertEqual(fired, set(RULES),
+                         "every rule needs a known-bad fixture that "
+                         "triggers it")
+
+    def test_suppressed_fixture_has_no_active_findings(self):
+        bad = [t for t in self.active if t[0] == "suppressed.cpp"]
+        self.assertFalse(bad, f"suppressions did not apply: {bad}")
+        # ...but the suppressed violations are still visible to audits.
+        hidden = [t for t in self.everything - self.active
+                  if t[0] == "suppressed.cpp"]
+        self.assertEqual(len(hidden), 3,
+                         "suppressed.cpp should carry exactly 3 "
+                         f"suppressed findings, saw {hidden}")
+
+    def test_clean_fixture_is_silent(self):
+        noisy = [t for t in self.everything if t[0] == "clean.cpp"]
+        self.assertFalse(noisy, f"clean.cpp must report nothing: {noisy}")
+
+    def test_owning_unit_writes_are_legal(self):
+        noisy = [t for t in self.everything
+                 if t[0] == "inv001_counters.cpp"]
+        self.assertFalse(
+            noisy, f"owning-unit accounting was flagged: {noisy}")
+
+    def test_suppression_reasons_survive_to_report(self):
+        reasons = [f.suppress_reason for f in self.findings
+                   if f.suppressed and
+                   os.path.basename(f.path) == "suppressed.cpp"]
+        self.assertEqual(len(reasons), 3)
+        for r in reasons:
+            self.assertTrue(r, "suppression lost its reason")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -74,9 +74,9 @@ struct TcpNfsWorld {
 template <typename World>
 std::uint64_t do_read(World& w, std::uint64_t offset, std::uint64_t count) {
   std::uint64_t got = 0;
-  [](World& w, std::uint64_t offset, std::uint64_t count,
+  [](World& nw, std::uint64_t off, std::uint64_t cnt,
      std::uint64_t* out) -> sim::Task {
-    *out = co_await w.nfs_client.read(1, offset, count);
+    *out = co_await nw.nfs_client.read(1, off, cnt);
   }(w, offset, count, &got);
   w.sim.run();
   return got;
@@ -100,9 +100,9 @@ TEST(NfsRdma, ReadTruncatesAtEof) {
 TEST(NfsRdma, WriteExtendsFile) {
   RdmaNfsWorld w;
   w.nfs_server.add_file(1, 0);
-  [](RdmaNfsWorld& w) -> sim::Task {
-    co_await w.nfs_client.write(1, 0, 100'000);
-    co_await w.nfs_client.write(1, 100'000, 50'000);
+  [](RdmaNfsWorld& nw) -> sim::Task {
+    co_await nw.nfs_client.write(1, 0, 100'000);
+    co_await nw.nfs_client.write(1, 100'000, 50'000);
   }(w);
   w.sim.run();
   EXPECT_EQ(w.nfs_server.file_size(1), 150'000u);
@@ -113,8 +113,8 @@ TEST(NfsRdma, GetattrRoundTrips) {
   RdmaNfsWorld w;
   w.nfs_server.add_file(1, 123);
   std::uint64_t got = 0;
-  [](RdmaNfsWorld& w, std::uint64_t* out) -> sim::Task {
-    *out = co_await w.nfs_client.getattr(1);
+  [](RdmaNfsWorld& nw, std::uint64_t* out) -> sim::Task {
+    *out = co_await nw.nfs_client.getattr(1);
   }(w, &got);
   w.sim.run();
   EXPECT_GT(got, 0u);
@@ -124,8 +124,8 @@ TEST(NfsTcp, ReadAndWriteOverIpoib) {
   TcpNfsWorld w;
   w.nfs_server.add_file(1, 1 << 20);
   EXPECT_EQ(do_read(w, 0, 256 << 10), 256u << 10);
-  [](TcpNfsWorld& w) -> sim::Task {
-    co_await w.nfs_client.write(1, 1 << 20, 4096);
+  [](TcpNfsWorld& nw) -> sim::Task {
+    co_await nw.nfs_client.write(1, 1 << 20, 4096);
   }(w);
   w.sim.run();
   EXPECT_EQ(w.nfs_server.file_size(1), (1u << 20) + 4096);
@@ -136,12 +136,12 @@ TEST(NfsTcp, ConcurrentCallsShareOneConnection) {
   w.nfs_server.add_file(1, 4 << 20);
   int done = 0;
   for (int i = 0; i < 8; ++i) {
-    [](TcpNfsWorld& w, int i, int* done) -> sim::Task {
+    [](TcpNfsWorld& nw, int idx, int* counter) -> sim::Task {
       const std::uint64_t got =
-          co_await w.nfs_client.read(1, static_cast<std::uint64_t>(i) << 18,
-                                     256 << 10);
+          co_await nw.nfs_client.read(1, static_cast<std::uint64_t>(idx) << 18,
+                                      256 << 10);
       EXPECT_EQ(got, 256u << 10);
-      ++*done;
+      ++*counter;
     }(w, i, &done);
   }
   w.sim.run();

@@ -77,12 +77,12 @@ TEST(NfsWrite, InterleavedReadsAndWrites) {
   w.nfs_server.add_file(1, 4 << 20);
   int done = 0;
   for (int i = 0; i < 4; ++i) {
-    [](WriteWorld& w, int i, int* done) -> sim::Task {
-      const std::uint64_t off = static_cast<std::uint64_t>(i) << 20;
-      co_await w.nfs_client.write(1, (4u << 20) + off, 1 << 20);
-      const std::uint64_t got = co_await w.nfs_client.read(1, off, 1 << 20);
+    [](WriteWorld& nw, int idx, int* flag) -> sim::Task {
+      const std::uint64_t off = static_cast<std::uint64_t>(idx) << 20;
+      co_await nw.nfs_client.write(1, (4u << 20) + off, 1 << 20);
+      const std::uint64_t got = co_await nw.nfs_client.read(1, off, 1 << 20);
       EXPECT_EQ(got, 1u << 20);
-      ++*done;
+      ++*flag;
     }(w, i, &done);
   }
   w.sim.run();

@@ -105,7 +105,7 @@ TEST_P(RcLossTest, ExactlyOnceDeliveryUnderLoss) {
   f.scq_a.set_callback([&](const Cqe&) { ++send_count; });
   for (int i = 0; i < n; ++i) qb->post_recv(RecvWr{});
   for (int i = 0; i < n; ++i) {
-    qa->post_send(SendWr{.length = 5000 + 100 * i});
+    qa->post_send(SendWr{.length = 5000 + 100 * static_cast<std::uint64_t>(i)});
   }
   f.sim.run();
   EXPECT_EQ(recv_count, n) << "loss=" << loss;

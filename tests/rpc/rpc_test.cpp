@@ -78,11 +78,11 @@ TEST(RdmaRpc, EchoPreservesTypedBody) {
   RdmaWorld w;
   w.server.set_handler(make_echo_handler(w.sim, 0));
   int got = 0;
-  [](RdmaWorld& w, int* out) -> sim::Task {
+  [](RdmaWorld& rw, int* out) -> sim::Task {
     auto body = std::make_shared<EchoArgs>();
     body->id = 42;
     CallArgs call{.proc = 1, .arg_bytes = 16, .body = std::move(body)};
-    ReplyInfo r = co_await w.client.call(std::move(call));
+    ReplyInfo r = co_await rw.client.call(std::move(call));
     *out = static_cast<const EchoArgs*>(r.body.get())->id;
   }(w, &got);
   w.sim.run();
@@ -103,12 +103,12 @@ TEST(RdmaRpc, ConcurrentCallsMatchByXid) {
   });
   std::vector<int> results(8, -1);
   for (int i = 0; i < 8; ++i) {
-    [](RdmaWorld& w, int i, std::vector<int>* out) -> sim::Task {
+    [](RdmaWorld& rw, int idx, std::vector<int>* out) -> sim::Task {
       auto body = std::make_shared<EchoArgs>();
-      body->id = i;
+      body->id = idx;
       CallArgs call{.proc = 1, .arg_bytes = 16, .body = std::move(body)};
-      ReplyInfo r = co_await w.client.call(std::move(call));
-      (*out)[i] = static_cast<const EchoArgs*>(r.body.get())->id;
+      ReplyInfo r = co_await rw.client.call(std::move(call));
+      (*out)[idx] = static_cast<const EchoArgs*>(r.body.get())->id;
     }(w, i, &results);
   }
   w.sim.run();
@@ -121,9 +121,9 @@ TEST(RdmaRpc, BulkToClientArrivesBeforeReply) {
   RdmaWorld w(100_us);
   w.server.set_handler(make_echo_handler(w.sim, 4 << 20));
   sim::Time done = 0;
-  [](RdmaWorld& w, sim::Time* t) -> sim::Task {
-    co_await w.client.call(CallArgs{.proc = 1, .arg_bytes = 16});
-    *t = w.sim.now();
+  [](RdmaWorld& rw, sim::Time* t) -> sim::Task {
+    co_await rw.client.call(CallArgs{.proc = 1, .arg_bytes = 16});
+    *t = rw.sim.now();
   }(w, &done);
   w.sim.run();
   // 4 MB at ~1 GB/s is >= 4 ms on top of the round trip.
@@ -137,8 +137,8 @@ TEST(RdmaRpc, BulkToServerUsesRdmaReads) {
     seen_data = call.data_to_server;
     co_return ReplyInfo{.reply_bytes = 64};
   });
-  [](RdmaWorld& w) -> sim::Task {
-    co_await w.client.call(
+  [](RdmaWorld& rw) -> sim::Task {
+    co_await rw.client.call(
         CallArgs{.proc = 2, .arg_bytes = 16, .data_to_server = 100'000});
   }(w);
   w.sim.run();
@@ -150,9 +150,9 @@ TEST(RdmaRpc, ChunkSizeControlsWanCliff) {
     RdmaWorld w(1000_us, RdmaRpcConfig{.chunk_bytes = chunk});
     w.server.set_handler(make_echo_handler(w.sim, 1 << 20));
     sim::Time done = 0;
-    [](RdmaWorld& w, sim::Time* t) -> sim::Task {
-      co_await w.client.call(CallArgs{.proc = 1, .arg_bytes = 16});
-      *t = w.sim.now();
+    [](RdmaWorld& rw, sim::Time* t) -> sim::Task {
+      co_await rw.client.call(CallArgs{.proc = 1, .arg_bytes = 16});
+      *t = rw.sim.now();
     }(w, &done);
     w.sim.run();
     return done;
@@ -165,12 +165,12 @@ TEST(TcpRpc, EchoAndConcurrency) {
   w.server.set_handler(make_echo_handler(w.sim, 10'000));
   std::vector<int> results(5, -1);
   for (int i = 0; i < 5; ++i) {
-    [](TcpWorld& w, int i, std::vector<int>* out) -> sim::Task {
+    [](TcpWorld& rw, int idx, std::vector<int>* out) -> sim::Task {
       auto body = std::make_shared<EchoArgs>();
-      body->id = i;
+      body->id = idx;
       CallArgs call{.proc = 1, .arg_bytes = 16, .body = std::move(body)};
-      ReplyInfo r = co_await w.client.call(std::move(call));
-      (*out)[i] = static_cast<const EchoArgs*>(r.body.get())->id;
+      ReplyInfo r = co_await rw.client.call(std::move(call));
+      (*out)[idx] = static_cast<const EchoArgs*>(r.body.get())->id;
     }(w, i, &results);
   }
   w.sim.run();
@@ -185,8 +185,8 @@ TEST(TcpRpc, LargeInlineBulkBothDirections) {
     co_return ReplyInfo{.reply_bytes = 64, .data_to_client = 2 << 20};
   });
   bool done = false;
-  [](TcpWorld& w, bool* flag) -> sim::Task {
-    co_await w.client.call(
+  [](TcpWorld& rw, bool* flag) -> sim::Task {
+    co_await rw.client.call(
         CallArgs{.proc = 3, .arg_bytes = 32, .data_to_server = 1 << 20});
     *flag = true;
   }(w, &done);

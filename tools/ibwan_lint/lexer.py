@@ -1,0 +1,190 @@
+"""A small C++ tokenizer sufficient for rule matching.
+
+Not a full lexer: it splits source into identifier / number / string /
+char / punctuation tokens with line:col positions, strips comments and
+preprocessor continuations, and records every comment separately so
+the engine can find `NOLINT-IBWAN(...)` suppressions and fixtures can
+carry `EXPECT-IBWAN(...)` markers.  Raw strings, line continuations and
+digraphs are handled; trigraphs are not (C++17 removed them).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Longest-match punctuation; three-char operators first.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+           "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "::")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+    def __repr__(self) -> str:  # compact for test failures
+        return f"{self.kind}({self.text!r}@{self.line}:{self.col})"
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str  # comment body, without // or /* */
+    line: int  # line the comment starts on
+    own_line: bool  # nothing but whitespace before it on its line
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(source: str):
+    """Returns (tokens, comments) for a C++ source string."""
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+    line_had_token = False
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line_had_token = False
+            advance(1)
+            continue
+        if c in " \t\r\f\v":
+            advance(1)
+            continue
+        if c == "\\" and i + 1 < n and source[i + 1] == "\n":
+            advance(2)  # line continuation
+            continue
+        # Comments.
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            start_line = line
+            j = i + 2
+            while j < n and source[j] != "\n":
+                # Line continuations extend // comments.
+                if source[j] == "\\" and j + 1 < n and source[j + 1] == "\n":
+                    j += 2
+                    continue
+                j += 1
+            comments.append(Comment(source[i + 2:j].strip(), start_line,
+                                    not line_had_token))
+            advance(j - i)
+            continue
+        if c == "/" and i + 1 < n and source[i + 1] == "*":
+            start_line = line
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated block comment at line {line}")
+            comments.append(Comment(source[i + 2:end].strip(), start_line,
+                                    not line_had_token))
+            advance(end + 2 - i)
+            continue
+        # Raw strings: R"delim( ... )delim"
+        m = None
+        if c in "RuUL":
+            m = re.match(r'(?:u8|[uUL])?R"([^()\\ \t\n]{0,16})\(', source[i:])
+        if m:
+            closer = ")" + m.group(1) + '"'
+            end = source.find(closer, i + m.end())
+            if end < 0:
+                raise LexError(f"unterminated raw string at line {line}")
+            end += len(closer)
+            tokens.append(Token(STRING, source[i:end], line, col))
+            line_had_token = True
+            advance(end - i)
+            continue
+        # Ordinary strings / chars (with optional encoding prefix).
+        if c in "\"'" or (c in "uUL" and i + 1 < n and
+                          source[i + 1] in "\"'") or \
+           (source[i:i + 3] == 'u8"' or source[i:i + 3] == "u8'"):
+            j = i
+            while j < n and source[j] not in "\"'":
+                j += 1
+            quote = source[j]
+            k = j + 1
+            while k < n:
+                if source[k] == "\\":
+                    k += 2
+                    continue
+                if source[k] == quote:
+                    break
+                if source[k] == "\n":
+                    raise LexError(f"unterminated literal at line {line}")
+                k += 1
+            if k >= n:
+                raise LexError(f"unterminated literal at line {line}")
+            kind = STRING if quote == '"' else CHAR
+            tokens.append(Token(kind, source[i:k + 1], line, col))
+            line_had_token = True
+            advance(k + 1 - i)
+            continue
+        # Numbers (good enough: leading digit, or . followed by digit).
+        if c in _DIGITS or (c == "." and i + 1 < n and
+                            source[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n and (source[j] in _IDENT_CONT or source[j] == "." or
+                             (source[j] in "+-" and
+                              source[j - 1] in "eEpP") or
+                             (source[j] == "'" and j + 1 < n and
+                              source[j + 1] in _IDENT_CONT)):
+                j += 1  # C++14 digit separators: 1'000'000
+            tokens.append(Token(NUMBER, source[i:j], line, col))
+            line_had_token = True
+            advance(j - i)
+            continue
+        # Identifiers / keywords.
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and source[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token(IDENT, source[i:j], line, col))
+            line_had_token = True
+            advance(j - i)
+            continue
+        # Punctuation, longest match first.
+        for p in _PUNCT3:
+            if source.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line, col))
+                line_had_token = True
+                advance(len(p))
+                break
+        else:
+            for p in _PUNCT2:
+                if source.startswith(p, i):
+                    tokens.append(Token(PUNCT, p, line, col))
+                    line_had_token = True
+                    advance(len(p))
+                    break
+            else:
+                tokens.append(Token(PUNCT, c, line, col))
+                line_had_token = True
+                advance(1)
+    return tokens, comments

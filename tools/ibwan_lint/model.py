@@ -1,0 +1,219 @@
+"""Source-file model shared by all rules.
+
+A `SourceFile` owns the token stream, the comment list, per-line
+suppressions, and two derived views rules lean on:
+
+  * `enclosing(i)` — best-effort enclosing function name (qualified with
+    its namespace/class path) for token index `i`, from a single
+    brace-tracking pass.  Heuristic, but exact on this codebase's
+    formatting and on the fixture corpus; rules that use it (DET001's
+    getenv allowlist, DET004's member/local split) fall back to the
+    conservative answer ("not in an allowed context") when it returns
+    None.
+  * `line_text(n)` — raw text of 1-based line n.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from . import lexer
+from .lexer import IDENT, PUNCT, Token
+
+SUPPRESS_RE = re.compile(r"NOLINT-IBWAN\(([A-Z]{3}\d{3})\)(?::\s*(\S.*))?")
+EXPECT_RE = re.compile(r"EXPECT-IBWAN\(([A-Z]{3}\d{3})\)")
+
+# Keywords that can look like function names to the context tracker.
+_NON_FUNC = {
+    "if", "for", "while", "switch", "return", "catch", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "new", "delete", "throw",
+    "co_await", "co_return", "co_yield", "assert", "defined",
+}
+_SCOPE_KEYWORDS = {"namespace", "class", "struct", "union", "enum"}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppress_reason: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    rule: str
+    line: int  # line the comment sits on
+    reason: str
+    own_line: bool
+    used: bool = False
+
+
+@dataclass
+class Scope:
+    kind: str        # "namespace" | "class" | "function" | "block" | "other"
+    name: str
+    depth: int       # brace depth at which this scope was opened
+
+
+class SourceFile:
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.split("\n")
+        self.tokens, self.comments = lexer.lex(text)
+        self.suppressions: List[Suppression] = []
+        self.expects: List[Tuple[str, int]] = []  # fixture markers
+        for c in self.comments:
+            m = SUPPRESS_RE.search(c.text)
+            if m:
+                self.suppressions.append(
+                    Suppression(m.group(1), c.line, (m.group(2) or "").strip(),
+                                c.own_line))
+            for em in EXPECT_RE.finditer(c.text):
+                self.expects.append((em.group(1), c.line))
+        self._scope_by_token: List[Optional[str]] = []
+        self._kind_by_token: List[str] = []
+        self._build_contexts()
+        self._token_index_by_line: Dict[int, int] = {}
+        for idx, t in enumerate(self.tokens):
+            self._token_index_by_line.setdefault(t.line, idx)
+        self._code_lines = sorted(self._token_index_by_line)
+
+    # -- suppression ----------------------------------------------------
+    def suppression_for(self, rule: str, line: int) -> Optional[Suppression]:
+        """Same-line suppression, or an own-line one above: it covers
+        the next line that has code (comment-only lines in between,
+        e.g. a multi-line suppression reason, don't break the link)."""
+        for s in self.suppressions:
+            if s.rule != rule:
+                continue
+            if s.line == line:
+                return s
+            if s.own_line and self._next_code_line(s.line) == line:
+                return s
+        return None
+
+    def _next_code_line(self, after: int) -> Optional[int]:
+        i = bisect.bisect_right(self._code_lines, after)
+        return self._code_lines[i] if i < len(self._code_lines) else None
+
+    def line_text(self, n: int) -> str:
+        return self.lines[n - 1] if 1 <= n <= len(self.lines) else ""
+
+    def is_header(self) -> bool:
+        return self.path.endswith((".h", ".hpp", ".hh", ".hxx", ".inl"))
+
+    # -- context tracking ----------------------------------------------
+    def enclosing(self, i: int) -> Optional[str]:
+        """Qualified name of the innermost function containing token i,
+        e.g. "ibwan::bench::init"; None at namespace/class scope."""
+        return self._scope_by_token[i]
+
+    def in_function(self, i: int) -> bool:
+        return self._scope_by_token[i] is not None
+
+    def class_at(self, i: int) -> Optional[str]:
+        """Innermost class/struct name containing token i, if any."""
+        k = self._kind_by_token[i]
+        return k if k else None
+
+    def _build_contexts(self) -> None:
+        toks = self.tokens
+        stack: List[Scope] = []
+        depth = 0
+        # Pending scope discovered before its '{' arrives.
+        pending: Optional[Scope] = None
+        pending_guard = 0  # token distance guard
+        scope_by_token: List[Optional[str]] = []
+        kind_by_token: List[str] = []
+
+        def current_function() -> Optional[str]:
+            names = [s.name for s in stack if s.kind in ("namespace", "class")]
+            for s in stack:
+                if s.kind == "function":
+                    return "::".join(n for n in names + [s.name] if n)
+            return None
+
+        def current_class() -> str:
+            for s in reversed(stack):
+                if s.kind == "class":
+                    return s.name
+            return ""
+
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            scope_by_token.append(current_function())
+            kind_by_token.append(current_class())
+            if t.kind == IDENT and t.text in _SCOPE_KEYWORDS:
+                # namespace foo { / class Foo ... {
+                j = i + 1
+                if j < n and toks[j].kind == IDENT and toks[j].text == "class":
+                    j += 1  # enum class
+                name = ""
+                while j < n and (toks[j].kind == IDENT or
+                                 (toks[j].kind == PUNCT and
+                                  toks[j].text == "::")):
+                    if toks[j].kind == IDENT:
+                        name = toks[j].text
+                    j += 1
+                kind = "namespace" if t.text == "namespace" else "class"
+                pending = Scope(kind, name, depth)
+                pending_guard = 0
+            elif t.kind == PUNCT and t.text == "(":
+                # Possible function definition: ident '(' at non-function
+                # scope. Confirm when we later meet '{' before ';'.
+                if (current_function() is None and i > 0 and
+                        toks[i - 1].kind == IDENT and
+                        toks[i - 1].text not in _NON_FUNC and
+                        pending is None):
+                    name = toks[i - 1].text
+                    # Qualified name: walk back over `Class::` pairs.
+                    k = i - 1
+                    quals: List[str] = []
+                    while (k >= 2 and toks[k - 1].kind == PUNCT and
+                           toks[k - 1].text == "::" and
+                           toks[k - 2].kind == IDENT):
+                        quals.insert(0, toks[k - 2].text)
+                        k -= 2
+                    full = "::".join(quals + [name])
+                    pending = Scope("function", full, depth)
+                    pending_guard = 0
+            elif t.kind == PUNCT and t.text == ";":
+                # A ';' at scope depth cancels a pending declaration
+                # (it was a prototype / member declaration).
+                if pending is not None and pending.kind == "function":
+                    pending = None
+            elif t.kind == PUNCT and t.text == "{":
+                if pending is not None:
+                    stack.append(Scope(pending.kind, pending.name, depth))
+                    pending = None
+                else:
+                    stack.append(Scope("block", "", depth))
+                depth += 1
+            elif t.kind == PUNCT and t.text == "}":
+                depth -= 1
+                while stack and stack[-1].depth >= depth:
+                    stack.pop()
+            if pending is not None:
+                pending_guard += 1
+                if pending_guard > 400:  # runaway: not a definition
+                    pending = None
+            i += 1
+        self._scope_by_token = scope_by_token
+        self._kind_by_token = kind_by_token
+
+    # -- helpers for rules ---------------------------------------------
+    def first_token_on_line(self, line: int) -> Optional[int]:
+        return self._token_index_by_line.get(line)

@@ -1,0 +1,601 @@
+"""Rule implementations for ibwan-lint.
+
+Each rule is a callable `rule(sf: SourceFile, ctx: ProjectContext) ->
+Iterable[Finding]`.  Findings are emitted *without* suppression applied;
+the engine matches them against `// NOLINT-IBWAN(RULE): reason`
+comments afterwards so suppressed findings can still be counted and
+audited (`--show-suppressed`).
+
+Rules never look at comments or string literals: they walk the token
+stream, so `// calls rand()` in a comment is not a finding.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .lexer import CHAR, IDENT, NUMBER, PUNCT, STRING, Token
+from .model import Finding, SourceFile
+
+# ---------------------------------------------------------------------------
+# Project-wide context (built once over every scanned file).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ProjectContext:
+    """Cross-file facts rules need: which names are unordered
+    containers, and which members are conserved counters."""
+
+    # Variable/member names declared with an unordered container type,
+    # mapped to one declaration site (path, line) for the message.
+    unordered_names: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    # Conserved counter members: name -> (declaring path, line).
+    conserved: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(files: Iterable[SourceFile]) -> "ProjectContext":
+        ctx = ProjectContext()
+        for sf in files:
+            _collect_unordered_decls(sf, ctx)
+            _collect_conserved(sf, ctx)
+        return ctx
+
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+
+
+def _match_angle(toks: List[Token], i: int) -> int:
+    """`toks[i]` is '<'; returns the index of its matching '>' (or the
+    index where scanning gave up).  Treats '>>' as two closers."""
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    return i
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i
+            elif t.text in (";", "{", "}"):
+                return i  # not a template argument list after all
+        i += 1
+    return n - 1
+
+
+def _collect_unordered_decls(sf: SourceFile, ctx: ProjectContext) -> None:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _UNORDERED:
+            continue
+        j = i + 1
+        if j >= n or not (toks[j].kind == PUNCT and toks[j].text == "<"):
+            continue
+        close = _match_angle(toks, j)
+        k = close + 1
+        # `unordered_map<K, V> name` — possibly with refs/pointers in
+        # between (a reference to an unordered container iterates the
+        # same way).
+        while k < n and toks[k].kind == PUNCT and toks[k].text in ("&", "*"):
+            k += 1
+        if k < n and toks[k].kind == IDENT:
+            ctx.unordered_names.setdefault(toks[k].text, (sf.path, toks[k].line))
+
+
+def _collect_conserved(sf: SourceFile, ctx: ProjectContext) -> None:
+    for c in sf.comments:
+        if "lint:conserved" not in c.text:
+            continue
+        # The annotated declaration is the last identifier before the
+        # ';' on the comment's line (or the previous line for an
+        # own-line comment above the member).
+        line = c.line if not c.own_line else c.line + 1
+        idx = sf.first_token_on_line(line)
+        if idx is None:
+            continue
+        name = None
+        toks = sf.tokens
+        i = idx
+        while i < len(toks) and toks[i].line == line:
+            t = toks[i]
+            if t.kind == PUNCT and t.text in (";", "=", "{"):
+                break
+            if t.kind == IDENT:
+                name = t.text
+            i += 1
+        if name:
+            ctx.conserved.setdefault(name, (sf.path, line))
+
+
+# ---------------------------------------------------------------------------
+# DET001 — banned nondeterminism APIs.
+# ---------------------------------------------------------------------------
+
+_BANNED_CALLS = {
+    "rand": "libc rand() is seeded process-globally",
+    "srand": "seeds the process-global libc RNG",
+    "rand_r": "libc PRNG outside the simulator seed",
+    "drand48": "libc PRNG outside the simulator seed",
+    "lrand48": "libc PRNG outside the simulator seed",
+    "random": "libc PRNG outside the simulator seed",
+    "time": "reads the wall clock",
+    "clock": "reads the process clock",
+    "gettimeofday": "reads the wall clock",
+    "clock_gettime": "reads the wall clock",
+    "timespec_get": "reads the wall clock",
+    "localtime": "depends on host time/zone",
+    "gmtime": "depends on host time",
+    "strftime": "formats host time",
+}
+_BANNED_TYPES = {
+    "random_device": "std::random_device is nondeterministic by design",
+}
+_CHRONO_CLOCKS = {"system_clock", "steady_clock", "high_resolution_clock"}
+# getenv is allowed only inside these functions (suffix match on the
+# qualified enclosing-function name).
+_GETENV_ALLOWED_SUFFIXES = ("bench::init",)
+# Keywords that may directly precede a banned call without making it a
+# declaration (`return time(...)` is a call; `Duration time(...)` is not).
+_STMT_KEYWORDS = {"return", "co_return", "co_yield", "case", "else", "do",
+                  "throw"}
+
+
+def _prev_punct(toks: List[Token], i: int) -> str:
+    return toks[i - 1].text if i > 0 and toks[i - 1].kind == PUNCT else ""
+
+
+def _is_member_access(toks: List[Token], i: int) -> bool:
+    p = _prev_punct(toks, i)
+    if p in (".", "->"):
+        return True
+    # `foo::bar(` where foo is not std — treat as project-scoped, allowed
+    # for the call names (DET bans the libc/std entry points).
+    if p == "::":
+        k = i - 2
+        if k >= 0 and toks[k].kind == IDENT and toks[k].text != "std":
+            return True
+    return False
+
+
+def rule_det001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT:
+            continue
+        name = t.text
+        if name in _BANNED_TYPES and not _is_member_access(toks, i):
+            yield Finding("DET001", sf.path, t.line, t.col,
+                          f"use of `{name}`: {_BANNED_TYPES[name]}; "
+                          "draw from Simulator::rng()/rng_stream() instead")
+            continue
+        nxt = toks[i + 1] if i + 1 < n else None
+        is_call = nxt is not None and nxt.kind == PUNCT and nxt.text == "("
+        if name in _BANNED_CALLS and is_call and \
+                not _is_member_access(toks, i):
+            # `time(` as a declaration like `sim::Time time(...)`? The
+            # banned set is only flagged as a *call*: preceded by an
+            # operator/separator/statement keyword, not by a type name.
+            if i > 0 and toks[i - 1].kind == IDENT and \
+                    toks[i - 1].text not in _STMT_KEYWORDS:
+                continue  # `Duration time(...)` — a declaration
+            yield Finding("DET001", sf.path, t.line, t.col,
+                          f"call to banned API `{name}`: "
+                          f"{_BANNED_CALLS[name]}; simulation code must be "
+                          "deterministic (use sim::Simulator time/RNG)")
+            continue
+        if name in _CHRONO_CLOCKS:
+            # std::chrono::steady_clock::now()
+            if i + 3 < n and toks[i + 1].text == "::" and \
+                    toks[i + 2].kind == IDENT and toks[i + 2].text == "now":
+                yield Finding("DET001", sf.path, t.line, t.col,
+                              f"`{name}::now()` reads a host clock; "
+                              "simulated time comes from Simulator::now()")
+            continue
+        if name == "getenv" and is_call:
+            fn = sf.enclosing(i) or ""
+            if any(fn.endswith(sfx) for sfx in _GETENV_ALLOWED_SUFFIXES):
+                continue
+            yield Finding("DET001", sf.path, t.line, t.col,
+                          "`getenv` outside bench::init: environment reads "
+                          "must be centralized in the bench entry hook "
+                          f"(enclosing function: {fn or '<file scope>'})")
+
+
+# ---------------------------------------------------------------------------
+# DET002 — effectful iteration over unordered containers.
+# ---------------------------------------------------------------------------
+
+# Calls that schedule events, emit traces/metrics, or write output.
+_EFFECT_CALLS = {
+    "schedule", "schedule_at", "cancel", "fire", "resume", "trace",
+    "record", "observe", "emit", "printf", "fprintf", "fputs", "fputc",
+    "fwrite", "puts", "putc", "putchar", "write_csv", "write_json",
+    "add_row", "append_row", "IBWAN_TRACE", "log_line", "flush_wqe",
+    "post_send", "post_recv", "deliver", "send", "complete", "fail",
+}
+_EFFECT_PUNCT = {"<<"}  # stream output
+
+
+def _iterated_name(expr: List[Token]) -> Optional[str]:
+    """Name of the container in a range-for's range expression: the
+    last identifier, skipping trailing () of accessor calls."""
+    ids = [t.text for t in expr if t.kind == IDENT]
+    return ids[-1] if ids else None
+
+
+def _match_paren(toks: List[Token], i: int) -> int:
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == "(":
+                depth += 1
+            elif t.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n - 1
+
+
+def _match_brace(toks: List[Token], i: int) -> int:
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n - 1
+
+
+def _body_effects(toks: List[Token], start: int, end: int) -> Optional[str]:
+    for k in range(start, min(end + 1, len(toks))):
+        t = toks[k]
+        if t.kind == IDENT and t.text in _EFFECT_CALLS:
+            nxt = toks[k + 1] if k + 1 < len(toks) else None
+            if nxt is not None and nxt.kind == PUNCT and nxt.text == "(":
+                return t.text
+        if t.kind == PUNCT and t.text in _EFFECT_PUNCT:
+            return "operator<<"
+    return None
+
+
+def rule_det002(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if not (t.kind == IDENT and t.text == "for"):
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        close = _match_paren(toks, i + 1)
+        header = toks[i + 2:close]
+        # Range-for: a ':' at top template/paren depth.
+        colon = None
+        depth = 0
+        for k, h in enumerate(header):
+            if h.kind == PUNCT:
+                if h.text in ("(", "<", "["):
+                    depth += 1
+                elif h.text in (")", ">", "]"):
+                    depth -= 1
+                elif h.text == ":" and depth == 0:
+                    colon = k
+                elif h.text == "::":
+                    continue
+        if colon is None:
+            # Iterator loop over `x.begin()`?
+            name = _iter_loop_container(header)
+            if name is None or name not in ctx.unordered_names:
+                continue
+        else:
+            name = _iterated_name(header[colon + 1:])
+            if name is None or name not in ctx.unordered_names:
+                continue
+        body_start = close + 1
+        if body_start < n and toks[body_start].text == "{":
+            body_end = _match_brace(toks, body_start)
+        else:  # single statement
+            body_end = body_start
+            while body_end < n and toks[body_end].text != ";":
+                body_end += 1
+        effect = _body_effects(toks, body_start, body_end + 1)
+        if effect is None:
+            continue
+        decl_path, decl_line = ctx.unordered_names[name]
+        yield Finding(
+            "DET002", sf.path, t.line, t.col,
+            f"iteration over unordered container `{name}` (declared at "
+            f"{os.path.basename(decl_path)}:{decl_line}) has side effects "
+            f"(`{effect}`): hash order is not deterministic across "
+            "platforms — use an ordered container or sort keys first")
+
+
+def _iter_loop_container(header: List[Token]) -> Optional[str]:
+    for k, h in enumerate(header):
+        if h.kind == IDENT and h.text in ("begin", "cbegin") and k >= 2:
+            if header[k - 1].kind == PUNCT and header[k - 1].text in (".", "->"):
+                if header[k - 2].kind == IDENT:
+                    return header[k - 2].text
+    return None
+
+
+# ---------------------------------------------------------------------------
+# DET003 — ordering keyed on pointer values.
+# ---------------------------------------------------------------------------
+
+_ORDERED_ASSOC = {"map": 1, "multimap": 1, "set": 1, "multiset": 1,
+                  "priority_queue": 1}
+
+
+def _first_template_arg(toks: List[Token], lt: int) -> Tuple[List[Token], int]:
+    """Tokens of the first template argument after '<' at index lt, and
+    the number of top-level arguments."""
+    depth = 0
+    args = 1
+    first: List[Token] = []
+    i = lt
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text in ("<", "("):
+                depth += 1
+            elif t.text in (")",):
+                depth -= 1
+            elif t.text == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif t.text == ">>":
+                depth -= 2
+                if depth <= 0:
+                    break
+            elif t.text == "," and depth == 1:
+                args += 1
+                i += 1
+                continue
+        if depth >= 1 and args == 1 and i != lt:
+            first.append(t)
+        i += 1
+    return first, args
+
+
+def rule_det003(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT:
+            continue
+        if t.text in _ORDERED_ASSOC:
+            if i + 1 >= n or toks[i + 1].text != "<":
+                continue
+            # Only std:: (or unqualified) containers.
+            if _prev_punct(toks, i) == "::" and i >= 2 and \
+                    toks[i - 2].text != "std":
+                continue
+            first, nargs = _first_template_arg(toks, i + 1)
+            if not first or first[-1].text != "*":
+                continue
+            three_arg = t.text in ("map", "multimap", "priority_queue")
+            has_cmp = nargs >= (3 if three_arg else 2)
+            if has_cmp:
+                continue  # custom comparator: assume a stable key order
+            yield Finding(
+                "DET003", sf.path, t.line, t.col,
+                f"`std::{t.text}` keyed on a pointer type "
+                f"(`{''.join(tok.text for tok in first)}`): iteration order "
+                "follows allocation addresses, which vary run to run — key "
+                "on a stable id instead")
+        elif t.text == "less" and i + 1 < n and toks[i + 1].text == "<":
+            first, _ = _first_template_arg(toks, i + 1)
+            if first and first[-1].text == "*":
+                yield Finding(
+                    "DET003", sf.path, t.line, t.col,
+                    "`std::less` over a pointer type orders by address; "
+                    "sort by a stable id instead")
+
+
+# ---------------------------------------------------------------------------
+# DET004 — RNG draws must route through the seeded simulator streams.
+# ---------------------------------------------------------------------------
+
+_STD_ENGINES = {"mt19937", "mt19937_64", "default_random_engine",
+                "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48",
+                "knuth_b"}
+
+
+def rule_det004(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT:
+            continue
+        if t.text in _STD_ENGINES:
+            yield Finding(
+                "DET004", sf.path, t.line, t.col,
+                f"`std::{t.text}`: <random> engines are "
+                "implementation-defined and bypass the simulator seed; all "
+                "draws must come from Simulator::rng()/rng_stream()")
+            continue
+        if t.text == "Rng" and sf.in_function(i):
+            # Default-constructed sim::Rng inside a function: a fixed
+            # default seed untied to the run seed. `Rng r(seed)` and
+            # `Rng r = sim.rng_stream("x")` are fine.
+            j = i + 1
+            if j < n and toks[j].kind == IDENT:  # `Rng name ...`
+                k = j + 1
+                if k < n and toks[k].kind == PUNCT and toks[k].text == ";":
+                    yield Finding(
+                        "DET004", sf.path, t.line, t.col,
+                        f"default-constructed sim::Rng `{toks[j].text}` uses "
+                        "the fixed default seed; obtain it from "
+                        "Simulator::rng_stream(name) or pass the run seed")
+                elif k < n and toks[k].kind == PUNCT and \
+                        toks[k].text in ("(", "{") and \
+                        k + 1 < n and toks[k + 1].kind == PUNCT and \
+                        toks[k + 1].text in (")", "}"):
+                    yield Finding(
+                        "DET004", sf.path, t.line, t.col,
+                        f"sim::Rng `{toks[j].text}` constructed with no "
+                        "seed; obtain it from Simulator::rng_stream(name) "
+                        "or pass the run seed")
+
+
+# ---------------------------------------------------------------------------
+# INV001 — conserved counters must not be written from outside their
+# owning translation-unit pair.
+# ---------------------------------------------------------------------------
+
+_WRITE_AFTER = {"=", "+=", "-=", "*=", "/=", "++", "--"}
+_WRITE_BEFORE = {"++", "--"}
+
+
+def _owning_stems(decl_path: str) -> Set[str]:
+    base = os.path.basename(decl_path)
+    stem = base.rsplit(".", 1)[0]
+    return {stem}
+
+
+def rule_inv001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    if not ctx.conserved:
+        return
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in ctx.conserved:
+            continue
+        decl_path, decl_line = ctx.conserved[t.text]
+        decl_stem = os.path.basename(decl_path).rsplit(".", 1)[0]
+        same_unit = (os.path.basename(sf.path).rsplit(".", 1)[0] == decl_stem)
+        nxt = toks[i + 1] if i + 1 < n else None
+        prv = toks[i - 1] if i > 0 else None
+        wrote = False
+        if nxt is not None and nxt.kind == PUNCT and nxt.text in _WRITE_AFTER:
+            wrote = True
+        if prv is not None and prv.kind == PUNCT and prv.text in _WRITE_BEFORE:
+            wrote = True
+        if not wrote:
+            # Prefix increment through a member chain (`++obj.counter`):
+            # walk back over the access chain and look for ++/--.
+            j = i
+            while j > 0 and (toks[j - 1].kind == IDENT or
+                             (toks[j - 1].kind == PUNCT and
+                              toks[j - 1].text in (".", "->"))):
+                j -= 1
+            if (j > 0 and j != i and toks[j - 1].kind == PUNCT and
+                    toks[j - 1].text in ("++", "--")):
+                wrote = True
+        if not wrote:
+            continue
+        if (nxt is not None and nxt.kind == PUNCT and nxt.text == "=" and
+                prv is not None and
+                (prv.kind == IDENT or
+                 (prv.kind == PUNCT and prv.text in ("*", "&", ">")))):
+            # `Type name = ...` / `Type* name = ...`: a fresh local that
+            # happens to share the counter's name, not a member write.
+            continue
+        if same_unit:
+            continue  # the owning class's own accounting
+        yield Finding(
+            "INV001", sf.path, t.line, t.col,
+            f"direct write to conserved counter `{t.text}` (declared at "
+            f"{os.path.basename(decl_path)}:{decl_line}, `// lint:conserved`)"
+            " from outside its owning translation unit bypasses the "
+            "accounting invariant — go through the owning class's API")
+
+
+# ---------------------------------------------------------------------------
+# HDR001 — header hygiene.
+# ---------------------------------------------------------------------------
+
+_BANNED_HEADER_INCLUDES = {"iostream"}
+
+
+def rule_hdr001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    if not sf.is_header():
+        return
+    has_guard = False
+    for idx, raw in enumerate(sf.lines[:60], start=1):
+        s = raw.strip()
+        if s.startswith("#pragma") and "once" in s:
+            has_guard = True
+            break
+        if s.startswith("#ifndef"):
+            nxt = sf.lines[idx].strip() if idx < len(sf.lines) else ""
+            if nxt.startswith("#define"):
+                has_guard = True
+                break
+    if not has_guard:
+        yield Finding("HDR001", sf.path, 1, 1,
+                      "header has no `#pragma once` (or include guard)")
+    for idx, raw in enumerate(sf.lines, start=1):
+        s = raw.strip()
+        if not s.startswith("#include"):
+            continue
+        for banned in _BANNED_HEADER_INCLUDES:
+            if f"<{banned}>" in s:
+                yield Finding(
+                    "HDR001", sf.path, idx, raw.index("#") + 1,
+                    f"`#include <{banned}>` in a header: drags iostream "
+                    "static-init into every TU — include it in the .cpp, "
+                    "or use <cstdio>")
+
+
+# ---------------------------------------------------------------------------
+# LNT001 — suppressions must carry a reason.
+# ---------------------------------------------------------------------------
+
+
+def rule_lnt001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    for s in sf.suppressions:
+        if not s.reason:
+            yield Finding(
+                "LNT001", sf.path, s.line, 1,
+                f"NOLINT-IBWAN({s.rule}) without a reason: suppressions "
+                "must say why (`// NOLINT-IBWAN(RULE): reason`)")
+
+
+RULES = {
+    "DET001": rule_det001,
+    "DET002": rule_det002,
+    "DET003": rule_det003,
+    "DET004": rule_det004,
+    "INV001": rule_inv001,
+    "HDR001": rule_hdr001,
+    "LNT001": rule_lnt001,
+}
+
+RULE_DOCS = {
+    "DET001": "No banned nondeterminism APIs (rand/time/clocks; getenv "
+              "only in bench::init).",
+    "DET002": "No effectful iteration over unordered containers "
+              "(schedule/trace/metrics/output in the loop body).",
+    "DET003": "No ordering keyed on pointer values (std::map<T*,...>, "
+              "std::less<T*>).",
+    "DET004": "RNG draws must route through Simulator::rng()/rng_stream(); "
+              "no <random> engines, no default-seeded sim::Rng locals.",
+    "INV001": "Conserved counters (`// lint:conserved`) are written only "
+              "by their owning translation unit.",
+    "HDR001": "Headers carry `#pragma once`/include guards and never "
+              "include <iostream>.",
+    "LNT001": "Every NOLINT-IBWAN suppression carries a reason.",
+}
