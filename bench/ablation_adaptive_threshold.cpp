@@ -66,5 +66,30 @@ int main(int argc, char** argv) {
       "\nReading: fixed-8K loses badly at long delays (handshake-bound).\n"
       "The adaptive policy keeps the LAN default at short range and\n"
       "tracks the best fixed setting once the WAN dominates.\n");
-  return 0;
+
+  // Oracle audit: wire-rate bound everywhere, and the adaptive policy
+  // must track the best fixed setting once the WAN dominates — that
+  // claim is this bench's reason to exist. (At short range the policy
+  // deliberately keeps the LAN default, which may trail fixed-64K.)
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      const std::string ctx =
+          "ablation_adaptive_threshold " + bench::delay_label(delay);
+      const double fixed8 = table.series("fixed-8K").at(x);
+      const double fixed64 = table.series("fixed-64K").at(x);
+      const double adaptive = table.series("adaptive").at(x);
+      check::check_mpi_bw(report, ctx, fc, delay, fixed8, tol);
+      check::check_mpi_bw(report, ctx, fc, delay, fixed64, tol);
+      check::check_mpi_bw(report, ctx, fc, delay, adaptive, tol);
+      if (delay >= 100'000) {
+        report.expect_ge("adaptive-tracks-best", ctx, adaptive,
+                         std::max(fixed8, fixed64), 0.05);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

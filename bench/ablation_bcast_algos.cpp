@@ -102,6 +102,24 @@ int main(int argc, char** argv) {
       for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
     }
     bench::finish(table, names[part]);
+
+    // Oracle audit: no algorithm's bcast+ack iteration can beat one WAN
+    // round trip.
+    if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+      auto& report = check::selfcheck_report();
+      const net::FabricConfig fc =
+          core::fabric_defaults(per_cluster, per_cluster);
+      const double floor = check::bcast_floor_us(fc, delays[part]);
+      for (std::uint64_t size : {1u << 10, 16u << 10, 128u << 10, 1u << 20}) {
+        const double x = static_cast<double>(size);
+        for (const char* algo : {"binomial", "scatter+ring", "hierarchical"}) {
+          report.expect_ge("bcast-floor",
+                           std::string(names[part]) + " " + algo + " " +
+                               std::to_string(size) + "B",
+                           table.series(algo).at(x), floor);
+        }
+      }
+    }
   }
-  return 0;
+  return bench::selfcheck_exit();
 }

@@ -50,5 +50,24 @@ int main(int argc, char** argv) {
       "\nReading: a bundle occupies one transport window slot, so the\n"
       "rate over a long pipe scales by the bundling factor — the paper's\n"
       "large-message recommendation applied inside the MPI library.\n");
-  return 0;
+
+  // Oracle audit: the uncoalesced rate obeys the per-pair engine/wire
+  // bound, and bundling never reduces the rate.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(8, 8);
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      const std::string ctx =
+          "ablation_coalescing " + bench::delay_label(delay);
+      const double off = table.series("off").at(x);
+      const double on = table.series("on").at(x);
+      report.expect_le("msg-rate-bound", ctx, off,
+                       check::mpi_msg_rate_bound_mmps(fc, {}, 8, 64),
+                       tol.bound_slack);
+      report.expect_ge("coalescing-gain", ctx, on, off, 0.05);
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -59,5 +59,28 @@ int main(int argc, char** argv) {
       "\nReading: the 4 KB design is latency-bound past ~100 us; 64 KB+\n"
       "chunks hold wire rate out to millisecond delays — the NFS/RDMA\n"
       "redesign the paper's analysis implies.\n");
-  return 0;
+
+  // Oracle audit: each chunk-size curve is capped by its own
+  // min(wire, server window * chunk / RTT) bound.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const ib::HcaConfig server_hca = core::nfs_server_hca();
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      for (std::uint32_t chunk : {4u << 10, 16u << 10, 64u << 10,
+                                  256u << 10}) {
+        const std::string name = std::to_string(chunk >> 10) + "K-chunks";
+        report.expect_le("nfs-bw-bound",
+                         "ablation_nfs_chunk " + name + " " +
+                             bench::delay_label(delay),
+                         table.series(name).at(x),
+                         check::nfs_bw_bound_mbps(fc, server_hca, chunk,
+                                                  delay, false),
+                         tol.bound_slack);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -38,5 +38,31 @@ int main(int argc, char** argv) {
       "\nReading: throughput ~ min(wire, window*64KB/RTT). Doubling the\n"
       "window doubles WAN throughput until the SDR wire saturates —\n"
       "the same lever as the paper's large-message coalescing.\n");
-  return 0;
+
+  // Oracle audit: this bench IS the knee model — every (window, delay)
+  // point must respect min(wire, window*size/RTT) and land on the right
+  // side of its BDP knee.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    const std::uint64_t size = 64 << 10;
+    const int iters = ib::perftest::iters_for_bytes(
+        (16u << 20) * bench::scale(), size, 64, 4096);
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      for (int window : {2, 4, 8, 16, 32, 64}) {
+        ib::HcaConfig hca;
+        hca.rc_max_inflight_msgs = window;
+        check::check_rc_bw(
+            report,
+            "ablation_rc_window window-" + std::to_string(window) + " " +
+                bench::delay_label(delay),
+            fc, hca, size, delay,
+            table.series("window-" + std::to_string(window)).at(x), tol,
+            static_cast<std::uint64_t>(iters) * size);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -65,5 +65,25 @@ int main(int argc, char** argv) {
     return rows;
   });
   bench::finish(table, "ablation_tcp_sack");
-  return 0;
+
+  // Oracle audit: goodput never exceeds the WAN wire rate at any loss
+  // rate, and selective acknowledgment never loses to go-back-N (the
+  // loss injection is seed-averaged, so allow a little wiggle).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const double wire = 1000.0 * check::cross_wan_path(fc).wan_rate;
+    const check::Tolerances tol;
+    for (double loss : losses) {
+      const double x = loss * 100.0;
+      const std::string ctx =
+          "ablation_tcp_sack loss=" + std::to_string(loss);
+      const double gbn = table.series("go-back-N").at(x);
+      const double sack_bw = table.series("SACK").at(x);
+      report.expect_le("tcp-bw-bound", ctx, gbn, wire, tol.bound_slack);
+      report.expect_le("tcp-bw-bound", ctx, sack_bw, wire, tol.bound_slack);
+      report.expect_ge("sack-no-regression", ctx, sack_bw, gbn, 0.05);
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "check/oracles.hpp"
+#include "check/selfcheck.hpp"
 #include "core/calibration.hpp"
 #include "core/report.hpp"
 #include "core/seed.hpp"
@@ -37,6 +40,8 @@ namespace detail {
 /// Destination of the merged metrics export; empty when --metrics was
 /// not given.
 inline std::string g_metrics_path;  // NOLINT: bench-process singleton
+/// --selfcheck: run the analytic-oracle audit alongside the measurement.
+inline bool g_selfcheck = false;  // NOLINT: bench-process singleton
 }  // namespace detail
 
 /// Bench entry hook: parses `--metrics <out.json>` (or
@@ -72,6 +77,15 @@ inline void init(int argc, char** argv) {
     const std::string_view arg = argv[i];
     std::string path;
     std::string faults_path;
+    if (arg == "--selfcheck") {
+      detail::g_selfcheck = true;
+      // The conservation audit in selfcheck_exit() reads the merged
+      // end-of-run snapshot, so every testbed must feed the aggregator
+      // (no JSON is written unless --metrics also asked for one).
+      sim::MetricsAggregator::global().activate();
+      std::printf("  [selfcheck: on]\n");
+      continue;
+    }
     if (arg == "--metrics" && i + 1 < argc) {
       path = argv[++i];
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -226,13 +240,50 @@ void sweep_into(core::Table& table, const std::vector<T>& points, Fn&& fn) {
   add_rows(table, runner.map(points, std::forward<Fn>(fn)));
 }
 
-/// Writes the CSV next to the binary's working directory.
+/// True when the bench ran with --selfcheck; per-figure oracle blocks
+/// gate on this (and usually on no --faults plan being active, since
+/// value oracles assume clean runs).
+inline bool selfcheck_enabled() { return detail::g_selfcheck; }
+
+/// Writes the CSV next to the binary's working directory. Under
+/// --selfcheck every emitted point is also audited for the generic
+/// invariants no figure may violate: finite, non-negative values.
 inline void finish(core::Table& table, const std::string& csv_name) {
   table.print();
   const std::string path = csv_name + ".csv";
   if (table.write_csv(path)) {
     std::printf("  [csv: %s]\n", path.c_str());
   }
+  if (!detail::g_selfcheck) return;
+  auto& report = check::selfcheck_report();
+  for (const auto& s : table.all_series()) {
+    for (const auto& [x, y] : s.points) {
+      report.expect_true(
+          "table-sane", csv_name + " " + s.name + " x=" + std::to_string(x),
+          std::isfinite(y) && y >= 0.0, "y=" + std::to_string(y));
+    }
+  }
+}
+
+/// Bench epilogue under --selfcheck: folds the conservation audit over
+/// the merged metrics snapshot into the process report, prints the
+/// verdict, and returns the bench's exit code (1 on any failed check).
+/// A no-op returning 0 when --selfcheck was not given.
+inline int selfcheck_exit() {
+  if (!detail::g_selfcheck) return 0;
+  auto& report = check::selfcheck_report();
+  // Link conservation is exact even under a fault plan (drops are
+  // accounted); exact WQE accounting is not (error flushes race the
+  // snapshot against retransmit state), so it stays one-sided here.
+  check::ConservationOptions copt;
+  check::check_conservation(report, "merged",
+                            sim::MetricsAggregator::global().merged(), copt);
+  std::printf("  [selfcheck] %s\n", report.summary().c_str());
+  if (!report.ok()) {
+    std::fputs(report.failure_log().c_str(), stderr);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace ibwan::bench

@@ -57,5 +57,26 @@ int main(int argc, char** argv) {
   lat.print();
   lat.write_csv("ext_kv_latency.csv");
   bench::finish(thr, "ext_kv_throughput");
-  return 0;
+
+  // Oracle audit: a closed-loop KV operation crosses the WAN twice
+  // (request + response), so mean latency can't beat two one-way
+  // propagation floors. The latency table bypasses finish(), so its
+  // generic sanity sweep is replicated here.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      const double floor = 2.0 * check::oneway_floor_us(fc, delay);
+      for (const auto& s : lat.all_series()) {
+        const double y = s.at(x);
+        const std::string ctx =
+            "ext_kv_latency " + s.name + " " + bench::delay_label(delay);
+        report.expect_true("table-sane", ctx, std::isfinite(y) && y >= 0.0,
+                           "y=" + std::to_string(y));
+        report.expect_ge("latency-floor", ctx, y, floor);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

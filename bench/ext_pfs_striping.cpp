@@ -70,5 +70,31 @@ int main(int argc, char** argv) {
     }
   }
   bench::finish(table, "ext_pfs_striping");
-  return 0;
+
+  // Oracle audit: each stripe adds one server's chunk window, so the
+  // aggregate is capped by min(wire, stripes * per-server bound).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const ib::HcaConfig server_hca = core::nfs_server_hca();
+    const std::uint64_t chunk = core::nfs_rdma_defaults().chunk_bytes;
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      for (int stripes : {1, 2, 4, 8}) {
+        const net::FabricConfig fc = core::fabric_defaults(stripes, 1);
+        const double wire =
+            check::nfs_bw_bound_mbps(fc, server_hca, 0, delay, false);
+        const double per_server =
+            check::nfs_bw_bound_mbps(fc, server_hca, chunk, delay, false);
+        report.expect_le("pfs-bw-bound",
+                         "ext_pfs " + std::to_string(stripes) + "-stripes " +
+                             bench::delay_label(delay),
+                         table.series(std::to_string(stripes) + "-stripes")
+                             .at(x),
+                         std::min(wire, stripes * per_server),
+                         tol.bound_slack);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -65,5 +65,27 @@ int main(int argc, char** argv) {
     }
   }
   bench::finish(table, "ext_sdp_sockets");
-  return 0;
+
+  // Oracle audit: the IPoIB curves obey the TCP window bounds (SDP has
+  // its own flow control; the generic table-sane sweep covers it).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      check::check_tcp_bw(report, "ext_sdp IPoIB-UD " +
+                              bench::delay_label(delay),
+                          fc, core::tcp_window().window_bytes, 1, delay,
+                          table.series("IPoIB-UD").at(x), tol,
+                          /*cm_mtu=*/0, /*cm_rc_window=*/16, volume);
+      check::check_tcp_bw(report, "ext_sdp IPoIB-RC-64K " +
+                              bench::delay_label(delay),
+                          fc, core::tcp_window().window_bytes, 1, delay,
+                          table.series("IPoIB-RC-64K").at(x), tol,
+                          ipoib::kConnectedIpMtu,
+                          ib::HcaConfig{}.rc_max_inflight_msgs, volume);
+    }
+  }
+  return bench::selfcheck_exit();
 }

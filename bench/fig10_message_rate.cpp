@@ -64,6 +64,26 @@ int main(int argc, char** argv) {
       for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
     }
     bench::finish(table, names[part]);
+
+    // Oracle audit: the aggregate rate is bounded by the per-pair
+    // sender engines and the shared wire.
+    if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+      auto& report = check::selfcheck_report();
+      const check::Tolerances tol;
+      for (int pairs : {4, 8, 16}) {
+        const net::FabricConfig fc = core::fabric_defaults(pairs, pairs);
+        const std::string name = std::to_string(pairs) + "-pairs";
+        for (std::uint64_t size : sizes) {
+          report.expect_le(
+              "msg-rate-bound",
+              std::string(names[part]) + " " + name + " " +
+                  std::to_string(size) + "B",
+              table.series(name).at(static_cast<double>(size)),
+              check::mpi_msg_rate_bound_mmps(fc, {}, pairs, size),
+              tol.bound_slack);
+        }
+      }
+    }
   }
-  return 0;
+  return bench::selfcheck_exit();
 }

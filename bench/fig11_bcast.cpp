@@ -77,6 +77,25 @@ int main(int argc, char** argv) {
       for (const auto& row : results[i]) table.add(row.series, row.x, row.y);
     }
     bench::finish(table, names[part]);
+
+    // Oracle audit: no broadcast iteration (root in A, acker in B) can
+    // beat one WAN round trip, whichever algorithm runs.
+    if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+      auto& report = check::selfcheck_report();
+      const net::FabricConfig fc =
+          core::fabric_defaults(per_cluster, per_cluster);
+      const double floor =
+          check::bcast_floor_us(fc, delays[part].second);
+      for (std::uint64_t size : sizes) {
+        const double x = static_cast<double>(size);
+        const std::string ctx =
+            std::string(names[part]) + " " + std::to_string(size) + "B";
+        report.expect_ge("bcast-floor", ctx, table.series("Original").at(x),
+                         floor);
+        report.expect_ge("bcast-floor", ctx, table.series("Modified").at(x),
+                         floor);
+      }
+    }
   }
-  return 0;
+  return bench::selfcheck_exit();
 }

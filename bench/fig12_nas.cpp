@@ -58,5 +58,26 @@ int main(int argc, char** argv) {
   bench::finish(runtime, "fig12_nas_runtime");
   ratio.print("%12.3f");
   ratio.write_csv("fig12_nas_ratio.csv");
-  return 0;
+
+  // Oracle audit: the ratio table bypasses finish() (custom print
+  // format), so replicate its generic sanity sweep; additionally no
+  // benchmark may speed up when delay is added.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const check::Tolerances tol;
+    for (const auto& s : ratio.all_series()) {
+      for (const auto& [x, y] : s.points) {
+        report.expect_true("table-sane",
+                           "fig12_nas_ratio " + s.name + " x=" +
+                               std::to_string(x),
+                           std::isfinite(y) && y >= 0.0,
+                           "y=" + std::to_string(y));
+        report.expect_ge("nas-slowdown-floor",
+                         "fig12_nas_ratio " + s.name + " x=" +
+                             std::to_string(x),
+                         y, 1.0, tol.monotone_rel);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -85,5 +85,43 @@ int main(int argc, char** argv) {
     return rows;
   });
   bench::finish(c, "fig13c_nfs_1000us");
-  return 0;
+
+  // Oracle audit: every NFS point is capped by
+  // min(wire, server window * chunk / RTT) — the 4 KB RDMA chunking
+  // bound — or the wire alone for the TCP transports (chunk 0).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(2, 2);
+    const ib::HcaConfig server_hca = core::nfs_server_hca();
+    const std::uint64_t rdma_chunk = core::nfs_rdma_defaults().chunk_bytes;
+    const check::Tolerances tol;
+    const auto audit = [&](core::Table& t, const char* tag,
+                           const std::string& series, sim::Duration d,
+                           bool lan, std::uint64_t chunk) {
+      for (int threads : threads_grid) {
+        report.expect_le(
+            "nfs-bw-bound",
+            std::string(tag) + " " + series + " threads=" +
+                std::to_string(threads),
+            t.series(series).at(threads),
+            check::nfs_bw_bound_mbps(fc, server_hca, chunk, d, lan),
+            tol.bound_slack);
+      }
+    };
+    audit(a, "fig13a", "LAN", 0, /*lan=*/true, rdma_chunk);
+    for (sim::Duration d : {sim::Duration{0}, 100_us, 1000_us, 10'000_us}) {
+      audit(a, "fig13a", bench::delay_label(d), d, false, rdma_chunk);
+    }
+    const struct {
+      const char* tag;
+      core::Table* tbl;
+      sim::Duration d;
+    } parts[] = {{"fig13b", &b, 100_us}, {"fig13c", &c, 1000_us}};
+    for (const auto& p : parts) {
+      audit(*p.tbl, p.tag, "RDMA", p.d, false, rdma_chunk);
+      audit(*p.tbl, p.tag, "IPoIB-RC", p.d, false, 0);
+      audit(*p.tbl, p.tag, "IPoIB-UD", p.d, false, 0);
+    }
+  }
+  return bench::selfcheck_exit();
 }

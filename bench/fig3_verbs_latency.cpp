@@ -61,5 +61,33 @@ int main(int argc, char** argv) {
     return rows;
   });
   bench::finish(table, "fig3_verbs_latency");
-  return 0;
+
+  // Oracle audit: the through-Longbow curves must equal the closed-form
+  // per-hop latency model exactly (back-to-back uses a different path,
+  // so only the generic table-sane checks cover it).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    const struct {
+      const char* series;
+      Transport t;
+      Op op;
+    } curves[] = {
+        {"SendRecv/UD", Transport::kUd, Op::kSendRecv},
+        {"SendRecv/RC", Transport::kRc, Op::kSendRecv},
+        {"RDMAWrite/RC", Transport::kRc, Op::kRdmaWrite},
+    };
+    for (const auto& c : curves) {
+      for (std::uint32_t size : sizes) {
+        report.expect_near(
+            "latency-model",
+            "fig3 " + std::string(c.series) + " " + std::to_string(size) + "B",
+            table.series(c.series).at(size),
+            check::verbs_latency_model_us(fc, {}, c.t, c.op, size, 0),
+            tol.exact_rel);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -56,5 +56,31 @@ int main(int argc, char** argv) {
   }
   bench::finish(uni, "fig4a_ud_bw");
   bench::finish(bidir, "fig4b_ud_bibw");
-  return 0;
+
+  // Oracle audit: every delay curve must equal the exact UD engine/wire
+  // model — identical curves across delays IS Figure 4's claim. The
+  // bidirectional run is bounded by twice the model and can't fall
+  // below the unidirectional measurement.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const std::string label = bench::delay_label(delay);
+      for (std::uint32_t size : {2u, 16u, 128u, 512u, 1024u, 2048u}) {
+        const std::string ctx =
+            "fig4 " + label + " " + std::to_string(size) + "B";
+        const double model = check::ud_bw_model_mbps(fc, {}, size);
+        const double uni_mbps = uni.series(label).at(size);
+        const double bidir_mbps = bidir.series(label).at(size);
+        report.expect_near("ud-bw-model", ctx, uni_mbps, model,
+                           tol.exact_rel);
+        report.expect_le("ud-bibw-bound", ctx, bidir_mbps, 2.0 * model,
+                         tol.bound_slack);
+        report.expect_ge("ud-bibw-floor", ctx, bidir_mbps, uni_mbps,
+                         tol.monotone_rel);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -61,5 +61,31 @@ int main(int argc, char** argv) {
   }
   bench::finish(uni, "fig5a_rc_bw");
   bench::finish(bidir, "fig5b_rc_bibw");
-  return 0;
+
+  // Oracle audit: every (size, delay) point must respect the
+  // min(wire, window/RTT) bound and land on the right side of the
+  // BDP knee; bidirectional traffic is capped by twice the wire peak.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const ib::HcaConfig hca;
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const std::string label = bench::delay_label(delay);
+      for (std::uint32_t size : sizes) {
+        const std::string ctx =
+            "fig5 " + label + " " + std::to_string(size) + "B";
+        const int iters = ib::perftest::iters_for_bytes(
+            (32u << 20) * bench::scale(), size, 32, 4096);
+        const std::uint64_t total =
+            static_cast<std::uint64_t>(iters) * size;
+        check::check_rc_bw(report, ctx, fc, hca, size, delay,
+                           uni.series(label).at(size), tol, total);
+        report.expect_le("rc-bibw-bound", ctx, bidir.series(label).at(size),
+                         2.0 * check::rc_wire_peak_mbps(fc, hca, size),
+                         tol.bound_slack);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -61,5 +61,37 @@ int main(int argc, char** argv) {
   }
   bench::finish(single, "fig6a_ipoib_ud_window");
   bench::finish(parallel, "fig6b_ipoib_ud_streams");
-  return 0;
+
+  // Oracle audit: acked TCP throughput over IPoIB-UD respects
+  // min(wire, aggregate window / RTT) at every point (datagram mode:
+  // no connected-mode RC window cap, cm_mtu = 0).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    const std::pair<const char*, std::uint32_t> windows[] = {
+        {"64k-window", 64u << 10},
+        {"256k-window", 256u << 10},
+        {"512k-window", 512u << 10},
+        {"default(1M)", 1u << 20},
+    };
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      for (const auto& [name, wnd] : windows) {
+        check::check_tcp_bw(report,
+                            "fig6a " + std::string(name) + " " +
+                                bench::delay_label(delay),
+                            fc, wnd, 1, delay, single.series(name).at(x), tol,
+                            /*cm_mtu=*/0, /*cm_rc_window=*/16, volume);
+      }
+      for (int streams : {1, 2, 4, 6, 8}) {
+        const std::string name = std::to_string(streams) + "-streams";
+        check::check_tcp_bw(
+            report, "fig6b " + name + " " + bench::delay_label(delay), fc,
+            1u << 20, streams, delay, parallel.series(name).at(x), tol,
+            /*cm_mtu=*/0, /*cm_rc_window=*/16, volume / streams);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -61,5 +61,39 @@ int main(int argc, char** argv) {
   }
   bench::finish(single, "fig7a_ipoib_rc_mtu");
   bench::finish(parallel, "fig7b_ipoib_rc_streams");
-  return 0;
+
+  // Oracle audit: connected mode shares one RC QP across the bundle, so
+  // the aggregate window is additionally capped by
+  // rc_max_inflight_msgs * ip_mtu (the cm_mtu parameter).
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const int rc_window = ib::HcaConfig{}.rc_max_inflight_msgs;
+    const check::Tolerances tol;
+    const std::pair<const char*, std::uint32_t> mtus[] = {
+        {"2K-MTU", 2044u},
+        {"16K-MTU", 16u << 10},
+        {"64K-MTU", ipoib::kConnectedIpMtu},
+    };
+    for (sim::Duration delay : bench::delay_grid()) {
+      const double x = static_cast<double>(delay) / 1000.0;
+      for (const auto& [name, mtu] : mtus) {
+        check::check_tcp_bw(report,
+                            "fig7a " + std::string(name) + " " +
+                                bench::delay_label(delay),
+                            fc, 1u << 20, 1, delay, single.series(name).at(x),
+                            tol, mtu, rc_window, volume);
+      }
+      for (int streams : {1, 2, 4, 6, 8}) {
+        const std::string name = std::to_string(streams) + "-streams";
+        check::check_tcp_bw(report,
+                            "fig7b " + name + " " + bench::delay_label(delay),
+                            fc, 1u << 20, streams, delay,
+                            parallel.series(name).at(x), tol,
+                            ipoib::kConnectedIpMtu, rc_window,
+                            volume / streams);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

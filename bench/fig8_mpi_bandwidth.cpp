@@ -60,5 +60,28 @@ int main(int argc, char** argv) {
   }
   bench::finish(uni, "fig8a_mpi_bw");
   bench::finish(bidir, "fig8b_mpi_bibw");
-  return 0;
+
+  // Oracle audit: MPI payload throughput can never exceed the wire
+  // (headers and handshakes only subtract), in either direction.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (sim::Duration delay : bench::delay_grid()) {
+      const std::string label = bench::delay_label(delay);
+      for (std::uint64_t size : sizes) {
+        const std::string ctx =
+            "fig8 " + label + " " + std::to_string(size) + "B";
+        check::check_mpi_bw(report, ctx, fc, delay,
+                            uni.series(label).at(static_cast<double>(size)),
+                            tol);
+        report.expect_le(
+            "mpi-bibw-bound", ctx,
+            bidir.series(label).at(static_cast<double>(size)),
+            2.0 * 1000.0 * check::cross_wan_path(fc).wan_rate,
+            tol.bound_slack);
+      }
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -77,5 +77,37 @@ int main(int argc, char** argv) {
     return rows;
   });
   bench::finish(bidir, "fig9b_mpi_threshold_bibw");
-  return 0;
+
+  // Oracle audit: wire-rate bound everywhere; and the tuned threshold
+  // must not lose on the 8-32 KB sizes it moves onto the eager path —
+  // that improvement is Figure 9's claim.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (std::uint64_t size : uni_sizes) {
+      const double x = static_cast<double>(size);
+      const std::string ctx = "fig9a " + std::to_string(size) + "B";
+      check::check_mpi_bw(report, ctx, fc, delay,
+                          uni.series("original(8K)").at(x), tol);
+      check::check_mpi_bw(report, ctx, fc, delay,
+                          uni.series("tuned(64K)").at(x), tol);
+      if (size >= (8u << 10)) {
+        report.expect_ge("threshold-tuning", ctx,
+                         uni.series("tuned(64K)").at(x),
+                         uni.series("original(8K)").at(x), tol.monotone_rel);
+      }
+    }
+    for (std::uint64_t size : bidir_sizes) {
+      const double x = static_cast<double>(size);
+      const std::string ctx = "fig9b " + std::to_string(size) + "B";
+      const double cap = 2.0 * 1000.0 * check::cross_wan_path(fc).wan_rate;
+      report.expect_le("mpi-bibw-bound", ctx, bidir.series("thresh-8k").at(x),
+                       cap, tol.bound_slack);
+      report.expect_le("mpi-bibw-bound", ctx,
+                       bidir.series("thresh-64k").at(x), cap,
+                       tol.bound_slack);
+    }
+  }
+  return bench::selfcheck_exit();
 }

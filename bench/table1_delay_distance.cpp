@@ -26,5 +26,25 @@ int main(int argc, char** argv) {
     table.add("rc_latency_us", km, lat.avg_us);
   }
   bench::finish(table, "table1_delay_distance");
-  return 0;
+
+  // Oracle audit: the delay column is exactly 5 us/km (Table 1), and the
+  // measured 1-byte RC latency equals the closed-form model at that
+  // delay.
+  if (bench::selfcheck_enabled() && net::global_fault_plan() == nullptr) {
+    auto& report = check::selfcheck_report();
+    const net::FabricConfig fc = core::fabric_defaults(1, 1);
+    const check::Tolerances tol;
+    for (double km : {1.0, 2.0, 20.0, 200.0, 2000.0}) {
+      const std::string ctx = "table1 " + std::to_string(km) + "km";
+      report.expect_near("delay-per-km", ctx, table.series("delay_us").at(km),
+                         check::km_latency_increment_us(km), 1e-12);
+      report.expect_near(
+          "latency-model", ctx, table.series("rc_latency_us").at(km),
+          check::verbs_latency_model_us(fc, {}, ib::perftest::Transport::kRc,
+                                        ib::perftest::Op::kSendRecv, 1,
+                                        core::delay_for_km(km)),
+          tol.exact_rel);
+    }
+  }
+  return bench::selfcheck_exit();
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Line-coverage build + report (satellite of the validation harness).
+# Configures an instrumented Debug build in its own tree, runs the
+# tier-1 and check test labels, then reports line coverage for src/.
+#
+#   scripts/coverage.sh [build-dir]        # default: build-cov
+#
+# With lcov installed the report is build-dir/coverage.info (+ a
+# printed summary); otherwise falls back to raw gcov and aggregates the
+# per-file numbers itself. Either way a one-line total
+# "TOTAL lines: <hit>/<instrumented> (<pct>%)" lands on stdout and in
+# build-dir/coverage_summary.txt — CI uploads that file as an artifact.
+# The number is informational, not a gate (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-cov}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Debug -DIBWAN_COVERAGE=ON
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" -L 'tier1|check' --output-on-failure \
+  -j "$(nproc)"
+
+SUMMARY="${BUILD_DIR}/coverage_summary.txt"
+
+if command -v lcov > /dev/null; then
+  lcov --capture --directory "${BUILD_DIR}" \
+    --output-file "${BUILD_DIR}/coverage.info" \
+    --rc branch_coverage=0 --ignore-errors mismatch,inconsistent \
+    > /dev/null
+  # Keep only the simulator sources; system and test code would inflate
+  # the figure.
+  lcov --extract "${BUILD_DIR}/coverage.info" "*/src/*" \
+    --output-file "${BUILD_DIR}/coverage.info" \
+    --ignore-errors mismatch,inconsistent > /dev/null
+  lcov --summary "${BUILD_DIR}/coverage.info" 2>&1 | tee "${SUMMARY}"
+  lcov --list "${BUILD_DIR}/coverage.info" | tail -n +3 >> "${SUMMARY}"
+else
+  echo "lcov not found; aggregating raw gcov output" >&2
+  python3 - "${BUILD_DIR}" << 'PYEOF' | tee "${SUMMARY}"
+import json, pathlib, subprocess, sys
+
+build = pathlib.Path(sys.argv[1])
+per_file = {}
+for gcda in sorted(build.rglob("*.gcda")):
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", str(gcda.resolve())],
+        capture_output=True, text=True)
+    for line in out.stdout.splitlines():
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        for f in doc.get("files", []):
+            name = f["file"]
+            if "/src/" not in "/" + name or "/tests/" in name:
+                continue
+            name = name[name.index("src/"):] if "src/" in name else name
+            # Merge by max per line number: the same header is compiled
+            # into many objects.
+            seen = per_file.setdefault(name, {})
+            for ln in f.get("lines", []):
+                n = ln["line_number"]
+                seen[n] = max(seen.get(n, 0), ln["count"])
+
+tot_hit = tot_all = 0
+for name in sorted(per_file):
+    seen = per_file[name]
+    hit = sum(1 for c in seen.values() if c > 0)
+    tot_hit += hit
+    tot_all += len(seen)
+    print(f"{name:56s} {hit:6d}/{len(seen):<6d}")
+pct = 100.0 * tot_hit / tot_all if tot_all else 0.0
+print(f"TOTAL lines: {tot_hit}/{tot_all} ({pct:.1f}%)")
+PYEOF
+fi

@@ -1,0 +1,243 @@
+// Analytic oracles: closed-form predictions and bounds computed from
+// configuration, never from simulation output (DESIGN.md §11).
+//
+// The byte-identical CSV regression can lock in a wrong curve; these
+// oracles check that the curves follow from first principles instead:
+//
+//   * one-way verbs latency  = per-hop costs + the 5 us/km WAN delay
+//     (paper Table 1 / Figure 3) — exact for single-packet messages;
+//   * RC throughput         <= min(wire rate, window / RTT), with the
+//     knee located by the bandwidth-delay product (Figure 5);
+//   * UD throughput          = min(sender engine rate, wire rate),
+//     delay-independent (Figure 4);
+//   * TCP / MPI / NFS        upper-bounded by the same wire and window
+//     arguments (Figures 6-13);
+//   * conservation laws over a MetricsSnapshot — every byte a link
+//     serialized was delivered or dropped, every RC WQE that started
+//     transmission completed or was flushed.
+//
+// All tolerances live in Tolerances so tests can tighten them to prove
+// a broken oracle fails the suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ib/perftest.hpp"
+#include "ib/verbs.hpp"
+#include "net/fabric.hpp"
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::check {
+
+// ---- Check report ---------------------------------------------------
+
+struct CheckResult {
+  std::string oracle;   // catalog name, e.g. "rc-bw-bound"
+  std::string context;  // scenario / bench row the check ran against
+  bool pass = false;
+  std::string detail;  // "measured=... predicted=... tol=..."
+};
+
+/// Accumulates oracle/relation verdicts. Append-only; the log is
+/// deterministic (insertion order, fixed float formatting) so a fuzzing
+/// run's full report can be compared byte-for-byte across reruns.
+class OracleReport {
+ public:
+  /// measured == predicted within relative tolerance `rel` (plus a tiny
+  /// absolute epsilon for values near zero).
+  void expect_near(const std::string& oracle, const std::string& context,
+                   double measured, double predicted, double rel,
+                   double abs_eps = 1e-9);
+  /// measured <= bound * (1 + slack).
+  void expect_le(const std::string& oracle, const std::string& context,
+                 double measured, double bound, double slack = 0.0);
+  /// measured >= floor * (1 - slack).
+  void expect_ge(const std::string& oracle, const std::string& context,
+                 double measured, double floor, double slack = 0.0);
+  /// Exact unsigned equality (conservation counters).
+  void expect_eq_u64(const std::string& oracle, const std::string& context,
+                     std::uint64_t measured, std::uint64_t expected);
+  void expect_true(const std::string& oracle, const std::string& context,
+                   bool ok, const std::string& detail);
+
+  void merge(const OracleReport& other);
+
+  bool ok() const { return failures_ == 0; }
+  std::size_t total() const { return checks_.size(); }
+  std::size_t failures() const { return failures_; }
+  const std::vector<CheckResult>& checks() const { return checks_; }
+
+  /// One line per failed check.
+  std::string failure_log() const;
+  /// "N checks, M failed" summary line.
+  std::string summary() const;
+
+ private:
+  void add(CheckResult r);
+
+  std::vector<CheckResult> checks_;
+  std::size_t failures_ = 0;
+};
+
+// ---- Tolerance policy (DESIGN.md §11) -------------------------------
+
+struct Tolerances {
+  /// Closed-form latency / UD bandwidth predictions are exact in the
+  /// model; 1% absorbs integer-ns serialization rounding.
+  double exact_rel = 0.01;
+  /// Upper bounds (wire rate, window/RTT) are hard; 2% absorbs timing
+  /// windows that start after the first byte is already in flight.
+  double bound_slack = 0.02;
+  /// Above the knee (window*size >= 2*BDP) RC must reach this fraction
+  /// of the wire peak.
+  double knee_high_frac = 0.8;
+  /// Below the knee (window*size <= BDP/2) the measured/window-bound
+  /// ratio must land in [knee_low_frac, 1 + bound_slack].
+  double knee_low_frac = 0.5;
+  /// Monotonicity comparisons allow this relative wiggle.
+  double monotone_rel = 0.02;
+};
+
+// ---- Path model -----------------------------------------------------
+
+/// Deterministic facts about the cross-WAN path of a cluster-of-clusters
+/// fabric: host -> switch A -> Longbow A -> WAN -> Longbow B ->
+/// switch B -> host (net/fabric.cpp).
+struct PathModel {
+  double lan_rate = 2.0;       // bytes/ns on the four LAN links
+  double wan_rate = 1.0;       // bytes/ns on the long-haul link
+  sim::Duration fixed_prop = 0;  // one-way propagation at zero delay
+  int lan_links = 4;             // serializing LAN hops on the path
+};
+
+PathModel cross_wan_path(const net::FabricConfig& cfg);
+
+/// Serialization of `wire_bytes` across every link of the path (each
+/// link rounds up to whole ns, as net/link.cpp does).
+sim::Duration path_serialization_ns(const PathModel& path,
+                                    std::uint64_t wire_bytes);
+
+// ---- Latency oracles ------------------------------------------------
+
+/// Oracle "latency-model": exact one-way verbs latency in microseconds
+/// for a single-packet message (msg_size <= mtu). Sum of propagation,
+/// per-link serialization, and HCA costs; SendRecv pays receive-WQE
+/// matching and CQE delivery, RDMA write only write detection.
+double verbs_latency_model_us(const net::FabricConfig& cfg,
+                              const ib::HcaConfig& hca,
+                              ib::perftest::Transport transport,
+                              ib::perftest::Op op, std::uint64_t msg_size,
+                              sim::Duration wan_delay);
+
+/// Oracle "latency-floor": no cross-WAN message, any stack, can beat
+/// the one-way propagation floor (microseconds).
+double oneway_floor_us(const net::FabricConfig& cfg, sim::Duration wan_delay);
+
+/// Oracle "delay-per-km": the latency increment for `km` kilometres of
+/// emulated distance (paper Table 1: exactly 5 us/km).
+double km_latency_increment_us(double km);
+
+// ---- Bandwidth oracles ----------------------------------------------
+
+/// Payload throughput the bottleneck (WAN) link supports once per-packet
+/// headers are paid, in MB/s (1 MB = 1e6 bytes, the paper's unit).
+double rc_wire_peak_mbps(const net::FabricConfig& cfg,
+                         const ib::HcaConfig& hca, std::uint64_t msg_size);
+
+/// window-limited RC throughput bound: window * msg_size / RTT_min.
+double rc_window_bound_mbps(const net::FabricConfig& cfg,
+                            const ib::HcaConfig& hca, std::uint64_t msg_size,
+                            sim::Duration wan_delay);
+
+/// Bandwidth-delay product of the WAN path at minimum RTT, in bytes.
+std::uint64_t bdp_bytes(const net::FabricConfig& cfg, sim::Duration wan_delay);
+
+/// Oracles "rc-bw-bound" + "rc-knee": measured RC streaming bandwidth
+/// must respect min(wire, window/RTT), reach knee_high_frac of the wire
+/// peak when window*size >= 2*BDP, and track the window bound when
+/// window*size <= BDP/2 (Figure 5's knee, located from the BDP).
+///
+/// `total_bytes` is the measured transfer volume; the perftest timing
+/// convention spans pipeline fill, so finite transfers pay one extra
+/// RTT over the pure serialization time and both knee floors are
+/// corrected to total / (total/rate + RTT). 0 means "steady state"
+/// (volume >> BDP): no correction, as for the committed CSV volumes.
+void check_rc_bw(OracleReport& report, const std::string& context,
+                 const net::FabricConfig& cfg, const ib::HcaConfig& hca,
+                 std::uint64_t msg_size, sim::Duration wan_delay,
+                 double measured_mbps, const Tolerances& tol = {},
+                 std::uint64_t total_bytes = 0);
+
+/// Oracle "ud-bw-model": exact UD streaming bandwidth — the slower of
+/// the sender engine (wqe + per-packet overhead) and the wire.
+/// Delay-independent, which is Figure 4's point.
+double ud_bw_model_mbps(const net::FabricConfig& cfg,
+                        const ib::HcaConfig& hca, std::uint64_t msg_size);
+
+/// Oracle "tcp-bw-bound": aggregate acked TCP throughput across
+/// `streams` streams <= min(wire rate, aggregate window / RTT_min);
+/// below half the BDP the window bound must also be tracked from below.
+///
+/// In IPoIB connected mode every stream shares one IpoibDevice pair and
+/// thus one underlying RC QP, so the aggregate window is
+/// min(streams * window_bytes, cm_rc_window * cm_mtu) — the RC layer's
+/// message window caps the whole bundle (cm_mtu = 0 means datagram
+/// mode: no RC window). `bytes_per_stream` gates the lower-bound check:
+/// short flows are slow-start-dominated, so it only applies to flows of
+/// at least 8 windows, with an 8-RTT ramp correction (0 = steady state,
+/// no gating: the fig6/fig7 bench volumes).
+void check_tcp_bw(OracleReport& report, const std::string& context,
+                  const net::FabricConfig& cfg, std::uint32_t window_bytes,
+                  int streams, sim::Duration wan_delay, double measured_mbps,
+                  const Tolerances& tol = {}, std::uint32_t cm_mtu = 0,
+                  int cm_rc_window = 16, std::uint64_t bytes_per_stream = 0);
+
+/// Oracle "mpi-bw-bound": MPI pt2pt streaming bandwidth <= wire rate
+/// (headers ignored — a strict upper bound).
+void check_mpi_bw(OracleReport& report, const std::string& context,
+                  const net::FabricConfig& cfg, sim::Duration wan_delay,
+                  double measured_mbps, const Tolerances& tol = {});
+
+/// Oracle "msg-rate-bound": aggregate message rate of `pairs`
+/// sender/receiver pairs, million messages per second — bounded by the
+/// per-pair sender engine and the shared wire.
+double mpi_msg_rate_bound_mmps(const net::FabricConfig& cfg,
+                               const ib::HcaConfig& hca, int pairs,
+                               std::uint64_t msg_size);
+
+/// Oracle "bcast-floor": a cross-cluster broadcast iteration (root in
+/// A, acker in B) cannot beat one WAN round trip, in microseconds.
+double bcast_floor_us(const net::FabricConfig& cfg, sim::Duration wan_delay);
+
+/// Oracle "nfs-bw-bound": NFS throughput <= min(wire rate, server
+/// window * chunk / RTT_min) for the RDMA transport (chunk_bytes > 0),
+/// or the wire rate alone (lan=true uses the LAN rate: no Longbows).
+double nfs_bw_bound_mbps(const net::FabricConfig& cfg,
+                         const ib::HcaConfig& server_hca,
+                         std::uint64_t chunk_bytes, sim::Duration wan_delay,
+                         bool lan);
+
+// ---- Conservation oracles -------------------------------------------
+
+struct ConservationOptions {
+  /// Exact per-link equality (bytes_sent == delivered + dropped).
+  /// Requires a drained simulator; aggregated bench snapshots are
+  /// drained too (every driver runs its simulator to completion), so
+  /// this defaults on.
+  bool exact_links = true;
+  /// Assert msgs_sent == send_completions per ib.rc scope. Valid only
+  /// for fault-free workloads with no RDMA reads (verbs scenarios);
+  /// otherwise only send_completions <= msgs_sent is checked.
+  bool exact_rc_wqes = false;
+};
+
+/// Oracles "link-conservation" + "rc-wqe-conservation" over a (possibly
+/// merged) metrics snapshot.
+void check_conservation(OracleReport& report, const std::string& context,
+                        const sim::MetricsSnapshot& snap,
+                        const ConservationOptions& opt = {});
+
+}  // namespace ibwan::check

@@ -1,0 +1,233 @@
+#include "check/properties.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/time.hpp"
+
+namespace ibwan::check {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string rel_ctx(const char* name, const Scenario& s) {
+  return std::string(name) + " " + s.id() + " " + s.describe();
+}
+
+/// The derived-delay step shared by the monotonicity and additivity
+/// relations: +1 ms of one-way WAN delay (exactly 1000 us on the
+/// one-way latency, per the paper's 5 us/km law).
+constexpr sim::Duration kDelayStep = sim::kMillisecond;
+constexpr double kDelayStepUs = 1000.0;
+
+// -- latency-monotone-delay + delay-additivity (one derived run) ------
+
+bool latency_delay_applies(const Scenario& s) {
+  return !s.faults && (s.stack == Stack::kVerbsLatency ||
+                       s.stack == Stack::kMpiBcast);
+}
+
+void latency_delay_check(const Scenario& s, const ScenarioResult& base,
+                         OracleReport& report, const Tolerances& tol) {
+  if (!base.completed) return;
+  Scenario far = s;
+  far.wan_delay += kDelayStep;
+  const ScenarioResult r = run_scenario(far);
+  const std::string ctx = rel_ctx("latency-monotone-delay", s);
+  report.expect_true("latency-monotone-delay", ctx, r.completed,
+                     "derived run did not complete");
+  if (!r.completed) return;
+  report.expect_ge("latency-monotone-delay", ctx, r.value, base.value);
+  if (s.stack == Stack::kVerbsLatency) {
+    // One-way latency grows by exactly the added one-way delay.
+    report.expect_near("delay-additivity", ctx, r.value - base.value,
+                       kDelayStepUs, tol.exact_rel);
+  }
+}
+
+// -- bw-monotone-delay ------------------------------------------------
+
+bool bw_delay_applies(const Scenario& s) {
+  return !s.faults &&
+         (s.stack == Stack::kVerbsRcBw || s.stack == Stack::kTcpStreams);
+}
+
+void bw_delay_check(const Scenario& s, const ScenarioResult& base,
+                    OracleReport& report, const Tolerances& tol) {
+  if (!base.completed) return;
+  Scenario far = s;
+  far.wan_delay += kDelayStep;
+  const ScenarioResult r = run_scenario(far);
+  const std::string ctx = rel_ctx("bw-monotone-delay", s);
+  report.expect_true("bw-monotone-delay", ctx, r.completed,
+                     "derived run did not complete");
+  if (!r.completed) return;
+  // More delay never helps: window-limited regions fall, wire-limited
+  // regions stay flat.
+  report.expect_le("bw-monotone-delay", ctx, r.value, base.value,
+                   tol.monotone_rel);
+}
+
+// -- stream-monotone --------------------------------------------------
+
+bool stream_applies(const Scenario& s) {
+  return !s.faults && s.stack == Stack::kTcpStreams && s.streams < 3;
+}
+
+void stream_check(const Scenario& s, const ScenarioResult& base,
+                  OracleReport& report, const Tolerances& /*tol*/) {
+  if (!base.completed) return;
+  Scenario more = s;
+  more.streams = s.streams + 1;
+  const ScenarioResult r = run_scenario(more);
+  const std::string ctx = rel_ctx("stream-monotone", s);
+  report.expect_true("stream-monotone", ctx, r.completed,
+                     "derived run did not complete");
+  if (!r.completed) return;
+  // An extra stream adds window; aggregate throughput must not drop
+  // (5% slack: streams share the wire once it saturates).
+  report.expect_ge("stream-monotone", ctx, r.value, base.value, 0.05);
+}
+
+// -- window-monotone --------------------------------------------------
+
+bool window_applies(const Scenario& s) {
+  return !s.faults && s.stack == Stack::kVerbsRcBw && s.rc_window <= 32;
+}
+
+void window_check(const Scenario& s, const ScenarioResult& base,
+                  OracleReport& report, const Tolerances& /*tol*/) {
+  if (!base.completed) return;
+  Scenario wide = s;
+  wide.rc_window = s.rc_window * 2;
+  const ScenarioResult r = run_scenario(wide);
+  const std::string ctx = rel_ctx("window-monotone", s);
+  report.expect_true("window-monotone", ctx, r.completed,
+                     "derived run did not complete");
+  if (!r.completed) return;
+  report.expect_ge("window-monotone", ctx, r.value, base.value, 0.05);
+}
+
+// -- faults-inert-noop ------------------------------------------------
+// An all-zero FaultPlanConfig installs no hooks and draws nothing, so a
+// run with it attached must be byte-identical to one without any plan
+// (the contract net/faults.hpp documents). Strided over index so one in
+// three cases pays the extra run.
+
+bool inert_applies(const Scenario& s) {
+  return !s.faults && s.index % 3 == 0;
+}
+
+void inert_check(const Scenario& s, const ScenarioResult& base,
+                 OracleReport& report, const Tolerances& /*tol*/) {
+  RunOptions opt;
+  opt.force_inert_plan = true;
+  const ScenarioResult r = run_scenario(s, opt);
+  const std::string ctx = rel_ctx("faults-inert-noop", s);
+  report.expect_true(
+      "faults-inert-noop", ctx,
+      r.completed == base.completed && r.value == base.value,
+      "base=" + fmt(base.value) + " inert=" + fmt(r.value));
+}
+
+// -- metrics-noop -----------------------------------------------------
+// The MetricsRegistry observes; it never schedules or perturbs events
+// (PR 2 contract). Disabling it must leave the measurement bit-exact.
+
+bool metrics_noop_applies(const Scenario& s) { return s.index % 3 == 1; }
+
+void metrics_noop_check(const Scenario& s, const ScenarioResult& base,
+                        OracleReport& report, const Tolerances& /*tol*/) {
+  RunOptions opt;
+  opt.metrics = false;
+  const ScenarioResult r = run_scenario(s, opt);
+  const std::string ctx = rel_ctx("metrics-noop", s);
+  report.expect_true(
+      "metrics-noop", ctx,
+      r.completed == base.completed && r.value == base.value,
+      "base=" + fmt(base.value) + " metrics-off=" + fmt(r.value));
+}
+
+// -- seed-replay ------------------------------------------------------
+// The whole-stack determinism law: identical (scenario, seed) must give
+// an identical measurement and identical counter rows.
+
+bool replay_applies(const Scenario& s) { return s.index % 3 == 2; }
+
+void replay_check(const Scenario& s, const ScenarioResult& base,
+                  OracleReport& report, const Tolerances& /*tol*/) {
+  const ScenarioResult r = run_scenario(s);
+  const std::string ctx = rel_ctx("seed-replay", s);
+  report.expect_true(
+      "seed-replay", ctx,
+      r.completed == base.completed && r.value == base.value,
+      "base=" + fmt(base.value) + " replay=" + fmt(r.value));
+  const auto& a = base.metrics.counters;
+  const auto& b = r.metrics.counters;
+  bool counters_equal = a.size() == b.size();
+  std::string diff;
+  for (std::size_t i = 0; counters_equal && i < a.size(); ++i) {
+    if (a[i].path != b[i].path || a[i].value != b[i].value) {
+      counters_equal = false;
+      diff = a[i].path + "=" + std::to_string(a[i].value) + " vs " +
+             b[i].path + "=" + std::to_string(b[i].value);
+    }
+  }
+  if (a.size() != b.size())
+    diff = std::to_string(a.size()) + " vs " + std::to_string(b.size()) +
+           " counter rows";
+  report.expect_true("seed-replay-counters", ctx, counters_equal, diff);
+}
+
+}  // namespace
+
+const std::vector<Relation>& relation_catalog() {
+  static const std::vector<Relation> kCatalog = {
+      {"latency-monotone-delay",
+       "one-way latency is non-decreasing in WAN delay",
+       latency_delay_applies, latency_delay_check},
+      {"delay-additivity",
+       "adding d to the WAN delay adds exactly d to one-way verbs latency",
+       latency_delay_applies, latency_delay_check},
+      {"bw-monotone-delay",
+       "throughput is non-increasing in WAN delay", bw_delay_applies,
+       bw_delay_check},
+      {"stream-monotone",
+       "aggregate TCP throughput is non-decreasing in stream count",
+       stream_applies, stream_check},
+      {"window-monotone",
+       "RC throughput is non-decreasing in the send window",
+       window_applies, window_check},
+      {"faults-inert-noop",
+       "an all-zero fault plan leaves the run byte-identical",
+       inert_applies, inert_check},
+      {"metrics-noop",
+       "disabling the metrics registry leaves the run byte-identical",
+       metrics_noop_applies, metrics_noop_check},
+      {"seed-replay",
+       "identical scenario and seed replay to identical results",
+       replay_applies, replay_check},
+  };
+  return kCatalog;
+}
+
+ScenarioResult check_scenario(const Scenario& s, OracleReport& report,
+                              const Tolerances& tol) {
+  const ScenarioResult base = run_scenario(s);
+  check_scenario_oracles(s, base, report, tol);
+  // latency-monotone-delay and delay-additivity share one derived run
+  // (one Relation::check does both); skip the duplicate catalog entry.
+  const auto& catalog = relation_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].name == std::string("delay-additivity")) continue;
+    if (catalog[i].applies(s)) catalog[i].check(s, base, report, tol);
+  }
+  return base;
+}
+
+}  // namespace ibwan::check

@@ -1,0 +1,40 @@
+// Metamorphic relations: properties that tie *pairs* of runs together
+// when no closed-form prediction exists for either run alone
+// (DESIGN.md §11). Each relation derives a second scenario from the
+// base one (more delay, more streams, a bigger window, an inert fault
+// plan, a disabled metrics registry, the very same seed) and checks
+// the pair of measurements against the relation's contract — from
+// directional monotonicity down to bit-exact equality for the noop and
+// replay relations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/oracles.hpp"
+#include "check/scenario_gen.hpp"
+
+namespace ibwan::check {
+
+/// One metamorphic relation. `applies` gates on the scenario (stack,
+/// faults, and an index stride for the expensive bit-exact relations);
+/// `check` runs the derived scenario(s) and records verdicts.
+struct Relation {
+  const char* name;
+  const char* description;
+  bool (*applies)(const Scenario& s);
+  void (*check)(const Scenario& s, const ScenarioResult& base,
+                OracleReport& report, const Tolerances& tol);
+};
+
+/// The fixed relation catalog (ISSUE 5 asks for >= 5; there are 8).
+const std::vector<Relation>& relation_catalog();
+
+/// Runs the scenario once, applies every value/conservation oracle and
+/// every applicable metamorphic relation, and returns the base result.
+/// This is the single entry point the fuzz test and --scenario replay
+/// use per case.
+ScenarioResult check_scenario(const Scenario& s, OracleReport& report,
+                              const Tolerances& tol = {});
+
+}  // namespace ibwan::check

@@ -1,0 +1,520 @@
+#include "check/scenario_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "core/mpi_bench.hpp"
+#include "core/nfs_bench.hpp"
+#include "core/tcp_bench.hpp"
+#include "core/testbed.hpp"
+#include "sim/rng.hpp"
+
+namespace ibwan::check {
+
+namespace {
+
+using ib::perftest::Op;
+using ib::perftest::Transport;
+
+/// Splitmix-style case-key derivation, so consecutive indices give
+/// unrelated parameter draws while staying a pure function of
+/// (seed, index) — the DET004 requirement.
+std::uint64_t case_key(std::uint64_t seed, int index) {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL *
+                            (static_cast<std::uint64_t>(index) + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Log-uniform integer draw in [lo, hi].
+std::uint64_t log_uniform(sim::Rng& rng, std::uint64_t lo, std::uint64_t hi) {
+  const double llo = std::log2(static_cast<double>(lo));
+  const double lhi = std::log2(static_cast<double>(hi));
+  const double v = llo + rng.uniform_double() * (lhi - llo);
+  const auto r = static_cast<std::uint64_t>(std::pow(2.0, v));
+  return std::clamp(r, lo, hi);
+}
+
+template <class T, std::size_t N>
+T pick(sim::Rng& rng, const T (&options)[N]) {
+  return options[rng.uniform(N)];
+}
+
+net::FaultPlanConfig generate_fault_plan(sim::Rng& rng) {
+  net::FaultPlanConfig plan;
+  if (rng.chance(0.5)) {
+    plan.ge.p_good_to_bad = 0.001 + rng.uniform_double() * 0.05;
+    plan.ge.p_bad_to_good = 0.1 + rng.uniform_double() * 0.4;
+    plan.ge.loss_bad = 0.05 + rng.uniform_double() * 0.25;
+    plan.ge.loss_good = rng.chance(0.3) ? rng.uniform_double() * 0.005 : 0.0;
+  }
+  if (rng.chance(0.4)) {
+    plan.jitter_max = rng.uniform(1, 20) * sim::kMicrosecond;
+  }
+  if (rng.chance(0.3)) {
+    const int flaps = static_cast<int>(rng.uniform(1, 2));
+    for (int i = 0; i < flaps; ++i) {
+      plan.flaps.push_back(net::FlapWindow{
+          .down_at = rng.uniform(0, 5000) * sim::kMicrosecond,
+          .down_for = rng.uniform(10, 2000) * sim::kMicrosecond});
+    }
+  }
+  if (rng.chance(0.3)) {
+    plan.brownouts.push_back(net::BrownoutWindow{
+        .at = rng.uniform(0, 5000) * sim::kMicrosecond,
+        .duration = rng.uniform(100, 5000) * sim::kMicrosecond,
+        .buffer_bytes = rng.uniform(4096, 65536)});
+  }
+  // Ensure the plan is never accidentally empty when faults were asked
+  // for — an inert plan is covered by the faults-inert relation instead.
+  if (!plan.any()) plan.jitter_max = 5 * sim::kMicrosecond;
+  return plan;
+}
+
+core::Testbed make_testbed(const Scenario& s, const RunOptions& opt,
+                           int nodes_per_cluster,
+                           const net::FaultPlanConfig* inert) {
+  core::TestbedOptions tbo;
+  tbo.nodes_a = nodes_per_cluster;
+  tbo.nodes_b = nodes_per_cluster;
+  tbo.wan_delay = s.wan_delay;
+  tbo.seed = s.run_seed;
+  tbo.metrics = opt.metrics;
+  if (opt.force_inert_plan) {
+    tbo.faults = inert;
+  } else if (s.faults) {
+    tbo.faults = &s.fault_plan;
+  }
+  return core::Testbed(tbo);
+}
+
+ib::HcaConfig scenario_hca(const Scenario& s) {
+  ib::HcaConfig hca;
+  hca.mtu = s.mtu;
+  hca.rc_max_inflight_msgs = s.rc_window;
+  return hca;
+}
+
+/// Transfer volumes shared by run_scenario and the finite-volume oracle
+/// corrections (they must agree, or the corrected floors are wrong).
+constexpr std::uint64_t kTcpBytesPerStream = 1u << 20;
+
+int rc_bw_iters(const Scenario& s) {
+  return ib::perftest::iters_for_bytes(
+      512 << 10, static_cast<std::uint32_t>(s.msg_size), 16, 1024);
+}
+
+std::uint64_t rc_bw_total_bytes(const Scenario& s) {
+  return static_cast<std::uint64_t>(rc_bw_iters(s)) * s.msg_size;
+}
+
+}  // namespace
+
+const char* stack_name(Stack s) {
+  switch (s) {
+    case Stack::kVerbsLatency: return "verbs-lat";
+    case Stack::kVerbsRcBw: return "rc-bw";
+    case Stack::kVerbsUdBw: return "ud-bw";
+    case Stack::kTcpStreams: return "tcp";
+    case Stack::kMpiPt2pt: return "mpi-bw";
+    case Stack::kMpiBcast: return "mpi-bcast";
+    case Stack::kNfs: return "nfs";
+  }
+  return "?";
+}
+
+std::string Scenario::id() const {
+  return std::to_string(seed) + ":" + std::to_string(index);
+}
+
+std::string Scenario::describe() const {
+  std::string d = std::string(stack_name(stack)) +
+                  " delay=" + std::to_string(wan_delay) +
+                  " size=" + std::to_string(msg_size) +
+                  " mtu=" + std::to_string(mtu) +
+                  " window=" + std::to_string(rc_window);
+  switch (stack) {
+    case Stack::kVerbsLatency:
+      d += lat_transport == Transport::kUd ? " ud" : " rc";
+      d += lat_op == Op::kRdmaWrite ? " write" : " sendrecv";
+      break;
+    case Stack::kTcpStreams:
+      d += " streams=" + std::to_string(streams) +
+           " tcp_window=" + std::to_string(tcp_window_bytes) +
+           " ipoib_mtu=" + std::to_string(ipoib_mtu);
+      break;
+    case Stack::kMpiPt2pt:
+      d += " threshold=" + std::to_string(rendezvous_threshold) +
+           (coalescing ? " coalesce" : "");
+      break;
+    case Stack::kMpiBcast:
+      d += " ranks=" + std::to_string(ranks_per_cluster) +
+           (hierarchical ? " hier" : " orig");
+      break;
+    case Stack::kNfs:
+      d += std::string(nfs_rdma ? " rdma" : " ipoib") +
+           " threads=" + std::to_string(nfs_threads) +
+           (nfs_write ? " write" : " read");
+      break;
+    default:
+      break;
+  }
+  if (faults) {
+    d += " faults[";
+    if (fault_plan.ge.enabled()) d += "ge,";
+    if (fault_plan.jitter_max > 0) d += "jitter,";
+    if (!fault_plan.flaps.empty()) d += "flaps,";
+    if (!fault_plan.brownouts.empty()) d += "brownout,";
+    d += "]";
+  }
+  return d;
+}
+
+Scenario generate_scenario(std::uint64_t seed, int index) {
+  sim::Rng rng(case_key(seed, index));
+  Scenario s;
+  s.seed = seed;
+  s.index = index;
+  s.run_seed = rng.next_u64();
+
+  static constexpr sim::Duration kDelays[] = {
+      0,       10 * sim::kMicrosecond,  100 * sim::kMicrosecond,
+      500 * sim::kMicrosecond,          1 * sim::kMillisecond,
+      5 * sim::kMillisecond,            10 * sim::kMillisecond};
+  s.wan_delay = pick(rng, kDelays);
+  static constexpr std::uint32_t kMtus[] = {256, 512, 1024, 2048, 4096};
+  s.mtu = pick(rng, kMtus);
+  static constexpr int kWindows[] = {1, 2, 4, 8, 16, 32, 64};
+  s.rc_window = pick(rng, kWindows);
+
+  const std::uint64_t die = rng.uniform(100);
+  if (die < 20) {
+    s.stack = Stack::kVerbsLatency;
+    s.lat_transport = rng.chance(0.35) ? Transport::kUd : Transport::kRc;
+    s.lat_op = (s.lat_transport == Transport::kRc && rng.chance(0.4))
+                   ? Op::kRdmaWrite
+                   : Op::kSendRecv;
+    // Single-packet sizes so the closed-form latency oracle is exact.
+    s.msg_size = log_uniform(rng, 1, s.mtu);
+  } else if (die < 40) {
+    s.stack = Stack::kVerbsRcBw;
+    s.msg_size = log_uniform(rng, 64, 262144);
+  } else if (die < 52) {
+    s.stack = Stack::kVerbsUdBw;
+    s.msg_size = log_uniform(rng, 2, s.mtu);  // UD: one datagram <= MTU
+  } else if (die < 68) {
+    s.stack = Stack::kTcpStreams;
+    s.streams = static_cast<int>(rng.uniform(1, 4));
+    static constexpr std::uint32_t kTcpWindows[] = {
+        64 << 10, 256 << 10, 512 << 10, 1 << 20};
+    s.tcp_window_bytes = pick(rng, kTcpWindows);
+    // 65520 == ipoib::kConnectedIpMtu — the device asserts mtu <= it.
+    static constexpr std::uint32_t kIpoibMtus[] = {0, 2048, 16384, 65520};
+    s.ipoib_mtu = pick(rng, kIpoibMtus);
+  } else if (die < 80) {
+    s.stack = Stack::kMpiPt2pt;
+    s.msg_size = log_uniform(rng, 256, 262144);
+    static constexpr std::uint64_t kThresholds[] = {0, 1024, 8192, 65536,
+                                                    262144};
+    s.rendezvous_threshold = pick(rng, kThresholds);
+    s.coalescing = rng.chance(0.3);
+    s.mtu = 2048;  // MPI drivers use the library HCA defaults
+  } else if (die < 88) {
+    s.stack = Stack::kMpiBcast;
+    s.ranks_per_cluster = static_cast<int>(rng.uniform(2, 4));
+    s.hierarchical = rng.chance(0.5);
+    s.msg_size = log_uniform(rng, 4, 65536);
+  } else {
+    s.stack = Stack::kNfs;
+    s.nfs_rdma = rng.chance(0.6);
+    s.nfs_threads = static_cast<int>(rng.uniform(1, 4));
+    s.nfs_write = rng.chance(0.3);
+    s.nfs_file_bytes = (1ull + rng.uniform(3)) << 20;
+    // Bound the simulated transfer time in the window-collapse regime.
+    s.wan_delay = std::min(s.wan_delay, sim::Duration{1 * sim::kMillisecond});
+  }
+
+  // Fault plans only where recovery is exercised end-to-end and the
+  // measurement convention tolerates partial delivery (see DESIGN.md
+  // §11); the remaining stacks get faults-off runs whose equivalence to
+  // no-plan runs is itself a checked relation.
+  if ((s.stack == Stack::kVerbsRcBw || s.stack == Stack::kTcpStreams ||
+       s.stack == Stack::kVerbsUdBw) &&
+      rng.chance(0.3)) {
+    s.faults = true;
+    s.fault_plan = generate_fault_plan(rng);
+    // Jitter reorders the wire; RC answers reordering with go-back-N,
+    // so long messages under heavy jitter retransmit their whole tail
+    // per gap. Keep faulted RC messages to a few packets so a fuzz case
+    // stays milliseconds instead of minutes.
+    if (s.stack == Stack::kVerbsRcBw && s.fault_plan.jitter_max > 0) {
+      s.msg_size = std::min<std::uint64_t>(s.msg_size, 16 * s.mtu);
+    }
+  }
+  return s;
+}
+
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
+  static const net::FaultPlanConfig kInertPlan{};
+  ScenarioResult out;
+  switch (s.stack) {
+    case Stack::kVerbsLatency: {
+      core::Testbed tb = make_testbed(s, opt, 1, &kInertPlan);
+      ib::perftest::TestConfig tc;
+      tc.msg_size = static_cast<std::uint32_t>(s.msg_size);
+      tc.iterations = 20;
+      tc.warmup = 4;
+      tc.hca = scenario_hca(s);
+      const auto r = ib::perftest::run_latency(
+          tb.fabric(), tb.node_a(), tb.node_b(), s.lat_transport, s.lat_op,
+          tc);
+      tb.sim().run();
+      out.completed = r.iterations > 0 && r.avg_us > 0;
+      out.value = r.avg_us;
+      out.unit = "us";
+      out.metrics = tb.sim().metrics().snapshot();
+      break;
+    }
+    case Stack::kVerbsRcBw:
+    case Stack::kVerbsUdBw: {
+      core::Testbed tb = make_testbed(s, opt, 1, &kInertPlan);
+      ib::perftest::TestConfig tc;
+      tc.msg_size = static_cast<std::uint32_t>(s.msg_size);
+      tc.iterations = rc_bw_iters(s);
+      tc.warmup = 2;
+      tc.hca = scenario_hca(s);
+      const auto transport = s.stack == Stack::kVerbsRcBw ? Transport::kRc
+                                                          : Transport::kUd;
+      const auto r = ib::perftest::run_bandwidth(tb.fabric(), tb.node_a(),
+                                                 tb.node_b(), transport, tc);
+      tb.sim().run();
+      // A severed run leaves end_time unset; the unsigned subtraction
+      // then reports an absurd elapsed time, which is the signal.
+      out.completed = r.seconds > 0 && r.seconds < 1e5;
+      out.value = r.mbytes_per_sec;
+      out.unit = "MB/s";
+      out.metrics = tb.sim().metrics().snapshot();
+      break;
+    }
+    case Stack::kTcpStreams: {
+      core::Testbed tb = make_testbed(s, opt, 1, &kInertPlan);
+      core::tcpbench::StreamConfig sc;
+      sc.device = s.ipoib_mtu == 0 ? core::ipoib_ud()
+                                   : core::ipoib_rc(s.ipoib_mtu);
+      sc.tcp = core::tcp_window(s.tcp_window_bytes);
+      sc.streams = s.streams;
+      // Faulted runs skip the value oracles, so they can move less data
+      // (jitter-reordered connected-mode streams retransmit heavily).
+      sc.bytes_per_stream = s.faults ? (256u << 10) : kTcpBytesPerStream;
+      const double mbps = core::tcpbench::tcp_throughput(tb, sc);
+      tb.sim().run();
+      out.completed = mbps > 0;
+      out.value = mbps;
+      out.unit = "MB/s";
+      out.metrics = tb.sim().metrics().snapshot();
+      break;
+    }
+    case Stack::kMpiPt2pt: {
+      core::Testbed tb = make_testbed(s, opt, 1, &kInertPlan);
+      core::mpibench::OsuConfig oc;
+      oc.msg_size = s.msg_size;
+      oc.window = 32;
+      oc.iterations = 4;
+      oc.warmup = 1;
+      oc.rendezvous_threshold = s.rendezvous_threshold;
+      oc.coalescing = s.coalescing;
+      const double mbps = core::mpibench::osu_bw(tb, oc);
+      tb.sim().run();
+      out.completed = mbps > 0;
+      out.value = mbps;
+      out.unit = "MB/s";
+      out.metrics = tb.sim().metrics().snapshot();
+      break;
+    }
+    case Stack::kMpiBcast: {
+      core::Testbed tb = make_testbed(s, opt, s.ranks_per_cluster,
+                                      &kInertPlan);
+      core::mpibench::BcastConfig bc;
+      bc.ranks_per_cluster = s.ranks_per_cluster;
+      bc.msg_size = s.msg_size;
+      bc.iterations = 4;
+      bc.hierarchical = s.hierarchical;
+      const double us = core::mpibench::bcast_latency_us(tb, bc);
+      tb.sim().run();
+      out.completed = us > 0;
+      out.value = us;
+      out.unit = "us";
+      out.metrics = tb.sim().metrics().snapshot();
+      break;
+    }
+    case Stack::kNfs: {
+      core::nfsbench::NfsBenchConfig nc;
+      nc.transport = s.nfs_rdma ? core::nfsbench::Transport::kRdma
+                                : core::nfsbench::Transport::kIpoibRc;
+      nc.wan_delay = s.wan_delay;
+      nc.threads = s.nfs_threads;
+      nc.file_bytes = s.nfs_file_bytes;
+      nc.record_bytes = 256 << 10;
+      nc.write = s.nfs_write;
+      if (s.faults && !opt.force_inert_plan) nc.faults = &s.fault_plan;
+      if (opt.force_inert_plan) nc.faults = &kInertPlan;
+      sim::MetricsSnapshot snap;
+      if (opt.metrics) nc.metrics_out = &snap;
+      const nfs::IozoneResult r = core::nfsbench::run(nc);
+      out.completed = r.mbytes_per_sec > 0;
+      out.value = r.mbytes_per_sec;
+      out.unit = "MB/s";
+      out.metrics = std::move(snap);
+      break;
+    }
+  }
+  return out;
+}
+
+void check_scenario_oracles(const Scenario& s, const ScenarioResult& result,
+                            OracleReport& report, const Tolerances& tol) {
+  const net::FabricConfig cfg = core::fabric_defaults(1, 1);
+  const ib::HcaConfig hca = scenario_hca(s);
+  const std::string ctx = s.id() + " " + s.describe();
+
+  if (result.completed) {
+    // Finite, non-negative measurement — the generic sanity oracle.
+    report.expect_true("value-sane", ctx,
+                       std::isfinite(result.value) && result.value >= 0,
+                       "value=" + std::to_string(result.value));
+  }
+
+  if (result.completed && !s.faults) {
+    switch (s.stack) {
+      case Stack::kVerbsLatency: {
+        const double model = verbs_latency_model_us(
+            cfg, hca, s.lat_transport, s.lat_op, s.msg_size, s.wan_delay);
+        report.expect_near("latency-model", ctx, result.value, model,
+                           tol.exact_rel);
+        report.expect_ge("latency-floor", ctx, result.value,
+                         oneway_floor_us(cfg, s.wan_delay));
+        break;
+      }
+      case Stack::kVerbsRcBw:
+        check_rc_bw(report, ctx, cfg, hca, s.msg_size, s.wan_delay,
+                    result.value, tol, rc_bw_total_bytes(s));
+        break;
+      case Stack::kVerbsUdBw:
+        report.expect_near("ud-bw-model", ctx, result.value,
+                           ud_bw_model_mbps(cfg, hca, s.msg_size),
+                           tol.exact_rel);
+        break;
+      case Stack::kTcpStreams:
+        check_tcp_bw(report, ctx, cfg, s.tcp_window_bytes, s.streams,
+                     s.wan_delay, result.value, tol, s.ipoib_mtu,
+                     ib::HcaConfig{}.rc_max_inflight_msgs,
+                     kTcpBytesPerStream);
+        break;
+      case Stack::kMpiPt2pt:
+        check_mpi_bw(report, ctx, cfg, s.wan_delay, result.value, tol);
+        break;
+      case Stack::kMpiBcast:
+        report.expect_ge("bcast-floor", ctx, result.value,
+                         bcast_floor_us(cfg, s.wan_delay));
+        break;
+      case Stack::kNfs:
+        report.expect_le(
+            "nfs-bw-bound", ctx, result.value,
+            nfs_bw_bound_mbps(cfg, core::nfs_server_hca(),
+                              s.nfs_rdma ? 4096 : 0, s.wan_delay,
+                              /*lan=*/false),
+            tol.bound_slack);
+        break;
+    }
+  } else if (result.completed && s.faults) {
+    // Loss and outages only slow a run down: upper bounds still hold
+    // for goodput-measuring stacks (UD's receiver-interval convention
+    // over-counts lost datagrams, so it is excluded).
+    if (s.stack == Stack::kVerbsRcBw) {
+      report.expect_le("rc-bw-bound", ctx, result.value,
+                       std::min(rc_wire_peak_mbps(cfg, hca, s.msg_size),
+                                rc_window_bound_mbps(cfg, hca, s.msg_size,
+                                                     s.wan_delay)),
+                       tol.bound_slack);
+    } else if (s.stack == Stack::kTcpStreams) {
+      const double wire = 1000.0 * std::min(cfg.lan_rate,
+                                            cfg.longbow.wan_rate);
+      report.expect_le("tcp-bw-bound", ctx, result.value, wire,
+                       tol.bound_slack);
+    }
+  }
+
+  // Conservation holds drained, faulted or not; exact WQE accounting
+  // needs a fault-free, read-free (verbs) workload.
+  ConservationOptions copt;
+  copt.exact_links = true;
+  copt.exact_rc_wqes =
+      !s.faults && (s.stack == Stack::kVerbsRcBw ||
+                    (s.stack == Stack::kVerbsLatency &&
+                     s.lat_transport == Transport::kRc));
+  check_conservation(report, ctx, result.metrics, copt);
+}
+
+Scenario shrink_scenario(
+    const Scenario& s,
+    const std::function<bool(const Scenario&)>& still_fails, int budget) {
+  Scenario best = s;
+  bool progressed = true;
+  while (progressed && budget > 0) {
+    progressed = false;
+    std::vector<Scenario> candidates;
+    if (best.faults) {
+      Scenario c = best;
+      c.faults = false;
+      c.fault_plan = net::FaultPlanConfig{};
+      candidates.push_back(c);
+    }
+    if (best.wan_delay > 0) {
+      Scenario c = best;
+      c.wan_delay = best.wan_delay / 10;
+      candidates.push_back(c);
+    }
+    if (best.msg_size > 64) {
+      Scenario c = best;
+      c.msg_size = std::max<std::uint64_t>(64, best.msg_size / 4);
+      candidates.push_back(c);
+    }
+    if (best.streams > 1) {
+      Scenario c = best;
+      c.streams = 1;
+      candidates.push_back(c);
+    }
+    if (best.rc_window != 16) {
+      Scenario c = best;
+      c.rc_window = 16;
+      candidates.push_back(c);
+    }
+    if (best.mtu != 2048) {
+      Scenario c = best;
+      c.mtu = 2048;
+      if (c.msg_size > c.mtu &&
+          (c.stack == Stack::kVerbsUdBw || c.stack == Stack::kVerbsLatency))
+        c.msg_size = c.mtu;
+      candidates.push_back(c);
+    }
+    if (best.rendezvous_threshold != 0) {
+      Scenario c = best;
+      c.rendezvous_threshold = 0;
+      candidates.push_back(c);
+    }
+    for (const Scenario& c : candidates) {
+      if (budget <= 0) break;
+      --budget;
+      if (still_fails(c)) {
+        best = c;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ibwan::check

@@ -1,0 +1,106 @@
+// Seeded scenario fuzzing: a deterministic generator that samples
+// delay/MTU/window/threshold/fault-plan combinations across the
+// protocol stacks, runs each against a fresh Testbed, and hands the
+// measurement plus a drained metrics snapshot to the oracle and
+// metamorphic-relation catalogs (DESIGN.md §11).
+//
+// Determinism contract (ibwan-lint DET004): every draw comes from a
+// sim::Rng explicitly seeded from (master seed, case index), so
+// `generate_scenario(seed, i)` is a pure function and a failing case
+// replays from its "seed:index" id alone.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "check/oracles.hpp"
+#include "ib/perftest.hpp"
+#include "net/faults.hpp"
+#include "sim/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::check {
+
+enum class Stack {
+  kVerbsLatency,  // RC/UD ping-pong, SendRecv or RDMA write
+  kVerbsRcBw,     // RC streaming bandwidth
+  kVerbsUdBw,     // UD streaming bandwidth
+  kTcpStreams,    // IPoIB TCP stream aggregate
+  kMpiPt2pt,      // osu_bw
+  kMpiBcast,      // OSU broadcast latency
+  kNfs,           // IOzone over NFS/RDMA or NFS/IPoIB
+};
+
+const char* stack_name(Stack s);
+
+/// One generated test case. All fields are derived deterministically
+/// from (seed, index); run_seed seeds the Testbed's simulator.
+struct Scenario {
+  std::uint64_t seed = 42;
+  int index = 0;
+  Stack stack = Stack::kVerbsRcBw;
+  sim::Duration wan_delay = 0;
+  std::uint64_t msg_size = 2048;
+  std::uint32_t mtu = 2048;
+  int rc_window = 16;
+  ib::perftest::Transport lat_transport = ib::perftest::Transport::kRc;
+  ib::perftest::Op lat_op = ib::perftest::Op::kSendRecv;
+  std::uint32_t tcp_window_bytes = 1u << 20;
+  std::uint32_t ipoib_mtu = 0;  // 0 = datagram mode; else connected mode
+  int streams = 1;
+  std::uint64_t rendezvous_threshold = 0;  // 0 = library default
+  bool coalescing = false;
+  int ranks_per_cluster = 2;
+  bool hierarchical = false;
+  int nfs_threads = 1;
+  bool nfs_rdma = true;
+  bool nfs_write = false;
+  std::uint64_t nfs_file_bytes = 2u << 20;
+  bool faults = false;
+  net::FaultPlanConfig fault_plan{};
+  std::uint64_t run_seed = 42;
+
+  /// Replay handle, printed on failure: pass as `--scenario seed:index`.
+  std::string id() const;
+  /// Deterministic one-line description for the fuzzing log.
+  std::string describe() const;
+};
+
+Scenario generate_scenario(std::uint64_t seed, int index);
+
+struct ScenarioResult {
+  /// The measurement ran to completion. Fault plans can legitimately
+  /// sever a run (RC retry exhaustion); value oracles are skipped then,
+  /// conservation still holds.
+  bool completed = false;
+  double value = 0.0;
+  const char* unit = "";
+  sim::MetricsSnapshot metrics;  // drained end-of-run snapshot
+};
+
+struct RunOptions {
+  bool metrics = true;
+  /// Apply an all-zero fault plan instead of the scenario's (for the
+  /// faults-off ≡ no-FaultPlan relation).
+  bool force_inert_plan = false;
+};
+
+ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt = {});
+
+/// Applies every value and conservation oracle appropriate for the
+/// scenario's stack to `result` (closed-form latency/UD models and
+/// two-sided knee checks only on fault-free runs; upper bounds whenever
+/// the run completed; conservation always).
+void check_scenario_oracles(const Scenario& s, const ScenarioResult& result,
+                            OracleReport& report, const Tolerances& tol = {});
+
+/// Greedy deterministic shrinking: tries a fixed sequence of
+/// simplifications (faults off, shorter delay, smaller message, fewer
+/// streams, default window/mtu) and keeps each one that still fails,
+/// calling `still_fails` at most `budget` times.
+Scenario shrink_scenario(const Scenario& s,
+                         const std::function<bool(const Scenario&)>& still_fails,
+                         int budget = 24);
+
+}  // namespace ibwan::check

@@ -1,0 +1,10 @@
+#include "check/selfcheck.hpp"
+
+namespace ibwan::check {
+
+OracleReport& selfcheck_report() {
+  static OracleReport report;  // NOLINT: bench-process singleton
+  return report;
+}
+
+}  // namespace ibwan::check

@@ -1,0 +1,17 @@
+// Process-wide oracle report for bench --selfcheck runs.
+//
+// Benches accumulate verdicts into one report: generic table sanity
+// checks from bench::finish(), per-figure oracle blocks in each bench's
+// main(), and the conservation audit over the merged metrics snapshot
+// in bench::selfcheck_exit(). Main-thread only by construction — sweep
+// workers produce rows, never verdicts (checks run after the pool has
+// joined), so no locking is needed.
+#pragma once
+
+#include "check/oracles.hpp"
+
+namespace ibwan::check {
+
+OracleReport& selfcheck_report();
+
+}  // namespace ibwan::check

@@ -13,7 +13,11 @@ namespace ibwan::core::nfsbench {
 
 nfs::IozoneResult run(const NfsBenchConfig& cfg) {
   // Two hosts per cluster so the LAN baseline can stay on one switch.
-  Testbed tb(2, cfg.wan_delay);
+  Testbed tb(TestbedOptions{.nodes_a = 2,
+                            .nodes_b = 2,
+                            .wan_delay = cfg.wan_delay,
+                            .faults = cfg.faults,
+                            .metrics = cfg.metrics_out != nullptr});
   const net::NodeId server_node = tb.node_a(0);
   const net::NodeId client_node = cfg.lan ? tb.node_a(1) : tb.node_b(0);
 
@@ -32,7 +36,10 @@ nfs::IozoneResult run(const NfsBenchConfig& cfg) {
     server.add_file(io.fh, cfg.file_bytes);
     rpc_server.set_handler(server.handler());
     nfs::NfsClient client(rpc_client);
-    return nfs::run_iozone(tb.sim(), client, io);
+    const nfs::IozoneResult result = nfs::run_iozone(tb.sim(), client, io);
+    if (cfg.metrics_out != nullptr)
+      *cfg.metrics_out = tb.sim().metrics().snapshot();
+    return result;
   }
 
   const ipoib::IpoibConfig dev_cfg = cfg.transport == Transport::kIpoibRc
@@ -51,7 +58,10 @@ nfs::IozoneResult run(const NfsBenchConfig& cfg) {
   server.add_file(io.fh, cfg.file_bytes);
   rpc_server.set_handler(server.handler());
   nfs::NfsClient client(rpc_client);
-  return nfs::run_iozone(tb.sim(), client, io);
+  const nfs::IozoneResult result = nfs::run_iozone(tb.sim(), client, io);
+  if (cfg.metrics_out != nullptr)
+    *cfg.metrics_out = tb.sim().metrics().snapshot();
+  return result;
 }
 
 }  // namespace ibwan::core::nfsbench

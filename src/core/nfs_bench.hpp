@@ -4,7 +4,9 @@
 
 #include <cstdint>
 
+#include "net/faults.hpp"
 #include "nfs/nfs.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace ibwan::core::nfsbench {
@@ -20,6 +22,12 @@ struct NfsBenchConfig {
   std::uint64_t file_bytes = 512ull << 20;
   std::uint64_t record_bytes = 256 << 10;
   bool write = false;
+  /// Per-run fault plan for the WAN links (nullptr: the process-global
+  /// bench --faults plan, if any). Used by the src/check/ harness.
+  const net::FaultPlanConfig* faults = nullptr;
+  /// Enable the run's MetricsRegistry and copy the drained snapshot out
+  /// (nullptr: aggregator-driven behaviour only).
+  sim::MetricsSnapshot* metrics_out = nullptr;
 };
 
 /// Builds a fresh testbed, mounts, runs IOzone, returns the result.

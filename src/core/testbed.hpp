@@ -21,6 +21,25 @@ namespace ibwan::core {
 /// --metrics), each testbed enables its simulator's registry up front
 /// and folds the final snapshot into the aggregator on teardown, so a
 /// sweep's merged export covers every grid point.
+/// Per-testbed construction knobs. The harness in src/check/ builds
+/// many testbeds with scenario-local fault plans and metrics, so the
+/// process-global channels (bench --faults / --metrics) are optional
+/// here: an explicit `faults` plan takes precedence over the global
+/// one, and `metrics` force-enables the registry without requiring an
+/// active aggregator.
+struct TestbedOptions {
+  int nodes_a = 1;
+  int nodes_b = 1;
+  sim::Duration wan_delay = 0;
+  std::uint64_t seed = default_seed();
+  /// Fault plan for the WAN links; nullptr falls back to the global
+  /// plan (bench --faults). Must outlive the Testbed.
+  const net::FaultPlanConfig* faults = nullptr;
+  /// Enable this simulator's MetricsRegistry even when no process-wide
+  /// aggregator is active (read the snapshot via sim().metrics()).
+  bool metrics = false;
+};
+
 class Testbed {
  public:
   explicit Testbed(int nodes_per_cluster = 1,
@@ -30,16 +49,24 @@ class Testbed {
 
   Testbed(int nodes_a, int nodes_b, sim::Duration wan_delay,
           std::uint64_t seed = default_seed())
-      : fabric_(sim_, fabric_defaults(nodes_a, nodes_b)) {
-    sim_.seed(seed);
-    fabric_.set_wan_delay(wan_delay);
-    // A process-wide fault plan (bench --faults) attaches to the WAN
-    // links of every testbed; seeding first keeps the fault RNG streams
-    // tied to this run's seed.
-    if (const net::FaultPlanConfig* fp = net::global_fault_plan()) {
-      if (fabric_.longbows() != nullptr) fabric_.longbows()->apply_faults(*fp);
+      : Testbed(TestbedOptions{.nodes_a = nodes_a,
+                               .nodes_b = nodes_b,
+                               .wan_delay = wan_delay,
+                               .seed = seed}) {}
+
+  explicit Testbed(const TestbedOptions& opt)
+      : fabric_(sim_, fabric_defaults(opt.nodes_a, opt.nodes_b)) {
+    sim_.seed(opt.seed);
+    fabric_.set_wan_delay(opt.wan_delay);
+    // A fault plan (per-testbed, else the process-wide bench --faults
+    // one) attaches to the WAN links; seeding first keeps the fault RNG
+    // streams tied to this run's seed.
+    const net::FaultPlanConfig* fp =
+        opt.faults != nullptr ? opt.faults : net::global_fault_plan();
+    if (fp != nullptr && fabric_.longbows() != nullptr) {
+      fabric_.longbows()->apply_faults(*fp);
     }
-    if (sim::MetricsAggregator::global().active()) {
+    if (opt.metrics || sim::MetricsAggregator::global().active()) {
       sim_.metrics().set_enabled(true);
     }
   }

@@ -77,6 +77,12 @@ class RcQp : public QpBase {
     std::uint64_t rto_fires = 0;
     std::uint64_t retries_exhausted = 0;  // error-state transitions
     std::uint64_t flushed_wqes = 0;       // WQEs completed with success=false
+    /// Send/RDMA-write WQEs completed with success=true. Conservation
+    /// (src/check/oracles.cpp): on a drained, fault-free run with no
+    /// RDMA reads, send_completions == msgs_sent; in general
+    /// send_completions <= msgs_sent (internal read responses and
+    /// error-state flushes account for the difference).
+    std::uint64_t send_completions = 0;
   };
 
   RcQp(Hca& hca, Qpn qpn, Cq& send_cq, Cq& recv_cq);
@@ -207,6 +213,7 @@ class RcQp : public QpBase {
     sim::Counter* rto_fires;
     sim::Counter* retries_exhausted;
     sim::Counter* flushed_wqes;
+    sim::Counter* send_completions;
     sim::Counter* window_stalls;
     sim::Counter* window_stall_ns;
     sim::Gauge* outstanding_wqes;

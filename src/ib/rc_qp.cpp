@@ -47,6 +47,8 @@ RcQp::RcQp(Hca& hca, Qpn qpn, Cq& send_cq, Cq& recv_cq)
       &m.counter(scope, "retries_exhausted", MetricUnit::kCount);
   obs_.flushed_wqes =
       &m.counter(scope, "flushed_wqes", MetricUnit::kMessages);
+  obs_.send_completions =
+      &m.counter(scope, "send_completions", MetricUnit::kMessages);
   obs_.window_stalls =
       &m.counter(scope, "window_stalls", MetricUnit::kCount);
   obs_.window_stall_ns =
@@ -210,6 +212,8 @@ void RcQp::handle_ack(std::uint64_t ack_psn) {
       continue;
     }
     if (!m.internal) {
+      ++stats_.send_completions;
+      obs_.send_completions->add();
       send_cq_->push_after(hca_.config().cqe_latency,
                            Cqe{.type = CqeType::kSendComplete,
                                .wr_id = m.wr.wr_id,

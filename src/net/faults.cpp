@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
@@ -148,7 +149,19 @@ class JsonParser {
     return fail("unterminated string");
   }
 
+  /// Containers recurse through parse_value; a hostile input of "[[[["
+  /// repeated would otherwise turn into unbounded C++ stack growth.
+  static constexpr int kMaxDepth = 64;
+
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth_(depth) { ++depth_; }
+    ~DepthGuard() { --depth_; }
+    int& depth_;
+  };
+
   bool parse_array(JsonValue* out) {
+    const DepthGuard guard(depth_);
+    if (depth_ > kMaxDepth) return fail("nesting deeper than 64 levels");
     out->type = JsonValue::Type::kArray;
     consume('[');
     skip_ws();
@@ -165,6 +178,8 @@ class JsonParser {
   }
 
   bool parse_object(JsonValue* out) {
+    const DepthGuard guard(depth_);
+    if (depth_ > kMaxDepth) return fail("nesting deeper than 64 levels");
     out->type = JsonValue::Type::kObject;
     consume('{');
     skip_ws();
@@ -173,6 +188,10 @@ class JsonParser {
       skip_ws();
       std::string key;
       if (!parse_string(&key)) return false;
+      // A duplicated key means one of the two settings would silently
+      // win; refuse the plan instead of guessing which one was meant.
+      if (out->find(key) != nullptr)
+        return fail("duplicate key \"" + key + "\"");
       skip_ws();
       if (!consume(':')) return fail("expected ':'");
       skip_ws();
@@ -188,6 +207,7 @@ class JsonParser {
   const std::string& text_;
   std::string* err_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 // ---- JSON -> FaultPlanConfig ---------------------------------------
@@ -223,6 +243,40 @@ sim::Duration us_to_ns(double us) {
   return static_cast<sim::Duration>(us * 1000.0);
 }
 
+// Value validation: casting a NaN/infinite/negative double to the
+// unsigned Duration type is undefined behaviour, and a probability
+// outside [0, 1] silently saturates the Gilbert-Elliott chain. Bound
+// times to ~11.5 simulated days (1e12 us) so the ns conversion cannot
+// overflow either.
+constexpr double kMaxPlanUs = 1e12;
+
+bool check_probability(double v, const char* key, const char* where,
+                       std::string* err) {
+  if (std::isfinite(v) && v >= 0.0 && v <= 1.0) return true;
+  if (err)
+    *err = std::string("\"") + key + "\" in " + where +
+           " must be a probability in [0, 1]";
+  return false;
+}
+
+bool check_duration_us(double v, const char* key, const char* where,
+                       std::string* err) {
+  if (std::isfinite(v) && v >= 0.0 && v <= kMaxPlanUs) return true;
+  if (err)
+    *err = std::string("\"") + key + "\" in " + where +
+           " must be a duration in [0, 1e12] us";
+  return false;
+}
+
+bool check_byte_count(double v, const char* key, const char* where,
+                      std::string* err) {
+  if (std::isfinite(v) && v >= 0.0 && v <= 9.0e18) return true;
+  if (err)
+    *err = std::string("\"") + key + "\" in " + where +
+           " must be a byte count in [0, 9e18]";
+  return false;
+}
+
 bool parse_ge(const JsonValue& v, GilbertElliott* ge, std::string* err) {
   if (v.type != JsonValue::Type::kObject) {
     if (err) *err = "\"gilbert_elliott\" must be an object";
@@ -232,12 +286,20 @@ bool parse_ge(const JsonValue& v, GilbertElliott* ge, std::string* err) {
           v, {"p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"},
           "gilbert_elliott", err))
     return false;
-  return get_number(v, "p_good_to_bad", "gilbert_elliott", &ge->p_good_to_bad,
-                    err) &&
-         get_number(v, "p_bad_to_good", "gilbert_elliott", &ge->p_bad_to_good,
-                    err) &&
-         get_number(v, "loss_good", "gilbert_elliott", &ge->loss_good, err) &&
-         get_number(v, "loss_bad", "gilbert_elliott", &ge->loss_bad, err);
+  if (!get_number(v, "p_good_to_bad", "gilbert_elliott", &ge->p_good_to_bad,
+                  err) ||
+      !get_number(v, "p_bad_to_good", "gilbert_elliott", &ge->p_bad_to_good,
+                  err) ||
+      !get_number(v, "loss_good", "gilbert_elliott", &ge->loss_good, err) ||
+      !get_number(v, "loss_bad", "gilbert_elliott", &ge->loss_bad, err))
+    return false;
+  return check_probability(ge->p_good_to_bad, "p_good_to_bad",
+                           "gilbert_elliott", err) &&
+         check_probability(ge->p_bad_to_good, "p_bad_to_good",
+                           "gilbert_elliott", err) &&
+         check_probability(ge->loss_good, "loss_good", "gilbert_elliott",
+                           err) &&
+         check_probability(ge->loss_bad, "loss_bad", "gilbert_elliott", err);
 }
 
 bool parse_flaps(const JsonValue& v, std::vector<FlapWindow>* out,
@@ -247,12 +309,18 @@ bool parse_flaps(const JsonValue& v, std::vector<FlapWindow>* out,
     return false;
   }
   for (const JsonValue& w : v.array) {
-    if (w.type != JsonValue::Type::kObject ||
-        !reject_unknown_keys(w, {"down_at_us", "down_for_us"}, "flaps", err))
+    if (w.type != JsonValue::Type::kObject) {
+      if (err) *err = "\"flaps\" entries must be objects";
+      return false;
+    }
+    if (!reject_unknown_keys(w, {"down_at_us", "down_for_us"}, "flaps", err))
       return false;
     double at = 0, dur = 0;
     if (!get_number(w, "down_at_us", "flaps", &at, err) ||
         !get_number(w, "down_for_us", "flaps", &dur, err))
+      return false;
+    if (!check_duration_us(at, "down_at_us", "flaps", err) ||
+        !check_duration_us(dur, "down_for_us", "flaps", err))
       return false;
     out->push_back(FlapWindow{us_to_ns(at), us_to_ns(dur)});
   }
@@ -266,14 +334,21 @@ bool parse_brownouts(const JsonValue& v, std::vector<BrownoutWindow>* out,
     return false;
   }
   for (const JsonValue& w : v.array) {
-    if (w.type != JsonValue::Type::kObject ||
-        !reject_unknown_keys(w, {"at_us", "for_us", "buffer_bytes"},
+    if (w.type != JsonValue::Type::kObject) {
+      if (err) *err = "\"brownouts\" entries must be objects";
+      return false;
+    }
+    if (!reject_unknown_keys(w, {"at_us", "for_us", "buffer_bytes"},
                              "brownouts", err))
       return false;
     double at = 0, dur = 0, bytes = 0;
     if (!get_number(w, "at_us", "brownouts", &at, err) ||
         !get_number(w, "for_us", "brownouts", &dur, err) ||
         !get_number(w, "buffer_bytes", "brownouts", &bytes, err))
+      return false;
+    if (!check_duration_us(at, "at_us", "brownouts", err) ||
+        !check_duration_us(dur, "for_us", "brownouts", err) ||
+        !check_byte_count(bytes, "buffer_bytes", "brownouts", err))
       return false;
     out->push_back(BrownoutWindow{us_to_ns(at), us_to_ns(dur),
                                   static_cast<std::uint64_t>(bytes)});
@@ -356,6 +431,8 @@ bool parse_fault_plan(const std::string& text, FaultPlanConfig* out,
   }
   double jitter_us = 0.0;
   if (!get_number(root, "jitter_max_us", "fault plan", &jitter_us, err))
+    return false;
+  if (!check_duration_us(jitter_us, "jitter_max_us", "fault plan", err))
     return false;
   cfg.jitter_max = us_to_ns(jitter_us);
   if (const JsonValue* flaps = root.find("flaps")) {

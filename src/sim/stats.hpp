@@ -73,6 +73,10 @@ class LogHistogram {
   /// the same lower edge the in-loop path would — not the upper edge.
   std::uint64_t quantile(double p) const {
     if (total_ == 0) return 0;
+    // Clamp before the cast: converting a negative or NaN double to an
+    // unsigned integer is undefined behaviour. !(p > 0) catches NaN too.
+    if (!(p > 0.0)) p = 0.0;
+    if (p > 1.0) p = 1.0;
     const auto target =
         static_cast<std::uint64_t>(p * static_cast<double>(total_));
     std::uint64_t seen = 0;

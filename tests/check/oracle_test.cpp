@@ -1,0 +1,271 @@
+// Unit tests for the analytic-oracle layer (src/check/oracles.*):
+// report semantics, the closed-form latency/bandwidth formulas against
+// both the committed Figure 3 numbers and live simulator runs, the
+// conservation auditor on real and fabricated snapshots, and the
+// "broken tolerance demonstrably fails" guarantee — the proof that the
+// oracles can actually catch a wrong curve.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/oracles.hpp"
+#include "check/scenario_gen.hpp"
+#include "core/calibration.hpp"
+#include "core/testbed.hpp"
+#include "ib/perftest.hpp"
+
+namespace ibwan::check {
+namespace {
+
+using ib::perftest::Op;
+using ib::perftest::Transport;
+
+// --------------------------------------------------------------------------
+// OracleReport semantics.
+// --------------------------------------------------------------------------
+
+TEST(OracleReport, VerdictArithmetic) {
+  OracleReport r;
+  r.expect_near("a", "ctx", 100.0, 101.0, 0.02);  // pass
+  r.expect_near("a", "ctx", 100.0, 110.0, 0.02);  // fail
+  r.expect_le("b", "ctx", 99.0, 100.0);           // pass
+  r.expect_le("b", "ctx", 103.0, 100.0, 0.02);    // fail
+  r.expect_ge("c", "ctx", 99.0, 100.0, 0.02);     // pass
+  r.expect_ge("c", "ctx", 97.0, 100.0, 0.02);     // fail
+  r.expect_eq_u64("d", "ctx", 5, 5);              // pass
+  r.expect_eq_u64("d", "ctx", 5, 6);              // fail
+  r.expect_true("e", "ctx", true, "ok");          // pass
+  EXPECT_EQ(r.total(), 9u);
+  EXPECT_EQ(r.failures(), 4u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.summary(), "9 checks, 4 failed");
+}
+
+TEST(OracleReport, NearZeroUsesAbsoluteEpsilon) {
+  OracleReport r;
+  r.expect_near("zero", "ctx", 0.0, 1e-12, 0.01);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(OracleReport, FailureLogIsDeterministic) {
+  const auto build = [] {
+    OracleReport r;
+    r.expect_le("bw-bound", "caseA", 120.0, 100.0);
+    r.expect_eq_u64("cons", "caseB", 7, 9);
+    return r.failure_log();
+  };
+  const std::string log = build();
+  EXPECT_EQ(log, build());
+  EXPECT_NE(log.find("FAIL [bw-bound] caseA"), std::string::npos);
+  EXPECT_NE(log.find("FAIL [cons] caseB"), std::string::npos);
+}
+
+TEST(OracleReport, MergeAppendsChecksAndFailures) {
+  OracleReport a;
+  a.expect_true("x", "1", true, "");
+  OracleReport b;
+  b.expect_true("y", "2", false, "boom");
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.failures(), 1u);
+  EXPECT_EQ(a.checks().back().oracle, "y");
+}
+
+// --------------------------------------------------------------------------
+// Closed-form latency model: exact against the committed Figure 3 CSV
+// (fig3_verbs_latency.csv, generated at seed 42) and against a live run
+// at a WAN delay.
+// --------------------------------------------------------------------------
+
+TEST(LatencyOracle, MatchesCommittedFig3Values) {
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const ib::HcaConfig hca;
+  const struct {
+    Transport t;
+    Op op;
+    std::uint64_t size;
+    double expected_us;  // fig3_verbs_latency.csv, 3 decimals
+  } rows[] = {
+      {Transport::kUd, Op::kSendRecv, 1, 5.865},
+      {Transport::kRc, Op::kSendRecv, 1, 5.745},
+      {Transport::kRc, Op::kRdmaWrite, 1, 5.275},
+      {Transport::kUd, Op::kSendRecv, 1024, 8.932},
+      {Transport::kRc, Op::kSendRecv, 1024, 8.812},
+      {Transport::kRc, Op::kRdmaWrite, 1024, 8.342},
+  };
+  for (const auto& row : rows) {
+    EXPECT_NEAR(
+        verbs_latency_model_us(fc, hca, row.t, row.op, row.size, 0),
+        row.expected_us, 5e-4)
+        << "size=" << row.size;
+  }
+}
+
+TEST(LatencyOracle, MatchesLiveMeasurementAtWanDelay) {
+  const sim::Duration delay = 100'000;  // 100 us
+  core::Testbed tb(1, delay);
+  const auto lat = ib::perftest::run_latency(
+      tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc, Op::kSendRecv,
+      {.msg_size = 256, .iterations = 20});
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const double model =
+      verbs_latency_model_us(fc, {}, Transport::kRc, Op::kSendRecv, 256,
+                             delay);
+  EXPECT_NEAR(lat.avg_us, model, 0.01 * model);
+  EXPECT_GE(lat.avg_us, oneway_floor_us(fc, delay));
+}
+
+TEST(DelayOracle, FiveMicrosecondsPerKilometre) {
+  EXPECT_DOUBLE_EQ(km_latency_increment_us(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(km_latency_increment_us(200.0), 1000.0);
+  EXPECT_DOUBLE_EQ(km_latency_increment_us(2000.0), 10000.0);
+}
+
+// --------------------------------------------------------------------------
+// Bandwidth oracles.
+// --------------------------------------------------------------------------
+
+TEST(UdOracle, ModelMatchesLiveRunAndIsDelayIndependent) {
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const double model = ud_bw_model_mbps(fc, {}, 1024);
+  for (sim::Duration delay : {sim::Duration{0}, sim::Duration{1'000'000}}) {
+    core::Testbed tb(1, delay);
+    const double measured =
+        ib::perftest::run_bandwidth(tb.fabric(), tb.node_a(), tb.node_b(),
+                                    Transport::kUd,
+                                    {.msg_size = 1024, .iterations = 512})
+            .mbytes_per_sec;
+    EXPECT_NEAR(measured, model, 0.01 * model) << "delay=" << delay;
+  }
+}
+
+TEST(RcOracle, BoundsBehaveWithDelayAndSize) {
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const ib::HcaConfig hca;
+  // BDP grows with delay; the window bound shrinks with delay and grows
+  // with message size; the wire peak improves with size (less header).
+  EXPECT_LT(bdp_bytes(fc, 0), bdp_bytes(fc, 1'000'000));
+  EXPECT_GT(rc_window_bound_mbps(fc, hca, 65536, 100'000),
+            rc_window_bound_mbps(fc, hca, 65536, 1'000'000));
+  EXPECT_GT(rc_window_bound_mbps(fc, hca, 262144, 1'000'000),
+            rc_window_bound_mbps(fc, hca, 65536, 1'000'000));
+  EXPECT_GT(rc_wire_peak_mbps(fc, hca, 65536),
+            rc_wire_peak_mbps(fc, hca, 1024));
+}
+
+TEST(RcOracle, LiveRunPassesAndBrokenToleranceFails) {
+  const std::uint64_t size = 1u << 20;
+  const int iters = 16;
+  core::Testbed tb(1, 0);
+  const double measured =
+      ib::perftest::run_bandwidth(
+          tb.fabric(), tb.node_a(), tb.node_b(), Transport::kRc,
+          {.msg_size = size, .iterations = iters})
+          .mbytes_per_sec;
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const std::uint64_t total = size * iters;
+
+  OracleReport good;
+  check_rc_bw(good, "rc-1M", fc, {}, size, 0, measured, {}, total);
+  EXPECT_TRUE(good.ok()) << good.failure_log();
+
+  // A knee floor above the wire peak is unsatisfiable: the suite must
+  // fail loudly, proving a mis-set tolerance cannot pass silently.
+  Tolerances broken;
+  broken.knee_high_frac = 1.01;
+  OracleReport bad;
+  check_rc_bw(bad, "rc-1M", fc, {}, size, 0, measured, broken, total);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.failure_log().find("rc-knee"), std::string::npos);
+}
+
+TEST(TcpOracle, ConnectedModeWindowCapTightensBound) {
+  // In connected mode the shared RC QP caps the aggregate window at
+  // rc_window * ip_mtu, however many streams or socket bytes pile on.
+  OracleReport wide;
+  const net::FabricConfig fc = core::fabric_defaults(1, 1);
+  const sim::Duration delay = 1'000'000;
+  // 4 MB/s-scale cap: 16 msgs * 2048 B / ~2 ms RTT ~ 16 MB/s. A claimed
+  // 100 MB/s passes the datagram bound but must fail the CM bound.
+  check_tcp_bw(wide, "datagram", fc, 1u << 20, 4, delay, 100.0);
+  EXPECT_TRUE(wide.ok()) << wide.failure_log();
+  OracleReport cm;
+  check_tcp_bw(cm, "connected", fc, 1u << 20, 4, delay, 100.0, {},
+               /*cm_mtu=*/2048, /*cm_rc_window=*/16);
+  EXPECT_FALSE(cm.ok());
+}
+
+TEST(NfsOracle, ChunkWindowBindsOverWan) {
+  const net::FabricConfig fc = core::fabric_defaults(2, 2);
+  const ib::HcaConfig server = core::nfs_server_hca();
+  // 4 KB chunks over a 1 ms pipe are window-bound far below the wire;
+  // 256 KB chunks recover it. LAN ignores the chunking entirely.
+  const double small = nfs_bw_bound_mbps(fc, server, 4096, 1'000'000, false);
+  const double big =
+      nfs_bw_bound_mbps(fc, server, 256u << 10, 1'000'000, false);
+  const double wire = nfs_bw_bound_mbps(fc, server, 0, 1'000'000, false);
+  EXPECT_LT(small, 0.2 * wire);
+  EXPECT_GT(big, small);
+  EXPECT_LE(big, wire);
+  EXPECT_DOUBLE_EQ(nfs_bw_bound_mbps(fc, server, 4096, 0, true),
+                   1000.0 * fc.lan_rate);
+}
+
+// --------------------------------------------------------------------------
+// Conservation auditor.
+// --------------------------------------------------------------------------
+
+TEST(Conservation, PassesOnFaultedScenarioRun) {
+  // Find the first generated scenario that carries a fault plan; its
+  // drained snapshot must still conserve bytes and packets exactly
+  // (drops are accounted, not lost).
+  Scenario s;
+  int index = 0;
+  do {
+    s = generate_scenario(42, index++);
+  } while (!s.faults && index < 256);
+  ASSERT_TRUE(s.faults);
+  const ScenarioResult r = run_scenario(s);
+  OracleReport report;
+  check_conservation(report, s.id(), r.metrics, {});
+  EXPECT_GT(report.total(), 0u);
+  EXPECT_TRUE(report.ok()) << report.failure_log();
+}
+
+TEST(Conservation, CatchesFabricatedLeak) {
+  sim::MetricsSnapshot snap;
+  snap.counters.push_back(
+      {"wan0/net.link/bytes_sent", sim::MetricUnit::kBytes, 100});
+  snap.counters.push_back(
+      {"wan0/net.link/bytes_delivered", sim::MetricUnit::kBytes, 60});
+  snap.counters.push_back(
+      {"wan0/net.link/bytes_dropped", sim::MetricUnit::kBytes, 10});
+  snap.counters.push_back(
+      {"wan0/net.link/pkts_sent", sim::MetricUnit::kPackets, 10});
+  snap.counters.push_back(
+      {"wan0/net.link/pkts_delivered", sim::MetricUnit::kPackets, 10});
+  OracleReport report;
+  check_conservation(report, "fabricated", snap, {});
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.failure_log().find("link-conservation"),
+            std::string::npos);
+}
+
+TEST(Conservation, WqeAccountingModes) {
+  sim::MetricsSnapshot snap;
+  snap.counters.push_back(
+      {"qp0/ib.rc/msgs_sent", sim::MetricUnit::kMessages, 10});
+  snap.counters.push_back(
+      {"qp0/ib.rc/send_completions", sim::MetricUnit::kCount, 8});
+  OracleReport lax;
+  check_conservation(lax, "wqe", snap, {});
+  EXPECT_TRUE(lax.ok()) << lax.failure_log();  // completed <= sent
+  ConservationOptions strict;
+  strict.exact_rc_wqes = true;
+  OracleReport exact;
+  check_conservation(exact, "wqe", snap, strict);
+  EXPECT_FALSE(exact.ok());  // 8 != 10
+}
+
+}  // namespace
+}  // namespace ibwan::check

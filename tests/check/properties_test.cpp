@@ -1,0 +1,96 @@
+// Tests for the metamorphic-relation catalog (src/check/properties.*):
+// catalog shape, the applies() gating, bit-exactness of the noop /
+// replay relations, and a clean check_scenario() sweep over the first
+// generated cases of the default seed.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "check/properties.hpp"
+#include "check/scenario_gen.hpp"
+
+namespace ibwan::check {
+namespace {
+
+TEST(RelationCatalog, HasAtLeastFiveUniqueRelations) {
+  const auto& catalog = relation_catalog();
+  EXPECT_GE(catalog.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& rel : catalog) {
+    ASSERT_NE(rel.name, nullptr);
+    ASSERT_NE(rel.description, nullptr);
+    EXPECT_GT(std::string(rel.description).size(), 10u) << rel.name;
+    ASSERT_NE(rel.applies, nullptr);
+    ASSERT_NE(rel.check, nullptr);
+    EXPECT_TRUE(names.insert(rel.name).second)
+        << "duplicate relation name " << rel.name;
+  }
+}
+
+TEST(RelationCatalog, ValueRelationsDoNotApplyToFaultedRuns) {
+  // Monotonicity and the inert-plan equivalence assume a clean run; a
+  // scenario carrying a fault plan must be filtered out by applies().
+  Scenario s = generate_scenario(42, 0);
+  s.faults = true;
+  const std::set<std::string> value_relations = {
+      "latency-monotone-delay", "delay-additivity", "bw-monotone-delay",
+      "stream-monotone", "window-monotone", "faults-inert-noop"};
+  for (const auto& rel : relation_catalog()) {
+    if (value_relations.count(rel.name) != 0) {
+      EXPECT_FALSE(rel.applies(s)) << rel.name;
+    }
+  }
+}
+
+TEST(Relations, SeedReplayIsBitExact) {
+  const Scenario s = generate_scenario(42, 5);
+  const ScenarioResult a = run_scenario(s);
+  const ScenarioResult b = run_scenario(s);
+  EXPECT_EQ(a.completed, b.completed);
+  // Bit-equal, not approximately equal: the simulator is deterministic.
+  EXPECT_EQ(a.value, b.value);
+  ASSERT_EQ(a.metrics.counters.size(), b.metrics.counters.size());
+  for (std::size_t i = 0; i < a.metrics.counters.size(); ++i) {
+    EXPECT_EQ(a.metrics.counters[i].path, b.metrics.counters[i].path);
+    EXPECT_EQ(a.metrics.counters[i].value, b.metrics.counters[i].value);
+  }
+}
+
+TEST(Relations, InertFaultPlanIsNoop) {
+  // An all-zero FaultPlanConfig installs no hooks (net/faults.hpp
+  // contract), so forcing one onto a clean scenario changes nothing.
+  for (int index = 0; index < 64; ++index) {
+    const Scenario s = generate_scenario(42, index);
+    if (s.faults) continue;
+    const ScenarioResult base = run_scenario(s);
+    RunOptions inert;
+    inert.force_inert_plan = true;
+    const ScenarioResult forced = run_scenario(s, inert);
+    EXPECT_EQ(base.value, forced.value) << s.id();
+    break;
+  }
+}
+
+TEST(Relations, MetricsRegistryIsNoop) {
+  const Scenario s = generate_scenario(42, 1);
+  RunOptions with;
+  RunOptions without;
+  without.metrics = false;
+  EXPECT_EQ(run_scenario(s, with).value, run_scenario(s, without).value);
+}
+
+TEST(CheckScenario, FirstCasesOfDefaultSeedAreClean) {
+  // The full 200-case sweep lives in the fuzz binary; this is the quick
+  // tier-1 smoke that the one-stop entry point stays green.
+  OracleReport report;
+  for (int index = 0; index < 12; ++index) {
+    const Scenario s = generate_scenario(42, index);
+    check_scenario(s, report);
+  }
+  EXPECT_GT(report.total(), 0u);
+  EXPECT_TRUE(report.ok()) << report.failure_log();
+}
+
+}  // namespace
+}  // namespace ibwan::check

@@ -1,0 +1,211 @@
+// Property tests for the FaultPlan JSON parser (src/net/faults.cpp):
+// every malformed, truncated, duplicated, deeply nested, or
+// out-of-range input must produce a clean error — never a crash, hang,
+// or silently wrong plan. This file is built twice: into net_tests and
+// into faults_parser_asan_tests (-fsanitize=address) so overreads in
+// the hand-rolled scanner cannot land unnoticed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/faults.hpp"
+#include "sim/rng.hpp"
+
+namespace ibwan::net {
+namespace {
+
+bool parses(const std::string& text, FaultPlanConfig* out = nullptr,
+            std::string* err = nullptr) {
+  FaultPlanConfig local;
+  std::string local_err;
+  return parse_fault_plan(text, out != nullptr ? out : &local,
+                          err != nullptr ? err : &local_err);
+}
+
+// --------------------------------------------------------------------------
+// Well-formed plans.
+// --------------------------------------------------------------------------
+
+TEST(FaultsParser, AcceptsFullPlan) {
+  FaultPlanConfig cfg;
+  std::string err;
+  ASSERT_TRUE(parses(R"({
+    "gilbert_elliott": {"p_good_to_bad": 0.01, "p_bad_to_good": 0.2,
+                        "loss_good": 0.0, "loss_bad": 0.25},
+    "jitter_max_us": 15,
+    "flaps": [{"down_at_us": 1000, "down_for_us": 200}],
+    "brownouts": [{"at_us": 5000, "for_us": 100, "buffer_bytes": 8192}]
+  })",
+                     &cfg, &err))
+      << err;
+  EXPECT_TRUE(cfg.ge.enabled());
+  EXPECT_EQ(cfg.jitter_max, sim::Duration{15'000});
+  ASSERT_EQ(cfg.flaps.size(), 1u);
+  EXPECT_EQ(cfg.flaps[0].down_at, sim::Duration{1'000'000});
+  ASSERT_EQ(cfg.brownouts.size(), 1u);
+  EXPECT_EQ(cfg.brownouts[0].buffer_bytes, 8192u);
+}
+
+TEST(FaultsParser, AcceptsEmptyObjectAsInertPlan) {
+  FaultPlanConfig cfg;
+  ASSERT_TRUE(parses("{}", &cfg));
+  EXPECT_FALSE(cfg.any());
+}
+
+// --------------------------------------------------------------------------
+// Malformed and truncated inputs: clean errors, no crashes.
+// --------------------------------------------------------------------------
+
+TEST(FaultsParser, RejectsMalformedInputsWithNonEmptyError) {
+  const char* bad[] = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[]",
+      "42",
+      "\"plan\"",
+      "null",
+      "{\"jitter_max_us\":}",
+      "{\"jitter_max_us\": 5,}",
+      "{\"jitter_max_us\" 5}",
+      "{jitter_max_us: 5}",
+      "{\"jitter_max_us\": 5} trailing",
+      "{\"jitter_max_us\": --5}",
+      "{\"jitter_max_us\": 1e}",
+      "{\"jitter_max_us\": \"five\"}",
+      "{\"flaps\": {}}",
+      "{\"flaps\": [5]}",
+      "{\"flaps\": [{\"down_at_us\": 1}",
+      "{\"gilbert_elliott\": []}",
+      "{\"gilbert_elliott\": {\"p_good_to_bad\": true}}",
+      "{\"unknown_knob\": 1}",
+      "{\"gilbert_elliott\": {\"typo\": 1}}",
+      "{\"jitter\\x\": 1}",
+      "{\"a\\q\": 1}",
+      "{\"unterminated",
+  };
+  for (const char* text : bad) {
+    FaultPlanConfig cfg;
+    std::string err;
+    EXPECT_FALSE(parses(text, &cfg, &err)) << "input: " << text;
+    EXPECT_FALSE(err.empty()) << "input: " << text;
+  }
+}
+
+TEST(FaultsParser, EveryPrefixOfAValidPlanFailsCleanly) {
+  const std::string full = R"({"gilbert_elliott": {"p_good_to_bad": 0.01},
+    "flaps": [{"down_at_us": 10, "down_for_us": 5}], "jitter_max_us": 2})";
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    FaultPlanConfig cfg;
+    std::string err;
+    // No truncation of a complete document is itself complete.
+    EXPECT_FALSE(parses(full.substr(0, n), &cfg, &err)) << "prefix len " << n;
+  }
+}
+
+TEST(FaultsParser, SeededMutationSweepNeverCrashes) {
+  // Deterministic corruption sweep: flip/insert/delete one byte at an
+  // Rng-chosen position. Outcomes may be accept or reject; the property
+  // under test (especially under ASan) is "no crash, no overread".
+  const std::string base = R"({"gilbert_elliott": {"p_good_to_bad": 0.01,
+    "p_bad_to_good": 0.2, "loss_bad": 0.3}, "jitter_max_us": 7,
+    "brownouts": [{"at_us": 1, "for_us": 2, "buffer_bytes": 3}]})";
+  sim::Rng rng(20260806);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = base;
+    const std::size_t pos = rng.uniform(text.size());
+    switch (rng.uniform(3u)) {
+      case 0:
+        text[pos] = static_cast<char>(rng.uniform(256u));
+        break;
+      case 1:
+        text.insert(pos, 1, static_cast<char>(rng.uniform(256u)));
+        break;
+      default:
+        text.erase(pos, 1);
+        break;
+    }
+    FaultPlanConfig cfg;
+    std::string err;
+    parses(text, &cfg, &err);  // must simply return
+  }
+  SUCCEED();
+}
+
+// --------------------------------------------------------------------------
+// Duplicate keys and deep nesting (the bugs this suite was built for).
+// --------------------------------------------------------------------------
+
+TEST(FaultsParser, RejectsDuplicateKeys) {
+  std::string err;
+  FaultPlanConfig cfg;
+  EXPECT_FALSE(parses(R"({"jitter_max_us": 1, "jitter_max_us": 2})", &cfg,
+                      &err));
+  EXPECT_NE(err.find("duplicate key"), std::string::npos) << err;
+  EXPECT_FALSE(parses(
+      R"({"gilbert_elliott": {"loss_bad": 0.1, "loss_bad": 0.2}})", &cfg,
+      &err));
+}
+
+TEST(FaultsParser, RejectsPathologicalNestingWithoutStackOverflow) {
+  // 100k unclosed arrays: without the depth limit this recursed once
+  // per '[' and took the process down with it.
+  std::string arrays = "{\"flaps\": ";
+  arrays.append(100'000, '[');
+  FaultPlanConfig cfg;
+  std::string err;
+  EXPECT_FALSE(parses(arrays, &cfg, &err));
+  EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+
+  // Object nesting recurses through keys rather than bare braces.
+  std::string objects;
+  for (int i = 0; i < 200; ++i) objects += "{\"k\": ";
+  EXPECT_FALSE(parses(objects, &cfg, &err));
+  EXPECT_NE(err.find("nesting"), std::string::npos) << err;
+
+  // ...and a legal nesting depth still parses.
+  EXPECT_TRUE(parses(R"({"flaps": []})", &cfg, &err)) << err;
+}
+
+// --------------------------------------------------------------------------
+// Range validation: values that used to cast UB-style into Durations.
+// --------------------------------------------------------------------------
+
+TEST(FaultsParser, RejectsOutOfRangeValues) {
+  const char* bad[] = {
+      R"({"gilbert_elliott": {"p_good_to_bad": 1.5}})",
+      R"({"gilbert_elliott": {"loss_bad": -0.1}})",
+      R"({"gilbert_elliott": {"loss_good": 1e400}})",  // inf after strtod
+      R"({"jitter_max_us": -1})",
+      R"({"jitter_max_us": 1e300})",
+      R"({"flaps": [{"down_at_us": -5, "down_for_us": 1}]})",
+      R"({"flaps": [{"down_at_us": 1, "down_for_us": 1e13}]})",
+      R"({"brownouts": [{"at_us": 1, "for_us": 1, "buffer_bytes": -1}]})",
+      R"({"brownouts": [{"at_us": 1, "for_us": 1, "buffer_bytes": 1e19}]})",
+  };
+  for (const char* text : bad) {
+    FaultPlanConfig cfg;
+    std::string err;
+    EXPECT_FALSE(parses(text, &cfg, &err)) << "input: " << text;
+    EXPECT_FALSE(err.empty()) << "input: " << text;
+  }
+  // Boundary values stay legal.
+  FaultPlanConfig cfg;
+  std::string err;
+  EXPECT_TRUE(parses(
+      R"({"gilbert_elliott": {"p_good_to_bad": 1.0, "loss_bad": 0.0}})",
+      &cfg, &err))
+      << err;
+  EXPECT_TRUE(parses(R"({"jitter_max_us": 0})", &cfg, &err)) << err;
+}
+
+TEST(FaultsParser, LoadRejectsMissingFile) {
+  FaultPlanConfig cfg;
+  std::string err;
+  EXPECT_FALSE(load_fault_plan("/nonexistent/plan.json", &cfg, &err));
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ibwan::net

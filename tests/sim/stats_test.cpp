@@ -88,6 +88,28 @@ TEST(LogHistogram, QuantileTopBinReportsLowerEdge) {
   EXPECT_EQ(h.quantile(1.0), 64u);  // was 128 (upper edge) before the fix
 }
 
+TEST(LogHistogram, QuantileAllSamplesInOneBin) {
+  // Every quantile of a degenerate distribution is the same bin edge.
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(3000);  // bin 12: (2048, 4096]
+  for (double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(p), 2048u) << "p=" << p;
+  }
+}
+
+TEST(LogHistogram, QuantileClampsOutOfRangeP) {
+  // Regression: p outside [0, 1] (or NaN) used to cast straight to an
+  // unsigned target count — undefined behaviour for negative/NaN and a
+  // nonsense target for p > 1. Out-of-range p now clamps to the ends.
+  LogHistogram h;
+  h.add(10);    // bin 4
+  h.add(1000);  // bin 10
+  EXPECT_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()),
+            h.quantile(0.0));
+}
+
 TEST(Series, AtFindsExactPoint) {
   Series s;
   s.name = "curve";
