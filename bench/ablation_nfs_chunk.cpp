@@ -23,14 +23,15 @@ double nfs_read_mbps(std::uint32_t chunk_bytes, sim::Duration delay,
   rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
   nfs::NfsConfig nfs_cfg = core::nfs_rdma_defaults();
   nfs_cfg.chunk_bytes = chunk_bytes;
-  nfs::NfsServer server(tb.sim(), nfs_cfg);
+  nfs::NfsServer server(tb.sim_a(), nfs_cfg);
   server.add_file(1, file_bytes);
   rpc_server.set_handler(server.handler());
   nfs::NfsClient client(rpc_client);
-  return nfs::run_iozone(tb.sim(), client,
+  return nfs::run_iozone(tb.sim_b(), client,
                          {.file_bytes = file_bytes,
                           .record_bytes = 256 << 10,
-                          .threads = 4})
+                          .threads = 4},
+                         &tb.engine())
       .mbytes_per_sec;
 }
 

@@ -28,6 +28,7 @@
 #include "check/oracles.hpp"
 #include "check/selfcheck.hpp"
 #include "core/calibration.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/seed.hpp"
 #include "net/faults.hpp"
@@ -73,10 +74,38 @@ inline void init(int argc, char** argv) {
     core::set_default_seed(v);
     if (v != 42) std::printf("  [seed: %llu]\n", v);
   }
+  // IBWAN_PAR_SITES=N / --par-sites N requests site-parallel execution
+  // (one logical process per cluster, DESIGN.md §13). The knob is a
+  // pure wall-clock optimization: every CSV and metrics byte is
+  // identical to the sequential run. The flag wins over the env var.
+  if (const char* env = std::getenv("IBWAN_PAR_SITES")) {
+    const int n = std::atoi(env);
+    if (n < 1) {
+      std::fprintf(stderr, "bad IBWAN_PAR_SITES '%s': want >= 1\n", env);
+      std::exit(2);
+    }
+    core::set_par_sites(n);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     std::string path;
     std::string faults_path;
+    std::string par_sites_arg;
+    if (arg == "--par-sites" && i + 1 < argc) {
+      par_sites_arg = argv[++i];
+    } else if (arg.rfind("--par-sites=", 0) == 0) {
+      par_sites_arg = std::string(arg.substr(12));
+    }
+    if (!par_sites_arg.empty()) {
+      const int n = std::atoi(par_sites_arg.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "bad --par-sites '%s': want >= 1\n",
+                     par_sites_arg.c_str());
+        std::exit(2);
+      }
+      core::set_par_sites(n);
+      continue;
+    }
     if (arg == "--selfcheck") {
       detail::g_selfcheck = true;
       // The conservation audit in selfcheck_exit() reads the merged
@@ -107,6 +136,7 @@ inline void init(int argc, char** argv) {
       std::printf("  [faults: %s]\n", faults_path.c_str());
       continue;
     }
+    // (fallthrough: unrecognized args are ignored, as before)
     if (path.empty()) continue;
     detail::g_metrics_path = path;
     sim::MetricsAggregator::global().activate();
@@ -120,6 +150,9 @@ inline void init(int argc, char** argv) {
                      detail::g_metrics_path.c_str());
       }
     });
+  }
+  if (core::par_sites() > 1) {
+    std::printf("  [par-sites: %d]\n", core::par_sites());
   }
 }
 

@@ -19,16 +19,17 @@ kv::KvResult run_kv(sim::Duration delay, int clients,
   ib::Hca client_hca(tb.fabric().node(tb.node_b()), {});
   rpc::RdmaRpcServer rpc_server(server_hca);
   rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
-  kv::KvServer server(tb.sim());
+  kv::KvServer server(tb.sim_a());
   rpc_server.set_handler(server.handler());
   for (std::uint64_t k = 0; k < 256; ++k) server.preload(k, value_bytes);
   kv::KvClient client(rpc_client);
-  return kv::run_kv_workload(tb.sim(), client,
+  return kv::run_kv_workload(tb.sim_for(tb.node_b()), client,
                              {.clients = clients,
                               .ops_per_client = ops_per_client,
                               .get_fraction = 0.9,
                               .value_bytes = value_bytes,
-                              .key_space = 256});
+                              .key_space = 256},
+                             &tb.engine());
 }
 
 }  // namespace

@@ -39,15 +39,19 @@ double striped_read_mbps(int servers, sim::Duration delay,
     rpc_clients.push_back(
         std::make_unique<rpc::RdmaRpcClient>(client_hca, *rpcs.back()));
     servers_.push_back(std::make_unique<nfs::NfsServer>(
-        tb.sim(), core::nfs_rdma_defaults()));
+        tb.sim_a(), core::nfs_rdma_defaults()));
     servers_.back()->add_file(1, file_bytes);
     rpcs.back()->set_handler(servers_.back()->handler());
     clients_.push_back(
         std::make_unique<nfs::NfsClient>(*rpc_clients.back()));
     mounts.push_back(clients_.back().get());
   }
-  pfs::StripedFile file(tb.sim(), mounts, 1, {.stripe_bytes = 1 << 20});
-  return pfs::run_striped_read(tb.sim(), file, file_bytes, 4 << 20, 2)
+  // The striped file and its reader coroutines live on the client node
+  // (cluster B); the object servers run on cluster A.
+  sim::Simulator& client_sim = tb.sim_b();
+  pfs::StripedFile file(client_sim, mounts, 1, {.stripe_bytes = 1 << 20});
+  return pfs::run_striped_read(client_sim, file, file_bytes, 4 << 20, 2,
+                               &tb.engine())
       .mbytes_per_sec;
 }
 

@@ -23,10 +23,11 @@ double sdp_throughput(core::Testbed& tb, std::uint64_t bytes) {
   sdp::SdpConnection& c = client.connect(server, 22);
   c.send(bytes);
   sim::Time done = 0;
+  // on_acked fires on the client's site, whose clock is tb.sim().
   c.set_on_acked([&](std::uint64_t acked) {
     if (acked == bytes) done = tb.sim().now();
   });
-  tb.sim().run();
+  tb.run();
   return static_cast<double>(bytes) / sim::to_seconds(done) / 1e6;
 }
 

@@ -10,6 +10,12 @@
 // Pass --gbench to run the google-benchmark micro suite instead (event
 // scheduling, link packet delivery, RC message transfer); remaining
 // arguments are forwarded to google-benchmark.
+//
+// Pass --pdes to run the site-parallel scaling suite instead: two-site
+// heavy scenarios (NAS kernels at 2 x 16 ranks, the WAN KV service)
+// executed sequentially and under --par-sites 2, reporting wall-clock
+// speedup and asserting the simulated results and event counts match
+// exactly. Writes BENCH_pdes.json.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -19,13 +25,20 @@
 #include <queue>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "apps/nas.hpp"
+#include "core/parallel.hpp"
+#include "core/testbed.hpp"
 #include "ib/cq.hpp"
 #include "ib/hca.hpp"
 #include "ib/qp.hpp"
+#include "kv/kv.hpp"
+#include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
+#include "rpc/rpc.hpp"
 #include "sim/simulator.hpp"
 
 namespace baseline {
@@ -315,6 +328,162 @@ int run_mix_suite() {
 }
 
 // ---------------------------------------------------------------------------
+// Site-parallel (PDES) scaling suite (run with --pdes).
+// ---------------------------------------------------------------------------
+
+/// One measured execution: total events across all sites plus the
+/// scenario's simulated result (used as an exactness witness between
+/// the sequential and site-parallel runs).
+struct PdesRun {
+  std::uint64_t events = 0;
+  double result = 0;
+};
+
+struct PdesScenario {
+  std::string name;
+  std::function<PdesRun()> run;
+};
+
+PdesRun run_nas_scenario(const apps::NasBenchmark& b, int per_cluster) {
+  core::Testbed tb(per_cluster, 1'000'000);  // 1 ms one-way: a real WAN
+  mpi::Job job(tb.fabric(),
+               mpi::Job::split_placement(tb.fabric(), per_cluster));
+  const double secs = apps::run_nas(job, b);
+  return {tb.engine().events_executed(), secs};
+}
+
+PdesRun run_kv_scenario(int clients, int ops_per_client) {
+  core::Testbed tb(1, 1'000'000);
+  ib::Hca server_hca(tb.fabric().node(tb.node_a()), {});
+  ib::Hca client_hca(tb.fabric().node(tb.node_b()), {});
+  rpc::RdmaRpcServer rpc_server(server_hca);
+  rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
+  kv::KvServer server(tb.sim_a());
+  rpc_server.set_handler(server.handler());
+  for (std::uint64_t k = 0; k < 256; ++k) server.preload(k, 4096);
+  kv::KvClient client(rpc_client);
+  const kv::KvResult r =
+      kv::run_kv_workload(tb.sim_for(tb.node_b()), client,
+                          {.clients = clients,
+                           .ops_per_client = ops_per_client,
+                           .get_fraction = 0.9,
+                           .value_bytes = 4096,
+                           .key_space = 256},
+                          &tb.engine());
+  return {tb.engine().events_executed(), r.kops_per_sec};
+}
+
+struct PdesResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double seq_seconds = 0;
+  double pdes_seconds = 0;
+  bool exact = true;  // result + event count identical across modes
+  double speedup() const {
+    return pdes_seconds > 0 ? seq_seconds / pdes_seconds : 0;
+  }
+};
+
+int run_pdes_suite() {
+  const apps::NasConfig nas_cfg{.cls = apps::NasClass::kB, .iterations = 2};
+  const std::vector<PdesScenario> scenarios = {
+      {"nas_ft_2x16_1ms",
+       [&] { return run_nas_scenario(apps::make_ft(nas_cfg), 16); }},
+      {"nas_is_2x16_1ms",
+       [&] { return run_nas_scenario(apps::make_is(nas_cfg), 16); }},
+      {"nas_cg_2x16_1ms",
+       [&] { return run_nas_scenario(apps::make_cg(nas_cfg), 16); }},
+      {"ext_kv_16clients_1ms", [] { return run_kv_scenario(16, 300); }},
+  };
+
+  // NOLINT-IBWAN(DET001): reported context for the perf gate — speedup
+  // claims are only meaningful on multi-core hosts
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int reps = 2;
+  std::vector<PdesResult> results;
+  int exact_failures = 0;
+
+  for (const PdesScenario& s : scenarios) {
+    PdesResult r;
+    r.name = s.name;
+    PdesRun seq_run, pdes_run;
+    core::set_par_sites(1);
+    double seq_best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      // NOLINT-IBWAN(DET001): wall-clock measurement of the harness
+      const auto t0 = std::chrono::steady_clock::now();
+      seq_run = s.run();
+      // NOLINT-IBWAN(DET001): wall-clock measurement of the harness
+      const auto t1 = std::chrono::steady_clock::now();
+      seq_best =
+          std::min(seq_best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    core::set_par_sites(2);
+    double pdes_best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      // NOLINT-IBWAN(DET001): wall-clock measurement of the harness
+      const auto t0 = std::chrono::steady_clock::now();
+      pdes_run = s.run();
+      // NOLINT-IBWAN(DET001): wall-clock measurement of the harness
+      const auto t1 = std::chrono::steady_clock::now();
+      pdes_best =
+          std::min(pdes_best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    core::set_par_sites(1);
+    r.events = seq_run.events;
+    r.seq_seconds = seq_best;
+    r.pdes_seconds = pdes_best;
+    r.exact = seq_run.events == pdes_run.events &&
+              seq_run.result == pdes_run.result;
+    if (!r.exact) {
+      ++exact_failures;
+      std::printf(
+          "  EXACTNESS FAILURE %s: events %llu vs %llu, result %.17g vs "
+          "%.17g\n",
+          s.name.c_str(), static_cast<unsigned long long>(seq_run.events),
+          static_cast<unsigned long long>(pdes_run.events), seq_run.result,
+          pdes_run.result);
+    }
+    results.push_back(r);
+  }
+
+  std::printf("hardware threads: %u (speedup is ~1.0 by design on 1 core)\n",
+              hw);
+  std::printf("%-28s %12s %10s %10s %9s %6s\n", "scenario", "events",
+              "seq s", "pdes s", "speedup", "exact");
+  for (const auto& r : results) {
+    std::printf("%-28s %12llu %10.3f %10.3f %8.2fx %6s\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.seq_seconds,
+                r.pdes_seconds, r.speedup(), r.exact ? "yes" : "NO");
+  }
+
+  std::FILE* f = std::fopen("BENCH_pdes.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pdes.json\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"pdes\",\n  \"unit\": \"seconds\",\n"
+               "  \"hw_concurrency\": %u,\n  \"scenarios\": [\n",
+               hw);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"seq_seconds\": %.4f, \"pdes_seconds\": %.4f, "
+                 "\"speedup\": %.3f, \"exact\": %s}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.events),
+                 r.seq_seconds, r.pdes_seconds, r.speedup(),
+                 r.exact ? "true" : "false",
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("[json: BENCH_pdes.json]\n");
+  return exact_failures == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
 // google-benchmark micro suite (run with --gbench).
 // ---------------------------------------------------------------------------
 
@@ -374,15 +543,19 @@ BENCHMARK(BM_RcMessageTransfer)->Arg(2048)->Arg(65536)->Arg(1 << 20);
 
 int main(int argc, char** argv) {
   bool gbench = false;
+  bool pdes = false;
   std::vector<char*> fwd;
   fwd.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--gbench") {
       gbench = true;
+    } else if (std::string_view(argv[i]) == "--pdes") {
+      pdes = true;
     } else {
       fwd.push_back(argv[i]);
     }
   }
+  if (pdes) return run_pdes_suite();
   if (!gbench) return run_mix_suite();
   int fwd_argc = static_cast<int>(fwd.size());
   benchmark::Initialize(&fwd_argc, fwd.data());

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the committed benchmark snapshots.
+
+Compares a freshly generated benchmark JSON (BENCH_sim_core.json or
+BENCH_pdes.json) against the committed snapshot in bench/snapshots/.
+Raw events/sec are not comparable across hosts, so every gated metric is
+hardware-normalized:
+
+* sim_core mixes: the gated metric is the engine-vs-baseline speedup
+  (both sides of the ratio ran in the same process on the same host).
+  A fresh speedup more than --max-regression (default 15%) below the
+  committed one fails.
+* pdes scenarios: the gated metrics are (a) exactness — the simulated
+  result and total event count must be identical between the sequential
+  and site-parallel runs (the "exact" flag), and (b) the wall-clock
+  speedup of --par-sites 2 over sequential, gated at --speedup-gate on
+  at least --min-scenarios scenarios. The speedup gate only arms when
+  the fresh run's host has >= --min-hw hardware threads: on a 1-core
+  host site-parallel wall-clock gains are impossible by construction,
+  and pretending otherwise would gate on noise.
+
+Event counts are deterministic and hardware-independent, so they must
+match the committed snapshot exactly in both schemas — a drift means the
+simulation's behaviour changed, which is a correctness question that
+must not hide inside a perf diff.
+
+Exit 0 = pass, 1 = gate failure, 2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_name(entries):
+    return {e["name"]: e for e in entries}
+
+
+def compare_sim_core(committed, fresh, args):
+    failures = []
+    fresh_mixes = by_name(fresh["mixes"])
+    for name, want in by_name(committed["mixes"]).items():
+        got = fresh_mixes.get(name)
+        if got is None:
+            failures.append(f"mix '{name}' missing from fresh run")
+            continue
+        if got["events"] != want["events"]:
+            failures.append(
+                f"mix '{name}': event count drifted "
+                f"{want['events']} -> {got['events']} (behaviour change, "
+                "regenerate the snapshot only with an explanation)")
+        floor = want["speedup"] * (1.0 - args.max_regression)
+        if got["speedup"] < floor:
+            failures.append(
+                f"mix '{name}': engine speedup {got['speedup']:.3f} below "
+                f"{floor:.3f} (committed {want['speedup']:.3f} "
+                f"- {args.max_regression:.0%})")
+        else:
+            print(f"ok: {name} speedup {got['speedup']:.3f} "
+                  f"(committed {want['speedup']:.3f}, floor {floor:.3f})")
+    return failures
+
+
+def compare_pdes(committed, fresh, args):
+    failures = []
+    fresh_sc = by_name(fresh["scenarios"])
+    for name, want in by_name(committed["scenarios"]).items():
+        got = fresh_sc.get(name)
+        if got is None:
+            failures.append(f"scenario '{name}' missing from fresh run")
+            continue
+        if not got.get("exact", False):
+            failures.append(
+                f"scenario '{name}': sequential and site-parallel runs "
+                "diverged (events or simulated result differ)")
+        if got["events"] != want["events"]:
+            failures.append(
+                f"scenario '{name}': event count drifted "
+                f"{want['events']} -> {got['events']}")
+    hw = int(fresh.get("hw_concurrency", 1))
+    speedups = sorted((s["speedup"] for s in fresh_sc.values()), reverse=True)
+    if hw >= args.min_hw:
+        passing = [s for s in speedups if s >= args.speedup_gate]
+        if len(passing) < args.min_scenarios:
+            failures.append(
+                f"speedup gate: need >= {args.min_scenarios} scenarios at "
+                f">= {args.speedup_gate:.2f}x on a {hw}-thread host, got "
+                f"{len(passing)} (speedups: "
+                + ", ".join(f"{s:.2f}x" for s in speedups) + ")")
+        else:
+            print(f"ok: speedup gate met on {hw}-thread host "
+                  f"({len(passing)} scenarios >= {args.speedup_gate:.2f}x)")
+    else:
+        print(f"note: speedup gate disarmed (host has {hw} hardware "
+              f"thread(s), gate requires >= {args.min_hw}); exactness and "
+              "event counts still enforced")
+    return failures
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--committed", required=True,
+                   help="committed snapshot JSON (bench/snapshots/...)")
+    p.add_argument("--fresh", required=True,
+                   help="freshly generated benchmark JSON")
+    p.add_argument("--max-regression", type=float, default=0.15,
+                   help="allowed fractional speedup regression (sim_core)")
+    p.add_argument("--speedup-gate", type=float, default=2.0,
+                   help="required site-parallel speedup (pdes)")
+    p.add_argument("--min-scenarios", type=int, default=2,
+                   help="scenarios that must meet --speedup-gate (pdes)")
+    p.add_argument("--min-hw", type=int, default=4,
+                   help="hardware threads below which the speedup gate "
+                        "disarms (pdes)")
+    args = p.parse_args()
+
+    committed = load(args.committed)
+    fresh = load(args.fresh)
+    kind = committed.get("benchmark")
+    if kind != fresh.get("benchmark"):
+        print(f"bench_compare: snapshot kinds differ "
+              f"({kind} vs {fresh.get('benchmark')})", file=sys.stderr)
+        sys.exit(2)
+    if kind == "sim_core":
+        failures = compare_sim_core(committed, fresh, args)
+    elif kind == "pdes":
+        failures = compare_pdes(committed, fresh, args)
+    else:
+        print(f"bench_compare: unknown benchmark kind '{kind}'",
+              file=sys.stderr)
+        sys.exit(2)
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
+    print(f"bench_compare: {kind} within gates")
+
+
+if __name__ == "__main__":
+    main()

@@ -270,11 +270,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
       const auto r = ib::perftest::run_latency(
           tb.fabric(), tb.node_a(), tb.node_b(), s.lat_transport, s.lat_op,
           tc);
-      tb.sim().run();
+      tb.run();
       out.completed = r.iterations > 0 && r.avg_us > 0;
       out.value = r.avg_us;
       out.unit = "us";
-      out.metrics = tb.sim().metrics().snapshot();
+      out.metrics = tb.metrics_snapshot();
       break;
     }
     case Stack::kVerbsRcBw:
@@ -289,13 +289,13 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
                                                           : Transport::kUd;
       const auto r = ib::perftest::run_bandwidth(tb.fabric(), tb.node_a(),
                                                  tb.node_b(), transport, tc);
-      tb.sim().run();
+      tb.run();
       // A severed run leaves end_time unset; the unsigned subtraction
       // then reports an absurd elapsed time, which is the signal.
       out.completed = r.seconds > 0 && r.seconds < 1e5;
       out.value = r.mbytes_per_sec;
       out.unit = "MB/s";
-      out.metrics = tb.sim().metrics().snapshot();
+      out.metrics = tb.metrics_snapshot();
       break;
     }
     case Stack::kTcpStreams: {
@@ -309,11 +309,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
       // (jitter-reordered connected-mode streams retransmit heavily).
       sc.bytes_per_stream = s.faults ? (256u << 10) : kTcpBytesPerStream;
       const double mbps = core::tcpbench::tcp_throughput(tb, sc);
-      tb.sim().run();
+      tb.run();
       out.completed = mbps > 0;
       out.value = mbps;
       out.unit = "MB/s";
-      out.metrics = tb.sim().metrics().snapshot();
+      out.metrics = tb.metrics_snapshot();
       break;
     }
     case Stack::kMpiPt2pt: {
@@ -326,11 +326,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
       oc.rendezvous_threshold = s.rendezvous_threshold;
       oc.coalescing = s.coalescing;
       const double mbps = core::mpibench::osu_bw(tb, oc);
-      tb.sim().run();
+      tb.run();
       out.completed = mbps > 0;
       out.value = mbps;
       out.unit = "MB/s";
-      out.metrics = tb.sim().metrics().snapshot();
+      out.metrics = tb.metrics_snapshot();
       break;
     }
     case Stack::kMpiBcast: {
@@ -342,11 +342,11 @@ ScenarioResult run_scenario(const Scenario& s, const RunOptions& opt) {
       bc.iterations = 4;
       bc.hierarchical = s.hierarchical;
       const double us = core::mpibench::bcast_latency_us(tb, bc);
-      tb.sim().run();
+      tb.run();
       out.completed = us > 0;
       out.value = us;
       out.unit = "us";
-      out.metrics = tb.sim().metrics().snapshot();
+      out.metrics = tb.metrics_snapshot();
       break;
     }
     case Stack::kNfs: {

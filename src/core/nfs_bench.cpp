@@ -32,13 +32,13 @@ nfs::IozoneResult run(const NfsBenchConfig& cfg) {
     ib::Hca client_hca(tb.fabric().node(client_node), {});
     rpc::RdmaRpcServer rpc_server(server_hca);
     rpc::RdmaRpcClient rpc_client(client_hca, rpc_server);
-    nfs::NfsServer server(tb.sim(), nfs_rdma_defaults());
+    nfs::NfsServer server(tb.sim_for(server_node), nfs_rdma_defaults());
     server.add_file(io.fh, cfg.file_bytes);
     rpc_server.set_handler(server.handler());
     nfs::NfsClient client(rpc_client);
-    const nfs::IozoneResult result = nfs::run_iozone(tb.sim(), client, io);
-    if (cfg.metrics_out != nullptr)
-      *cfg.metrics_out = tb.sim().metrics().snapshot();
+    const nfs::IozoneResult result =
+        nfs::run_iozone(tb.sim_for(client_node), client, io, &tb.engine());
+    if (cfg.metrics_out != nullptr) *cfg.metrics_out = tb.metrics_snapshot();
     return result;
   }
 
@@ -54,13 +54,13 @@ nfs::IozoneResult run(const NfsBenchConfig& cfg) {
   tcp::TcpStack client_stack(client_dev, tcp_window());
   rpc::TcpRpcServer rpc_server(server_stack, 2049);
   rpc::TcpRpcClient rpc_client(client_stack, server_stack.lid(), 2049);
-  nfs::NfsServer server(tb.sim(), nfs_ipoib_defaults());
+  nfs::NfsServer server(tb.sim_for(server_node), nfs_ipoib_defaults());
   server.add_file(io.fh, cfg.file_bytes);
   rpc_server.set_handler(server.handler());
   nfs::NfsClient client(rpc_client);
-  const nfs::IozoneResult result = nfs::run_iozone(tb.sim(), client, io);
-  if (cfg.metrics_out != nullptr)
-    *cfg.metrics_out = tb.sim().metrics().snapshot();
+  const nfs::IozoneResult result =
+      nfs::run_iozone(tb.sim_for(client_node), client, io, &tb.engine());
+  if (cfg.metrics_out != nullptr) *cfg.metrics_out = tb.metrics_snapshot();
   return result;
 }
 

@@ -33,7 +33,7 @@ double tcp_throughput(Testbed& tb, const StreamConfig& cfg) {
     });
     conns.push_back(&c);
   }
-  sim.run();
+  tb.run();
   const double secs = sim::to_seconds(t_end - t0);
   const double bytes =
       static_cast<double>(cfg.bytes_per_stream) * cfg.streams;

@@ -3,12 +3,15 @@
 // microseconds and kilometres.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "core/calibration.hpp"
+#include "core/parallel.hpp"
 #include "core/seed.hpp"
 #include "net/fabric.hpp"
 #include "net/faults.hpp"
+#include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,6 +41,12 @@ struct TestbedOptions {
   /// Enable this simulator's MetricsRegistry even when no process-wide
   /// aggregator is active (read the snapshot via sim().metrics()).
   bool metrics = false;
+  /// Logical processes for site-parallel execution (DESIGN.md §13):
+  /// 0 falls back to the process-wide knob (core::par_sites, bench
+  /// --par-sites), 1 forces the sequential engine, 2 runs one LP per
+  /// cluster. IBWAN_THREADS=1 always collapses to 1 (the differential
+  /// oracle); either way the outputs are byte-identical.
+  int par_sites = 0;
 };
 
 class Testbed {
@@ -55,8 +64,9 @@ class Testbed {
                                .seed = seed}) {}
 
   explicit Testbed(const TestbedOptions& opt)
-      : fabric_(sim_, fabric_defaults(opt.nodes_a, opt.nodes_b)) {
-    sim_.seed(opt.seed);
+      : engine_(effective_sites(opt), pdes_threads()),
+        fabric_(engine_, fabric_defaults(opt.nodes_a, opt.nodes_b)) {
+    engine_.seed(opt.seed);
     fabric_.set_wan_delay(opt.wan_delay);
     // A fault plan (per-testbed, else the process-wide bench --faults
     // one) attaches to the WAN links; seeding first keeps the fault RNG
@@ -67,17 +77,48 @@ class Testbed {
       fabric_.longbows()->apply_faults(*fp);
     }
     if (opt.metrics || sim::MetricsAggregator::global().active()) {
-      sim_.metrics().set_enabled(true);
+      for (int i = 0; i < engine_.sites(); ++i) {
+        engine_.site(i).metrics().set_enabled(true);
+      }
     }
   }
 
   ~Testbed() {
     auto& agg = sim::MetricsAggregator::global();
-    if (agg.active()) agg.absorb(sim_.metrics().snapshot());
+    if (!agg.active()) return;
+    // Instrument scopes are per-instance names, so per-site snapshots
+    // cover disjoint path sets and the merged export is byte-identical
+    // to a sequential run's single-registry snapshot.
+    for (int i = 0; i < engine_.sites(); ++i) {
+      agg.absorb(engine_.site(i).metrics().snapshot());
+    }
   }
 
-  sim::Simulator& sim() { return sim_; }
+  /// Site A's simulator (the only one when running sequentially).
+  /// Partition-sensitive code should use sim_a()/sim_b()/sim_for().
+  sim::Simulator& sim() { return fabric_.sim(); }
   net::Fabric& fabric() { return fabric_; }
+  sim::SiteEngine& engine() { return engine_; }
+
+  sim::Simulator& sim_a() { return fabric_.sim_of(net::Cluster::kA); }
+  sim::Simulator& sim_b() { return fabric_.sim_of(net::Cluster::kB); }
+  sim::Simulator& sim_for(net::NodeId id) { return fabric_.sim_of_node(id); }
+
+  /// Runs the simulation to drain (all sites, all channels).
+  void run() { fabric_.run_all(); }
+  /// Simulated end time after run(): max over site clocks, equal to the
+  /// sequential run's final now().
+  sim::Time now() const { return fabric_.max_now(); }
+
+  /// Merged metrics across sites (equals sim().metrics().snapshot()
+  /// when sequential).
+  sim::MetricsSnapshot metrics_snapshot() {
+    sim::MetricsSnapshot snap = engine_.site(0).metrics().snapshot();
+    for (int i = 1; i < engine_.sites(); ++i) {
+      snap.merge(engine_.site(i).metrics().snapshot());
+    }
+    return snap;
+  }
 
   void set_wan_delay(sim::Duration d) { fabric_.set_wan_delay(d); }
   void set_distance_km(double km) { fabric_.set_wan_delay(delay_for_km(km)); }
@@ -88,7 +129,21 @@ class Testbed {
   net::NodeId node_b(int i = 0) { return fabric_.node_id(net::Cluster::kB, i); }
 
  private:
-  sim::Simulator sim_;
+  /// Sites actually constructed: the request (option, else the global
+  /// knob) clamped to the partition the topology supports, with
+  /// IBWAN_THREADS=1 forcing the sequential oracle.
+  static int effective_sites(const TestbedOptions& opt) {
+    int req = opt.par_sites > 0 ? opt.par_sites : par_sites();
+    req = std::min(req, 2);  // one LP per cluster today
+    if (req > 1 && pdes_threads() == 1) req = 1;
+    if (req > 1) {
+      const net::FabricConfig fc = fabric_defaults(opt.nodes_a, opt.nodes_b);
+      if (fc.back_to_back || fc.longbow.loss_rate > 0.0) req = 1;
+    }
+    return req;
+  }
+
+  sim::SiteEngine engine_;
   net::Fabric fabric_;
 };
 

@@ -54,7 +54,9 @@ int iters_for_bytes(std::uint64_t target_bytes, std::uint32_t msg_size,
 
 LatencyResult run_latency(net::Fabric& fabric, net::NodeId a, net::NodeId b,
                           Transport transport, Op op, const TestConfig& cfg) {
-  sim::Simulator& sim = fabric.sim();
+  // The ping-pong timing callbacks all fire on side A's node, so they
+  // read side A's clock (the only one when running sequentially).
+  sim::Simulator& sim = fabric.sim_of_node(a);
   Pair pair(fabric, a, b, transport, cfg.hca);
   Party& pa = pair.pa;
   Party& pb = pair.pb;
@@ -114,7 +116,7 @@ LatencyResult run_latency(net::Fabric& fabric, net::NodeId a, net::NodeId b,
   }
 
   a_send();
-  sim.run();
+  fabric.run_all();
   assert(done == total && "latency test did not complete");
 
   LatencyResult r;
@@ -219,11 +221,10 @@ class Streamer {
 BandwidthResult run_bandwidth(net::Fabric& fabric, net::NodeId a,
                               net::NodeId b, Transport transport,
                               const TestConfig& cfg) {
-  sim::Simulator& sim = fabric.sim();
   Pair pair(fabric, a, b, transport, cfg.hca);
   Streamer s(pair.pa, pair.pb, transport, cfg, [] {});
   s.start();
-  sim.run();
+  fabric.run_all();
   const auto [bytes, seconds] = s.measured();
   BandwidthResult r;
   r.iterations = cfg.iterations;
@@ -237,13 +238,12 @@ BandwidthResult run_bandwidth(net::Fabric& fabric, net::NodeId a,
 BandwidthResult run_bidir_bandwidth(net::Fabric& fabric, net::NodeId a,
                                     net::NodeId b, Transport transport,
                                     const TestConfig& cfg) {
-  sim::Simulator& sim = fabric.sim();
   Pair pair(fabric, a, b, transport, cfg.hca);
   Streamer fwd(pair.pa, pair.pb, transport, cfg, [] {});
   Streamer rev(pair.pb, pair.pa, transport, cfg, [] {});
   fwd.start();
   rev.start();
-  sim.run();
+  fabric.run_all();
   // Aggregate: each direction's delivered rate, summed (both run
   // concurrently over the same interval).
   const auto [bytes_f, secs_f] = fwd.measured();

@@ -73,7 +73,8 @@ sim::Task kv_worker(sim::Simulator& sim, KvClient& client,
 }  // namespace
 
 KvResult run_kv_workload(sim::Simulator& sim, KvClient& client,
-                         const KvWorkloadConfig& cfg) {
+                         const KvWorkloadConfig& cfg,
+                         sim::SiteEngine* engine) {
   sim::Rng rng(cfg.seed);
   sim::OnlineStats latency;
   sim::WaitGroup wg(sim);
@@ -82,10 +83,16 @@ KvResult run_kv_workload(sim::Simulator& sim, KvClient& client,
   for (int c = 0; c < cfg.clients; ++c) {
     kv_worker(sim, client, cfg, &rng, &latency, &wg);
   }
-  sim.run();
+  if (engine != nullptr) {
+    engine->run();
+  } else {
+    sim.run();
+  }
   KvResult r;
   r.ops = latency.count();
-  const double secs = sim::to_seconds(sim.now() - t0);
+  // Merged end time (max over site clocks) == the sequential final now.
+  const sim::Time t_end = engine != nullptr ? engine->now() : sim.now();
+  const double secs = sim::to_seconds(t_end - t0);
   r.kops_per_sec = secs > 0 ? static_cast<double>(r.ops) / secs / 1e3 : 0;
   r.avg_latency_us = latency.mean() / 1000.0;
   return r;

@@ -11,6 +11,7 @@
 
 #include "rpc/rpc.hpp"
 #include "sim/coro.hpp"
+#include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -88,8 +89,12 @@ struct KvResult {
   std::uint64_t ops = 0;
 };
 
-/// Runs the workload to completion (drives the simulator).
+/// Runs the workload to completion (drives the simulator). `sim` is the
+/// client's own site; passing the owning SiteEngine drains every site
+/// and reads the merged end time, which is required when the testbed
+/// runs site-parallel (and equivalent when sequential).
 KvResult run_kv_workload(sim::Simulator& sim, KvClient& client,
-                         const KvWorkloadConfig& cfg);
+                         const KvWorkloadConfig& cfg,
+                         sim::SiteEngine* engine = nullptr);
 
 }  // namespace ibwan::kv

@@ -131,7 +131,7 @@ void Rank::post_ctrl(int peer, const MsgHeader& h, std::uint32_t wire_bytes,
 Request Rank::isend(int dst, std::uint64_t bytes, int tag) {
   assert(dst >= 0 && dst < size() && dst != rank_);
   auto state = std::make_shared<detail::RequestState>(sim());
-  const std::uint64_t id = job_.next_req_id();
+  const std::uint64_t id = next_req_id();
   active_sends_[id] = state;
   stats_.bytes_sent += bytes;
 
@@ -226,7 +226,7 @@ void Rank::flush_coalesce(int dst) {
 
 Request Rank::irecv(int src, int tag) {
   auto state = std::make_shared<detail::RequestState>(sim());
-  const std::uint64_t id = job_.next_req_id();
+  const std::uint64_t id = next_req_id();
   active_recvs_[id] = state;
 
   // Check the unexpected queue first (in arrival order).
@@ -489,32 +489,51 @@ std::vector<net::NodeId> Job::split_placement(net::Fabric& fabric,
 
 sim::Task Job::run_rank(Rank& r, Program program) {
   co_await program(r);
-  ++finished_ranks_;
-  last_finish_ = std::max(last_finish_, fabric_.sim().now());
+  // The completion event runs on this rank's own site, whose clock at
+  // that instant equals the sequential run's global clock there.
+  finish_time_[static_cast<std::size_t>(r.rank())] = r.sim().now();
+}
+
+void Job::preconnect_cross_site() {
+  for (int i = 0; i < size(); ++i) {
+    for (int j = i + 1; j < size(); ++j) {
+      if (rank(i).cluster() != rank(j).cluster()) rank(i).qp_to(j);
+    }
+  }
 }
 
 void Job::run(Program program) {
-  start_time_ = fabric_.sim().now();
-  finished_ranks_ = 0;
-  last_finish_ = start_time_;
+  start_time_ = fabric_.max_now();
+  finish_time_.assign(static_cast<std::size_t>(size()), kUnfinished);
+  if (fabric_.partitioned()) preconnect_cross_site();
   for (auto& r : ranks_) run_rank(*r, program);
 }
 
 double Job::execute(Program program) {
   run(std::move(program));
-  fabric_.sim().run();
+  fabric_.run_all();
   if (!finished()) {
     std::fprintf(stderr,
                  "mpi::Job: deadlock — %d of %d ranks finished with the "
                  "network idle\n",
-                 finished_ranks_, size());
+                 finished_ranks(), size());
     std::abort();
   }
   return elapsed_seconds();
 }
 
+int Job::finished_ranks() const {
+  int n = 0;
+  for (const sim::Time t : finish_time_) n += (t != kUnfinished) ? 1 : 0;
+  return n;
+}
+
 double Job::elapsed_seconds() const {
-  return sim::to_seconds(last_finish_ - start_time_);
+  sim::Time last = start_time_;
+  for (const sim::Time t : finish_time_) {
+    if (t != kUnfinished && t > last) last = t;
+  }
+  return sim::to_seconds(last - start_time_);
 }
 
 }  // namespace ibwan::mpi

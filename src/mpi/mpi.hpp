@@ -177,6 +177,7 @@ class Rank {
   void send_cts(int src_rank, std::uint64_t sender_req,
                 std::uint64_t recv_req);
   bool matches(const PostedRecv& r, int src, int tag) const;
+  std::uint64_t next_req_id() { return next_req_id_++; }
   ib::RcQp* qp_to(int peer);
   /// Sends any pending coalesce bundle for `dst` (keeps MPI's
   /// non-overtaking order when a non-bundled message follows).
@@ -210,6 +211,11 @@ class Rank {
   struct CoalesceBuf;
   std::unordered_map<int, std::unique_ptr<CoalesceBuf>> coalesce_;
   int coll_seq_ = 0;  // per-rank collective instance counter
+  /// Request ids are rank-local: they key only this rank's own maps
+  /// (peers echo them back opaquely), and keeping the counter here
+  /// means two ranks progressing in parallel sites never share mutable
+  /// state on the send path.
+  std::uint64_t next_req_id_ = 1;
   Stats stats_;
 
   // Registered metrics (docs/METRICS.md §mpi); scope "node<id>/mpi".
@@ -259,7 +265,8 @@ class Job {
   /// unfinished ranks).
   double execute(Program program);
 
-  bool finished() const { return finished_ranks_ == size(); }
+  bool finished() const { return finished_ranks() == size(); }
+  int finished_ranks() const;
   double elapsed_seconds() const;
 
   /// Convenience placement: the first `per_cluster` hosts of each side.
@@ -268,18 +275,26 @@ class Job {
 
  private:
   friend class Rank;
-  std::uint64_t next_req_id() { return next_req_id_++; }
   sim::Task run_rank(Rank& r, Program program);
+  /// Creates every cross-cluster QP pair up front when the fabric is
+  /// site-partitioned. The lazy first-use path in Rank::qp_to would
+  /// otherwise mutate the peer rank's tables from the sender's site
+  /// mid-run; connection setup is out-of-band CM (no events, no CPU
+  /// charge, no metrics), so doing it eagerly is timing-invisible.
+  void preconnect_cross_site();
+
+  static constexpr sim::Time kUnfinished = ~sim::Time{0};
 
   net::Fabric& fabric_;
   MpiConfig cfg_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::vector<int> ranks_a_;
   std::vector<int> ranks_b_;
-  std::uint64_t next_req_id_ = 1;
   sim::Time start_time_ = 0;
-  sim::Time last_finish_ = 0;
-  int finished_ranks_ = 0;
+  /// Per-rank completion times (kUnfinished while running): each rank
+  /// records its own site's clock, so no cross-site writes race; the
+  /// job's elapsed time is the max, identical to the sequential value.
+  std::vector<sim::Time> finish_time_;
 };
 
 }  // namespace ibwan::mpi

@@ -6,8 +6,20 @@
 
 namespace ibwan::net {
 
+namespace {
+
+bool partitionable(const sim::SiteEngine& engine, const FabricConfig& cfg) {
+  // Flat WAN loss draws from the main RNG stream at serialization time;
+  // splitting the clusters would split that stream, so such configs
+  // stay sequential (the named-stream fault models are fine).
+  return engine.parallel() && !cfg.back_to_back &&
+         cfg.longbow.loss_rate == 0.0;
+}
+
+}  // namespace
+
 Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
-    : sim_(sim), config_(config) {
+    : sim_(sim), sim_b_(sim), config_(config) {
   if (config_.back_to_back) {
     assert(config_.nodes_a == 1 && config_.nodes_b == 1 &&
            "back-to-back mode is exactly two hosts");
@@ -16,6 +28,42 @@ Fabric::Fabric(sim::Simulator& sim, const FabricConfig& config)
     assert(config_.nodes_a >= 1 && config_.nodes_b >= 1);
     build_cluster_of_clusters();
   }
+}
+
+Fabric::Fabric(sim::SiteEngine& engine, const FabricConfig& config)
+    : engine_(&engine),
+      sim_(engine.site(0)),
+      sim_b_(partitionable(engine, config) ? engine.site(1) : engine.site(0)),
+      config_(config) {
+  if (config_.back_to_back) {
+    assert(config_.nodes_a == 1 && config_.nodes_b == 1 &&
+           "back-to-back mode is exactly two hosts");
+    build_back_to_back();
+    return;
+  }
+  assert(config_.nodes_a >= 1 && config_.nodes_b >= 1);
+  build_cluster_of_clusters();
+  if (partitioned()) {
+    // The WAN links are the LP boundaries: deliveries cross via engine
+    // channels, and the safe horizon derives from the minimum one-way
+    // latency those links can impose.
+    longbows_->wan_link_a_to_b().set_channel(&engine_->make_channel(0, 1));
+    longbows_->wan_link_b_to_a().set_channel(&engine_->make_channel(1, 0));
+    engine_->set_lookahead(config_.longbow.base_propagation);
+  }
+}
+
+void Fabric::run_all() {
+  if (engine_ != nullptr && partitioned()) {
+    engine_->run();
+  } else {
+    sim_.run();
+  }
+}
+
+sim::Time Fabric::max_now() const {
+  if (engine_ != nullptr) return engine_->now();
+  return sim_.now();
 }
 
 NodeId Fabric::node_id(Cluster c, int index) const {
@@ -29,14 +77,22 @@ NodeId Fabric::node_id(Cluster c, int index) const {
 
 void Fabric::set_wan_delay(sim::Duration oneway) {
   if (longbows_) longbows_->set_oneway_delay(oneway);
+  if (partitioned()) {
+    // The emulated distance raises the minimum cross-site latency, so
+    // the conservative horizon may stretch with it: lookahead is the
+    // WAN link's propagation plus the emulated one-way delay (jitter
+    // only ever adds on top).
+    engine_->set_lookahead(config_.longbow.base_propagation + oneway);
+  }
 }
 
 sim::Duration Fabric::wan_delay() const {
   return longbows_ ? longbows_->oneway_delay() : 0;
 }
 
-Link* Fabric::make_link(const Link::Config& cfg, std::string name) {
-  links_.push_back(std::make_unique<Link>(sim_, cfg, std::move(name)));
+Link* Fabric::make_link(sim::Simulator& sim, const Link::Config& cfg,
+                        std::string name) {
+  links_.push_back(std::make_unique<Link>(sim, cfg, std::move(name)));
   return links_.back().get();
 }
 
@@ -45,8 +101,8 @@ void Fabric::build_back_to_back() {
   nodes_.push_back(std::make_unique<Node>(sim_, 1));
   const Link::Config cable{.bytes_per_ns = config_.lan_rate,
                            .propagation = config_.host_link_prop};
-  Link* a2b = make_link(cable, "cable-0to1");
-  Link* b2a = make_link(cable, "cable-1to0");
+  Link* a2b = make_link(sim_, cable, "cable-0to1");
+  Link* b2a = make_link(sim_, cable, "cable-1to0");
   a2b->set_sink([this](Packet&& p) { nodes_[1]->deliver(std::move(p)); });
   b2a->set_sink([this](Packet&& p) { nodes_[0]->deliver(std::move(p)); });
   nodes_[0]->attach_uplink(a2b);
@@ -54,14 +110,18 @@ void Fabric::build_back_to_back() {
 }
 
 void Fabric::build_cluster_of_clusters() {
+  // Everything cluster-local — nodes, star links, the switch, the
+  // Longbow router, and the outbound WAN link — is built on that
+  // cluster's simulator (both clusters share one in sequential mode).
   const int total = config_.nodes_a + config_.nodes_b;
   for (int i = 0; i < total; ++i) {
-    nodes_.push_back(std::make_unique<Node>(sim_, static_cast<NodeId>(i)));
+    const auto id = static_cast<NodeId>(i);
+    nodes_.push_back(std::make_unique<Node>(sim_of_node(id), id));
   }
   switches_.push_back(
       std::make_unique<Switch>(sim_, "switch-a", config_.switch_latency));
   switches_.push_back(
-      std::make_unique<Switch>(sim_, "switch-b", config_.switch_latency));
+      std::make_unique<Switch>(sim_b_, "switch-b", config_.switch_latency));
   Switch* sw_a = switches_[0].get();
   Switch* sw_b = switches_[1].get();
 
@@ -72,9 +132,10 @@ void Fabric::build_cluster_of_clusters() {
   for (int i = 0; i < total; ++i) {
     Node* n = nodes_[i].get();
     Switch* sw = i < config_.nodes_a ? sw_a : sw_b;
+    sim::Simulator& site = sim_of_node(static_cast<NodeId>(i));
     const std::string tag = "host" + std::to_string(i);
-    Link* up = make_link(host_link, tag + "-up");
-    Link* down = make_link(host_link, tag + "-down");
+    Link* up = make_link(site, host_link, tag + "-up");
+    Link* down = make_link(site, host_link, tag + "-down");
     up->set_sink([sw](Packet&& p) { sw->receive(std::move(p)); });
     down->set_sink([n](Packet&& p) { n->deliver(std::move(p)); });
     n->attach_uplink(up);
@@ -83,13 +144,13 @@ void Fabric::build_cluster_of_clusters() {
   }
 
   // Longbow pair joins the two switches.
-  longbows_ = std::make_unique<LongbowPair>(sim_, config_.longbow);
+  longbows_ = std::make_unique<LongbowPair>(sim_, sim_b_, config_.longbow);
   Longbow* lb_a = &longbows_->side_a();
   Longbow* lb_b = &longbows_->side_b();
 
   // switch-a <-> longbow-a LAN links.
-  Link* swa_to_lba = make_link(host_link, "swa-to-lba");
-  Link* lba_to_swa = make_link(host_link, "lba-to-swa");
+  Link* swa_to_lba = make_link(sim_, host_link, "swa-to-lba");
+  Link* lba_to_swa = make_link(sim_, host_link, "lba-to-swa");
   swa_to_lba->set_sink(
       [lb_a](Packet&& p) { lb_a->receive_from_lan(std::move(p)); });
   lba_to_swa->set_sink([sw_a](Packet&& p) { sw_a->receive(std::move(p)); });
@@ -97,8 +158,8 @@ void Fabric::build_cluster_of_clusters() {
   sw_a->set_default_route(sw_a->add_port(swa_to_lba));
 
   // switch-b <-> longbow-b LAN links.
-  Link* swb_to_lbb = make_link(host_link, "swb-to-lbb");
-  Link* lbb_to_swb = make_link(host_link, "lbb-to-swb");
+  Link* swb_to_lbb = make_link(sim_b_, host_link, "swb-to-lbb");
+  Link* lbb_to_swb = make_link(sim_b_, host_link, "lbb-to-swb");
   swb_to_lbb->set_sink(
       [lb_b](Packet&& p) { lb_b->receive_from_lan(std::move(p)); });
   lbb_to_swb->set_sink([sw_b](Packet&& p) { sw_b->receive(std::move(p)); });

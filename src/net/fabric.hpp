@@ -17,6 +17,7 @@
 #include "net/packet.hpp"
 #include "net/switch.hpp"
 #include "net/wan.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibwan::net {
@@ -42,6 +43,16 @@ class Fabric {
  public:
   Fabric(sim::Simulator& sim, const FabricConfig& config);
 
+  /// Site-partitioned construction (DESIGN.md §13): cluster A (nodes,
+  /// switch, Longbow side A, outbound WAN link) is built on engine site
+  /// 0, cluster B on site 1, and the WAN links become LP boundaries via
+  /// engine channels. Requires a 2-site partitionable topology: with a
+  /// 1-site engine, a back-to-back config, or flat WAN loss (which
+  /// draws from the main RNG at serialization time and therefore needs
+  /// one global stream), everything lands on site 0 and run_all()
+  /// degenerates to the sequential path.
+  Fabric(sim::SiteEngine& engine, const FabricConfig& config);
+
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -66,14 +77,38 @@ class Fabric {
 
   LongbowPair* longbows() { return longbows_.get(); }
   const FabricConfig& config() const { return config_; }
+  /// Site A's simulator (the only one in sequential mode). Prefer
+  /// sim_of()/node().sim() in code that must be partition-correct.
   sim::Simulator& sim() { return sim_; }
+
+  /// The simulator a cluster's components live on. Same object for
+  /// both clusters unless the fabric was built partitioned.
+  sim::Simulator& sim_of(Cluster c) {
+    return c == Cluster::kA ? sim_ : sim_b_;
+  }
+  sim::Simulator& sim_of_node(NodeId id) { return sim_of(cluster_of(id)); }
+
+  /// True when the two clusters run as separate logical processes.
+  bool partitioned() const { return &sim_ != &sim_b_; }
+  sim::SiteEngine* engine() { return engine_; }
+
+  /// Drives the whole simulation to drain: the engine's windowed loop
+  /// when partitioned, plain Simulator::run() otherwise.
+  void run_all();
+
+  /// Max over site clocks — equals sim().now() in sequential mode and
+  /// the sequential run's final clock in partitioned mode.
+  sim::Time max_now() const;
 
  private:
   void build_back_to_back();
   void build_cluster_of_clusters();
-  Link* make_link(const Link::Config& cfg, std::string name);
+  Link* make_link(sim::Simulator& sim, const Link::Config& cfg,
+                  std::string name);
 
-  sim::Simulator& sim_;
+  sim::SiteEngine* engine_ = nullptr;
+  sim::Simulator& sim_;    // site A
+  sim::Simulator& sim_b_;  // site B (== sim_ when not partitioned)
   FabricConfig config_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;

@@ -388,6 +388,29 @@ FaultPlan::FaultPlan(sim::Simulator& sim, Link& link,
       if (--down_nest_ == 0) link_.set_down(false);
     });
   }
+  if (!cfg_.flaps.empty()) {
+    // Static union of the scheduled outages, for the channel-mode
+    // in-flight kill check (Link::set_down_schedule). Replay the exact
+    // event sequence scheduled above — (time, schedule order), nest
+    // counting — and record every 0→1 transition.
+    std::vector<std::pair<sim::Time, int>> edges;
+    edges.reserve(cfg_.flaps.size() * 2);
+    for (const FlapWindow& w : cfg_.flaps) {
+      edges.emplace_back(std::max(now, w.down_at), +1);
+      edges.emplace_back(std::max(now, w.down_at + w.down_for), -1);
+    }
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<sim::Time> starts;
+    int nest = 0;
+    for (const auto& [t, d] : edges) {
+      if (d > 0 && nest == 0) starts.push_back(t);
+      nest += d;
+    }
+    link_.set_down_schedule(std::move(starts));
+  }
   for (const BrownoutWindow& w : cfg_.brownouts) {
     const std::uint64_t bytes = w.buffer_bytes;
     sim_.schedule_at(std::max(now, w.at), [this, bytes] {

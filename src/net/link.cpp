@@ -1,5 +1,6 @@
 #include "net/link.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <utility>
@@ -107,6 +108,69 @@ void Link::drop_down(const Packet& p) {
                          p.wire_size, /*c=*/4);
 }
 
+std::shared_ptr<Packet> Link::alloc_packet(Packet&& p) {
+  // Site-local links churn through one shared_ptr<Packet> per packet on
+  // the serialize->deliver hot path; recycling the control block
+  // removes that allocation. Channel-mode (LP-boundary) packets are
+  // excluded: the destination site drops its reference on another
+  // thread, so handing the pointer back to this link's pool would race.
+  // A pooled entry is reusable only once every lambda that captured it
+  // has run (use_count back to 1).
+  if (channel_ == nullptr && !pkt_pool_.empty() &&
+      pkt_pool_.back().use_count() == 1) {
+    std::shared_ptr<Packet> sp = std::move(pkt_pool_.back());
+    pkt_pool_.pop_back();
+    *sp = std::move(p);
+    return sp;
+  }
+  return std::make_shared<Packet>(std::move(p));
+}
+
+void Link::recycle_packet(const std::shared_ptr<Packet>& pkt) {
+  if (channel_ != nullptr || pkt_pool_.size() >= kPktPoolCap) return;
+  // Drop payload/callback references now so pooling a packet never pins
+  // application data beyond its delivery.
+  pkt->payload.reset();
+  pkt->on_serialized = nullptr;
+  pkt_pool_.push_back(pkt);
+}
+
+void Link::deliver_via_channel(const std::shared_ptr<Packet>& pkt,
+                               sim::Duration delay) {
+  const sim::Time arrival = sim_.now() + delay;
+  // Replicate the sequential in-flight epoch check from the static
+  // fault schedule: a down transition strictly after serialization end
+  // and no later than arrival kills the packet mid-flight. (Transitions
+  // at or before serialization end were already caught by the sender's
+  // down/epoch check above.)
+  const auto flap =
+      std::upper_bound(down_starts_.begin(), down_starts_.end(), sim_.now());
+  if (flap != down_starts_.end() && *flap <= arrival) {
+    drop_down(*pkt);
+    return;
+  }
+  // Delivered-side accounting happens at push time on the sender's
+  // site: the counters are run totals read after the drain, and the
+  // trace row carries the arrival timestamp, so end states match the
+  // sequential run exactly.
+  if (sim_.recorder().armed())
+    sim_.recorder().record(arrival, TraceKind::kPktDeliver, name_.c_str(),
+                           pkt->id, pkt->wire_size);
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += pkt->wire_size;
+  obs_.pkts_delivered->add();
+  obs_.bytes_delivered->add(pkt->wire_size);
+  // on_serialized already fired on this site; clear it here so the
+  // destination's copy never touches sender-site captures.
+  pkt->on_serialized = nullptr;
+  channel_->push(arrival, [this, pkt] {
+    // Runs on the destination site's worker at `arrival`; the sink and
+    // the packet are immutable after the push.
+    Packet delivered = *pkt;
+    sink_(std::move(delivered));
+  });
+}
+
 void Link::start_next() {
   if (down_) {  // serializer pauses; set_down(false) restarts it
     busy_ = false;
@@ -119,7 +183,7 @@ void Link::start_next() {
     return;
   }
   busy_ = true;
-  auto pkt = std::make_shared<Packet>(std::move(q->front()));
+  auto pkt = alloc_packet(std::move(q->front()));
   q->pop_front();
   const sim::Duration ser = sim::duration_ceil(
       static_cast<double>(pkt->wire_size) / config_.bytes_per_ns);
@@ -139,6 +203,7 @@ void Link::start_next() {
     if (down_ || epoch != down_epoch_) {
       // The flap hit while this packet was on the wire.
       drop_down(*pkt);
+      recycle_packet(pkt);
       start_next();
       return;
     }
@@ -154,6 +219,7 @@ void Link::start_next() {
       obs_.bytes_dropped->add(pkt->wire_size);
       sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
                              pkt->id, pkt->wire_size, /*c=*/2);
+      recycle_packet(pkt);
     } else if (loss_model_ && loss_model_(*pkt)) {
       ++stats_.packets_dropped_fault;
       stats_.bytes_dropped += pkt->wire_size;
@@ -161,6 +227,7 @@ void Link::start_next() {
       obs_.bytes_dropped->add(pkt->wire_size);
       sim_.recorder().record(sim_.now(), TraceKind::kPktDrop, name_.c_str(),
                              pkt->id, pkt->wire_size, /*c=*/3);
+      recycle_packet(pkt);
     } else {
       sim::Duration delay = config_.propagation + extra_delay_;
       if (jitter_model_) {
@@ -168,25 +235,31 @@ void Link::start_next() {
         obs_.jitter_ns->observe(static_cast<std::uint64_t>(jitter));
         delay += jitter;
       }
-      const std::uint64_t fly_epoch = down_epoch_;
-      sim_.schedule(delay, [this, pkt, fly_epoch] {
-        if (fly_epoch != down_epoch_) {
-          // A flap killed the packet mid-flight, even if the link is
-          // already back up by now.
-          drop_down(*pkt);
-          return;
-        }
-        if (sim_.recorder().armed())
-          sim_.recorder().record(sim_.now(), TraceKind::kPktDeliver,
-                                 name_.c_str(), pkt->id, pkt->wire_size);
-        ++stats_.packets_delivered;
-        stats_.bytes_delivered += pkt->wire_size;
-        obs_.pkts_delivered->add();
-        obs_.bytes_delivered->add(pkt->wire_size);
-        Packet delivered = *pkt;
-        delivered.on_serialized = nullptr;
-        sink_(std::move(delivered));
-      });
+      if (channel_ != nullptr) {
+        deliver_via_channel(pkt, delay);
+      } else {
+        const std::uint64_t fly_epoch = down_epoch_;
+        sim_.schedule(delay, [this, pkt, fly_epoch] {
+          if (fly_epoch != down_epoch_) {
+            // A flap killed the packet mid-flight, even if the link is
+            // already back up by now.
+            drop_down(*pkt);
+            recycle_packet(pkt);
+            return;
+          }
+          if (sim_.recorder().armed())
+            sim_.recorder().record(sim_.now(), TraceKind::kPktDeliver,
+                                   name_.c_str(), pkt->id, pkt->wire_size);
+          ++stats_.packets_delivered;
+          stats_.bytes_delivered += pkt->wire_size;
+          obs_.pkts_delivered->add();
+          obs_.bytes_delivered->add(pkt->wire_size);
+          Packet delivered = *pkt;
+          delivered.on_serialized = nullptr;
+          recycle_packet(pkt);
+          sink_(std::move(delivered));
+        });
+      }
     }
     start_next();
   });

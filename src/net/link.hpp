@@ -13,9 +13,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibwan::net {
@@ -104,6 +107,28 @@ class Link {
   void set_buffer_override(std::uint64_t bytes);
   void clear_buffer_override();
 
+  // --- Site-parallel execution (sim/engine.hpp, DESIGN.md §13) ------
+
+  /// Makes this link an LP boundary: instead of scheduling a local
+  /// delivery event, serialized packets are pushed into `ch` stamped
+  /// with their arrival time, and the sink runs on the destination
+  /// site. Serialization, loss draws, jitter, and flap handling stay on
+  /// the sender's site, so RNG streams and counters are byte-identical
+  /// to the sequential path. Set during wiring, before any traffic.
+  void set_channel(sim::SiteEngine::Channel* ch) { channel_ = ch; }
+
+  /// Absolute times at which a *scheduled* fault plan takes this link
+  /// down (union window starts, ascending). Channel mode consults the
+  /// schedule at push time to kill in-flight packets exactly where the
+  /// sequential epoch check would: a down transition strictly after
+  /// serialization end and no later than arrival. Direct set_down()
+  /// calls outside the registered schedule do not kill channel-mode
+  /// in-flight packets — scheduled plans (net::FaultPlan) are the
+  /// supported fault source under PDES.
+  void set_down_schedule(std::vector<sim::Time> down_starts) {
+    down_starts_ = std::move(down_starts);
+  }
+
   /// Bytes currently waiting to go onto the wire.
   std::uint64_t queued_bytes() const { return queued_bytes_; }
 
@@ -114,6 +139,10 @@ class Link {
  private:
   void start_next();
   void drop_down(const Packet& p);
+  void deliver_via_channel(const std::shared_ptr<Packet>& pkt,
+                           sim::Duration delay);
+  std::shared_ptr<Packet> alloc_packet(Packet&& p);
+  void recycle_packet(const std::shared_ptr<Packet>& pkt);
 
   // Registered metrics (docs/METRICS.md §net.link); scope "<name>/net.link".
   struct Obs {
@@ -151,6 +180,12 @@ class Link {
   std::uint64_t buffer_override_ = 0;
   std::uint64_t queued_bytes_ = 0;
   sim::Duration extra_delay_ = 0;
+  sim::SiteEngine::Channel* channel_ = nullptr;
+  std::vector<sim::Time> down_starts_;
+  /// Recycled packet allocations (site-local links only; see
+  /// Link::alloc_packet). Bounded so a burst cannot pin memory forever.
+  static constexpr std::size_t kPktPoolCap = 256;
+  std::vector<std::shared_ptr<Packet>> pkt_pool_;
   Stats stats_;
 };
 

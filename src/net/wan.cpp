@@ -21,17 +21,22 @@ void Longbow::forward(Packet&& p, Link* out) {
   sim_.schedule(latency_, [out, shared] { out->send(std::move(*shared)); });
 }
 
-LongbowPair::LongbowPair(sim::Simulator& sim, const Config& config)
-    : sim_(sim) {
-  a_ = std::make_unique<Longbow>(sim, "longbow-a", config.pipeline_latency);
-  b_ = std::make_unique<Longbow>(sim, "longbow-b", config.pipeline_latency);
+LongbowPair::LongbowPair(sim::Simulator& sim_a, sim::Simulator& sim_b,
+                         const Config& config)
+    : sim_(sim_a), sim_b_(sim_b) {
+  // Each side — router and outbound long-haul link — lives on its own
+  // site's simulator, so serialization, loss draws, and flap events for
+  // a direction all run on the sending site (sequential mode passes the
+  // same simulator twice and nothing changes).
+  a_ = std::make_unique<Longbow>(sim_a, "longbow-a", config.pipeline_latency);
+  b_ = std::make_unique<Longbow>(sim_b, "longbow-b", config.pipeline_latency);
 
   Link::Config wan{.bytes_per_ns = config.wan_rate,
                    .propagation = config.base_propagation,
                    .buffer_bytes = config.buffer_bytes,
                    .loss_rate = config.loss_rate};
-  a_to_b_ = std::make_unique<Link>(sim, wan, "wan-a2b");
-  b_to_a_ = std::make_unique<Link>(sim, wan, "wan-b2a");
+  a_to_b_ = std::make_unique<Link>(sim_a, wan, "wan-a2b");
+  b_to_a_ = std::make_unique<Link>(sim_b, wan, "wan-b2a");
   a_to_b_->set_sink([this](Packet&& p) { b_->receive_from_wan(std::move(p)); });
   b_to_a_->set_sink([this](Packet&& p) { a_->receive_from_wan(std::move(p)); });
   a_->set_wan_tx(a_to_b_.get());
@@ -42,7 +47,7 @@ LongbowPair::~LongbowPair() = default;
 
 void LongbowPair::apply_faults(const FaultPlanConfig& cfg) {
   faults_a_to_b_ = std::make_unique<FaultPlan>(sim_, *a_to_b_, cfg);
-  faults_b_to_a_ = std::make_unique<FaultPlan>(sim_, *b_to_a_, cfg);
+  faults_b_to_a_ = std::make_unique<FaultPlan>(sim_b_, *b_to_a_, cfg);
 }
 
 }  // namespace ibwan::net

@@ -78,7 +78,15 @@ class LongbowPair {
     double loss_rate = 0.0;
   };
 
-  LongbowPair(sim::Simulator& sim, const Config& config);
+  LongbowPair(sim::Simulator& sim, const Config& config)
+      : LongbowPair(sim, sim, config) {}
+
+  /// Site-partitioned construction (DESIGN.md §13): side A and the
+  /// a→b long-haul link live on `sim_a`, side B and b→a on `sim_b`.
+  /// With two distinct simulators the caller must also attach PDES
+  /// channels to both WAN links (Link::set_channel) — the fabric does.
+  LongbowPair(sim::Simulator& sim_a, sim::Simulator& sim_b,
+              const Config& config);
   ~LongbowPair();
 
   Longbow& side_a() { return *a_; }
@@ -108,7 +116,8 @@ class LongbowPair {
   const Link::Stats& wan_stats_b_to_a() const { return b_to_a_->stats(); }
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator& sim_;    // side A's simulator
+  sim::Simulator& sim_b_;  // side B's simulator (== sim_ when sequential)
   std::unique_ptr<Longbow> a_;
   std::unique_ptr<Longbow> b_;
   std::unique_ptr<Link> a_to_b_;

@@ -161,7 +161,7 @@ sim::Task iozone_thread(NfsClient& client, const IozoneConfig& cfg,
 }  // namespace
 
 IozoneResult run_iozone(sim::Simulator& sim, NfsClient& client,
-                        const IozoneConfig& cfg) {
+                        const IozoneConfig& cfg, sim::SiteEngine* engine) {
   assert(cfg.threads >= 1);
   sim::WaitGroup wg(sim);
   wg.add(cfg.threads);
@@ -184,11 +184,18 @@ IozoneResult run_iozone(sim::Simulator& sim, NfsClient& client,
     co_await w.wait();
     *flag = true;
   }(wg, &finished);
-  sim.run();
+  if (engine != nullptr) {
+    engine->run();
+  } else {
+    sim.run();
+  }
   assert(finished && "IOzone workload deadlocked");
   IozoneResult r;
   r.bytes = moved;
-  r.seconds = sim::to_seconds(sim.now() - t0);
+  // The merged end time (max over site clocks) equals the sequential
+  // run's final now(), so both modes report identical seconds.
+  const sim::Time t_end = engine != nullptr ? engine->now() : sim.now();
+  r.seconds = sim::to_seconds(t_end - t0);
   r.mbytes_per_sec =
       r.seconds > 0 ? static_cast<double>(moved) / r.seconds / 1e6 : 0;
   return r;

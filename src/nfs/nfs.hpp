@@ -15,6 +15,7 @@
 
 #include "rpc/rpc.hpp"
 #include "sim/coro.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 
@@ -136,7 +137,11 @@ struct IozoneResult {
 /// Runs the workload to completion (drives the simulator) and reports
 /// aggregate throughput. Threads divide the file into contiguous
 /// regions and stream records concurrently over the shared mount.
+/// `sim` is the client's own site; passing the owning SiteEngine drains
+/// every site and reads the merged end time, which is required when the
+/// testbed runs site-parallel (and equivalent when sequential).
 IozoneResult run_iozone(sim::Simulator& sim, NfsClient& client,
-                        const IozoneConfig& cfg);
+                        const IozoneConfig& cfg,
+                        sim::SiteEngine* engine = nullptr);
 
 }  // namespace ibwan::nfs

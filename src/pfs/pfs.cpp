@@ -97,8 +97,8 @@ sim::Task pfs_reader(StripedFile& file, std::uint64_t begin,
 
 PfsWorkloadResult run_striped_read(sim::Simulator& sim, StripedFile& file,
                                    std::uint64_t file_bytes,
-                                   std::uint64_t record_bytes,
-                                   int threads) {
+                                   std::uint64_t record_bytes, int threads,
+                                   sim::SiteEngine* engine) {
   sim::WaitGroup wg(sim);
   wg.add(threads);
   std::uint64_t moved = 0;
@@ -113,10 +113,16 @@ PfsWorkloadResult run_striped_read(sim::Simulator& sim, StripedFile& file,
     }
     pfs_reader(file, begin, end, record_bytes, &moved, &wg);
   }
-  sim.run();
+  if (engine != nullptr) {
+    engine->run();
+  } else {
+    sim.run();
+  }
   PfsWorkloadResult r;
   r.bytes = moved;
-  const double secs = sim::to_seconds(sim.now() - t0);
+  // Merged end time (max over site clocks) == the sequential final now.
+  const sim::Time t_end = engine != nullptr ? engine->now() : sim.now();
+  const double secs = sim::to_seconds(t_end - t0);
   r.mbytes_per_sec = secs > 0 ? static_cast<double>(moved) / secs / 1e6 : 0;
   return r;
 }

@@ -15,6 +15,7 @@
 
 #include "nfs/nfs.hpp"
 #include "sim/coro.hpp"
+#include "sim/engine.hpp"
 #include "sim/simulator.hpp"
 
 namespace ibwan::pfs {
@@ -61,8 +62,12 @@ struct PfsWorkloadResult {
   std::uint64_t bytes = 0;
 };
 
+/// `sim` is the clients' own site; passing the owning SiteEngine drains
+/// every site and reads the merged end time, which is required when the
+/// testbed runs site-parallel (and equivalent when sequential).
 PfsWorkloadResult run_striped_read(sim::Simulator& sim, StripedFile& file,
                                    std::uint64_t file_bytes,
-                                   std::uint64_t record_bytes, int threads);
+                                   std::uint64_t record_bytes, int threads,
+                                   sim::SiteEngine* engine = nullptr);
 
 }  // namespace ibwan::pfs

@@ -1,0 +1,201 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibwan::sim {
+
+SiteEngine::SiteEngine(int sites, int threads) {
+  assert(sites >= 1);
+  sites_.reserve(static_cast<std::size_t>(sites));
+  for (int i = 0; i < sites; ++i) {
+    sites_.push_back(std::make_unique<Simulator>());
+  }
+  if (threads <= 0) {
+    // Worker count is a pure wall-clock knob: it never influences event
+    // order, so reading the machine here cannot leak into outputs.
+    // NOLINT-IBWAN(DET001): hardware_concurrency sizes the worker pool
+    // only; simulated results are thread-count invariant by design
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = static_cast<int>(hw == 0 ? 1 : hw);
+  }
+  threads_ = std::min(threads, sites);
+  if (threads_ < 1) threads_ = 1;
+  if (sites_.size() > 1 && threads_ > 1) {
+    pool_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int w = 1; w < threads_; ++w) {
+      pool_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+}
+
+SiteEngine::~SiteEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_go_.notify_all();
+  for (std::thread& t : pool_) t.join();
+}
+
+SiteEngine::Channel& SiteEngine::make_channel(int src_site, int dst_site) {
+  assert(src_site >= 0 && src_site < sites());
+  assert(dst_site >= 0 && dst_site < sites());
+  assert(src_site != dst_site);
+  const int id = static_cast<int>(channels_.size());
+  channels_.push_back(
+      std::unique_ptr<Channel>(new Channel(id, src_site, dst_site)));
+  return *channels_.back();
+}
+
+void SiteEngine::seed(std::uint64_t s) {
+  for (auto& site : sites_) site->seed(s);
+}
+
+Time SiteEngine::now() const {
+  Time t = 0;
+  for (const auto& site : sites_) t = std::max(t, site->now());
+  return t;
+}
+
+std::uint64_t SiteEngine::events_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& site : sites_) n += site->events_executed();
+  return n;
+}
+
+void SiteEngine::run() {
+  if (!parallel()) {
+    sites_[0]->run();
+    return;
+  }
+  run_parallel();
+}
+
+void SiteEngine::run_parallel() {
+  if (channels_.empty()) {
+    // No LP boundaries were wired, so the sites cannot interact; each
+    // simply drains independently.
+    for (auto& site : sites_) site->run();
+    return;
+  }
+  if (lookahead_ <= 0) {
+    std::fprintf(stderr,
+                 "SiteEngine: parallel run requires a positive lookahead\n");
+    std::abort();
+  }
+  for (;;) {
+    // Barrier phase (single-threaded): find the global minimum next
+    // event across site queues and channel buffers.
+    Time m = Simulator::kNoEventTime;
+    for (auto& site : sites_) m = std::min(m, site->peek_next_time());
+    for (const auto& ch : channels_) {
+      for (const Channel::Entry& e : ch->buf_) m = std::min(m, e.at);
+    }
+    if (m == Simulator::kNoEventTime) return;  // everything drained
+
+    const Time horizon = m + lookahead_;
+    assert(horizon > m && "lookahead overflow");
+    ++stats_.windows;
+    merge_channels(horizon);
+    run_window(horizon);
+  }
+}
+
+void SiteEngine::merge_channels(Time horizon) {
+  // Collect every buffered entry with arrival < horizon, per
+  // destination, and schedule them in (arrival, channel id, push seq)
+  // order — unique keys, so the order is total and reproducible.
+  struct Ref {
+    Time at;
+    int chan;
+    std::uint64_t seq;
+    Channel* owner;
+    std::size_t index;
+  };
+  std::vector<Ref> due;
+  for (const auto& ch : channels_) {
+    auto& buf = ch->buf_;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].at < horizon) {
+        due.push_back(Ref{buf[i].at, ch->id_, buf[i].seq, ch.get(), i});
+      }
+    }
+  }
+  if (due.empty()) return;
+  std::sort(due.begin(), due.end(), [](const Ref& a, const Ref& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.chan != b.chan) return a.chan < b.chan;
+    return a.seq < b.seq;
+  });
+  for (Ref& r : due) {
+    Channel::Entry& e = r.owner->buf_[r.index];
+    Simulator& dst = *sites_[static_cast<std::size_t>(r.owner->dst_)];
+    assert(e.at >= dst.now() && "channel arrival violates the lookahead");
+    if (dst.peek_next_time() == e.at) ++stats_.tie_arrivals;
+    dst.schedule_at(e.at, std::move(e.cb));
+    ++stats_.channel_msgs;
+  }
+  // Compact each touched buffer, preserving the order of survivors.
+  for (const auto& ch : channels_) {
+    auto& buf = ch->buf_;
+    if (buf.empty()) continue;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (buf[i].cb) {  // merged entries had their callback moved out
+        if (keep != i) buf[keep] = std::move(buf[i]);
+        ++keep;
+      }
+    }
+    buf.resize(keep);
+  }
+}
+
+void SiteEngine::run_window(Time horizon) {
+  if (threads_ == 1 || pool_.empty()) {
+    for (auto& site : sites_) site->run_events_before(horizon);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    horizon_ = horizon;
+    working_ = static_cast<int>(pool_.size());
+    ++gen_;
+  }
+  cv_go_.notify_all();
+  run_share(/*worker=*/0, horizon);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return working_ == 0; });
+}
+
+void SiteEngine::run_share(int worker, Time horizon) {
+  // Static partition: site i always runs on worker i % threads. The
+  // split affects only which core does the work, never event order.
+  const int n = sites();
+  for (int i = worker; i < n; i += threads_) {
+    sites_[static_cast<std::size_t>(i)]->run_events_before(horizon);
+  }
+}
+
+void SiteEngine::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Time horizon;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_go_.wait(lock, [&] { return stop_ || gen_ != seen; });
+      if (stop_) return;
+      seen = gen_;
+      horizon = horizon_;
+    }
+    run_share(worker, horizon);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--working_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+}  // namespace ibwan::sim

@@ -1,0 +1,158 @@
+// Conservative site-parallel discrete-event engine (DESIGN.md §13).
+//
+// A SiteEngine partitions one simulation into K logical processes
+// ("sites"), each owning a full Simulator — event queue, RNG streams,
+// metrics registry, flight recorder. The only way simulated causality
+// crosses a site boundary is a Channel: a time-stamped message queue
+// attached to a WAN link (net::Link in channel mode). Because the
+// paper's WAN imposes a fixed lower bound on cross-site latency
+// (propagation + emulated distance, Table 1's 5 µs/km), an event at
+// one site can never affect another site sooner than that bound — the
+// classic Chandy–Misra conservative lookahead.
+//
+// The run loop is a windowed barrier protocol (YAWNS-style):
+//
+//   1. Barrier (one thread): m = min over every site's next event time
+//      and every channel's buffered arrivals; horizon H = m + lookahead.
+//      Buffered channel entries with arrival < H are merged into their
+//      destination site's queue, ordered by (arrival, channel id, push
+//      seq) — a total order, so the merge is bit-reproducible.
+//   2. Window (parallel): each site fires its events with time strictly
+//      below H. Any event fired has time >= m, so a message it pushes
+//      arrives at >= m + lookahead = H — never inside the open window.
+//      An event exactly at H waits for the next window (the torn-horizon
+//      case: a same-instant cross-site arrival may still have to merge
+//      ahead of it).
+//
+// Determinism: per-site ordering is the sequential Simulator's
+// (time, seq); cross-site merge order is (timestamp, channel, seq);
+// neither depends on thread count or scheduling, so a 1-worker and an
+// 8-worker run of the same partition produce byte-identical outputs.
+// A 1-site engine degenerates to Simulator::run() — today's sequential
+// path — which is the differential oracle (IBWAN_THREADS=1).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::sim {
+
+class SiteEngine {
+ public:
+  /// Cross-site message queue: the LP boundary. All pushes happen from
+  /// the source site's window (its worker thread); the engine drains
+  /// the buffer single-threaded at the next barrier. The barrier's
+  /// mutex orders the two phases, so the buffer is never touched
+  /// concurrently.
+  class Channel {
+   public:
+    /// Queues `cb` to run on the destination site at absolute time
+    /// `arrival`. Must satisfy arrival >= source site now + lookahead
+    /// (checked at the merge). `cb` runs on the destination site's
+    /// worker thread and must only touch destination-site state.
+    void push(Time arrival, Simulator::Callback cb) {
+      buf_.push_back(Entry{arrival, next_seq_++, std::move(cb)});
+    }
+
+    int src_site() const { return src_; }
+    int dst_site() const { return dst_; }
+
+   private:
+    friend class SiteEngine;
+    struct Entry {
+      Time at;
+      std::uint64_t seq;  // per-channel push counter: merge tie-break
+      Simulator::Callback cb;
+    };
+    Channel(int id, int src, int dst) : id_(id), src_(src), dst_(dst) {}
+    int id_;  // creation order: second merge tie-break key
+    int src_;
+    int dst_;
+    std::uint64_t next_seq_ = 0;
+    std::vector<Entry> buf_;
+  };
+
+  struct Stats {
+    std::uint64_t windows = 0;        // barrier rounds executed
+    std::uint64_t channel_msgs = 0;   // cross-site messages merged
+    std::uint64_t tie_arrivals = 0;   // arrivals that tied a local event
+  };
+
+  /// `sites` logical processes; `threads` <= 0 picks
+  /// min(sites, hardware_concurrency). With threads == 1 the windowed
+  /// loop runs entirely on the calling thread (same algorithm, same
+  /// outputs — thread count never affects event order).
+  explicit SiteEngine(int sites, int threads = 0);
+  ~SiteEngine();
+
+  SiteEngine(const SiteEngine&) = delete;
+  SiteEngine& operator=(const SiteEngine&) = delete;
+
+  int sites() const { return static_cast<int>(sites_.size()); }
+  int threads() const { return threads_; }
+  /// True when the engine actually partitions (more than one site).
+  bool parallel() const { return sites_.size() > 1; }
+
+  Simulator& site(int i) { return *sites_[static_cast<std::size_t>(i)]; }
+
+  /// Creates a src→dst channel. Call during wiring (single-threaded);
+  /// creation order fixes the merge tie-break id.
+  Channel& make_channel(int src_site, int dst_site);
+
+  /// Conservative lookahead: the minimum simulated delay of any
+  /// cross-site channel. Must be > 0 before run() on a parallel
+  /// engine; derived by the fabric from the WAN link's propagation +
+  /// emulated one-way delay.
+  void set_lookahead(Duration l) { lookahead_ = l; }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Seeds every site identically, so per-site named RNG streams match
+  /// the sequential run's (stream identity is (seed, name), and
+  /// instance names are globally unique).
+  void seed(std::uint64_t s);
+
+  /// Runs until every site's queue and every channel drains.
+  void run();
+
+  /// Max over site clocks — equals the sequential run's final now().
+  Time now() const;
+
+  /// Sum of events fired across sites.
+  std::uint64_t events_executed() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void run_parallel();
+  void merge_channels(Time horizon);
+  void run_window(Time horizon);
+  void worker_loop(int worker);
+  void run_share(int worker, Time horizon);
+
+  std::vector<std::unique_ptr<Simulator>> sites_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  Duration lookahead_ = 0;
+  Stats stats_;
+
+  // Worker pool (threads_ - 1 spawned threads; the caller is worker 0).
+  // A generation-counted barrier: bumping gen_ under the mutex releases
+  // the workers into run_share(horizon_); working_ counts them back in.
+  int threads_ = 1;
+  std::vector<std::thread> pool_;
+  std::mutex mu_;
+  std::condition_variable cv_go_;
+  std::condition_variable cv_done_;
+  std::uint64_t gen_ = 0;
+  int working_ = 0;
+  Time horizon_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ibwan::sim

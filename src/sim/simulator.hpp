@@ -150,6 +150,30 @@ class Simulator {
     return true;
   }
 
+  /// Sentinel returned by peek_next_time() when the queue is empty.
+  static constexpr Time kNoEventTime = ~Time{0};
+
+  /// Time of the earliest pending event, or kNoEventTime when idle.
+  /// Used by the site-parallel engine (engine.hpp) to compute the
+  /// global safe horizon.
+  Time peek_next_time() { return next_event_time(); }
+
+  /// Fires events with time strictly below `h`, leaving the clock at
+  /// the last fired event (the clock does NOT advance to h — an event
+  /// scheduled exactly at the horizon belongs to the next window and
+  /// may still be preceded by cross-site arrivals at the same instant).
+  /// Returns the number of events fired.
+  std::uint64_t run_events_before(Time h) {
+    std::uint64_t fired = 0;
+    for (;;) {
+      const Time nt = next_event_time();
+      if (nt == kNoEvent || nt >= h) break;
+      fire_one();
+      ++fired;
+    }
+    return fired;
+  }
+
   /// Number of events executed so far (for performance reporting).
   std::uint64_t events_executed() const { return executed_; }
 

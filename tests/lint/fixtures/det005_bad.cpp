@@ -1,0 +1,32 @@
+// DET005 fixture: cross-site event injection bypassing the WAN
+// channel API (sim::SiteEngine / DESIGN.md §13).
+
+struct Sim {
+  void schedule(long delay, void (*cb)());
+  void schedule_at(long at, void (*cb)());
+};
+
+struct Engine {
+  Sim& site(int i);
+};
+
+struct Fabric {
+  Sim& sim_of(int cluster);
+  Sim& sim_of_node(unsigned node);
+};
+
+struct Testbed {
+  Sim& sim_a();
+  Sim& sim_b();
+  Sim& sim_for(unsigned node);
+};
+
+void poke() {}
+
+void inject(Engine& eng, Fabric& fab, Testbed& tb) {
+  eng.site(1).schedule_at(100, &poke);     // EXPECT-IBWAN(DET005)
+  fab.sim_of(1).schedule(5, &poke);        // EXPECT-IBWAN(DET005)
+  fab.sim_of_node(7).schedule_at(9, &poke);  // EXPECT-IBWAN(DET005)
+  tb.sim_b().schedule(3, &poke);           // EXPECT-IBWAN(DET005)
+  tb.sim_for(2).schedule_at(8, &poke);     // EXPECT-IBWAN(DET005)
+}

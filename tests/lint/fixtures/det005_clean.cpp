@@ -1,0 +1,35 @@
+// DET005 clean fixture: the legal patterns — scheduling into your own
+// site's simulator, and crossing sites through the channel API.
+
+struct Sim {
+  void schedule(long delay, void (*cb)());
+  void schedule_at(long at, void (*cb)());
+};
+
+struct Channel {
+  void push(long arrival, void (*cb)());
+};
+
+struct Engine {
+  Sim& site(int i);
+};
+
+void cb() {}
+
+// A site's own code holding its own simulator reference is fine.
+void local_work(Sim& my_site) {
+  my_site.schedule(10, &cb);
+  my_site.schedule_at(25, &cb);
+}
+
+// Crossing the LP boundary through the channel is the supported path.
+void cross_site(Channel& ch, long now, long lookahead) {
+  ch.push(now + lookahead, &cb);
+}
+
+// Reading a selected site (metrics, clocks) is not an injection.
+struct Metrics {
+  unsigned long events;
+};
+Metrics read_out(Engine& eng);
+unsigned long peek(Engine& eng) { return read_out(eng).events; }

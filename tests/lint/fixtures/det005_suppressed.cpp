@@ -1,0 +1,18 @@
+// DET005 suppression fixture: wiring code that runs before the engine
+// starts may inject setup events directly, with a stated reason.
+
+struct Sim {
+  void schedule_at(long at, void (*cb)());
+};
+
+struct Engine {
+  Sim& site(int i);
+};
+
+void kickoff() {}
+
+void wire(Engine& eng) {
+  // NOLINT-IBWAN(DET005): wiring phase — the engine has not started,
+  // so no window is open and the injection cannot race a merge
+  eng.site(0).schedule_at(0, &kickoff);
+}

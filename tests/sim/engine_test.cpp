@@ -1,0 +1,183 @@
+// SiteEngine (conservative site-parallel PDES, DESIGN.md §13) unit
+// tests: horizon semantics, merge ordering, thread-count invariance,
+// and termination.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace ibwan::sim {
+namespace {
+
+// The torn-horizon case: an event scheduled exactly at the window
+// horizon H must NOT fire inside that window, because a cross-site
+// arrival with the same timestamp may still need to merge ahead of it.
+// Here site 0 fires at t=10 and pushes an arrival for t=15; site 1 has
+// a local event at exactly t=15 (== H for lookahead 5). Both must fire,
+// in (time, per-site insertion seq) order, across two windows.
+TEST(SiteEngine, TornHorizonEventAtHorizonWaitsForMerge) {
+  SiteEngine eng(/*sites=*/2, /*threads=*/1);
+  eng.set_lookahead(5);
+  SiteEngine::Channel& ch = eng.make_channel(0, 1);
+
+  std::vector<std::string> log;
+  eng.site(1).schedule_at(15, [&log] { log.push_back("local@15"); });
+  eng.site(0).schedule_at(10, [&ch, &log] {
+    ch.push(15, [&log] { log.push_back("arrival@15"); });
+  });
+  eng.run();
+
+  // The local event was inserted first, so at the shared timestamp it
+  // keeps its lower per-site seq and fires first — same rule the
+  // sequential Simulator applies.
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "local@15");
+  EXPECT_EQ(log[1], "arrival@15");
+  EXPECT_EQ(eng.now(), 15);
+  EXPECT_GE(eng.stats().windows, 2u);
+  EXPECT_EQ(eng.stats().tie_arrivals, 1u);
+  EXPECT_EQ(eng.stats().channel_msgs, 1u);
+}
+
+// Same-timestamp arrivals from different channels merge in channel
+// creation order, and within one channel in push order.
+TEST(SiteEngine, MergeOrderIsArrivalThenChannelThenSeq) {
+  SiteEngine eng(/*sites=*/3, /*threads=*/1);
+  eng.set_lookahead(5);
+  SiteEngine::Channel& ch_a = eng.make_channel(0, 1);  // id 0
+  SiteEngine::Channel& ch_b = eng.make_channel(2, 1);  // id 1
+
+  std::vector<std::string> log;
+  // Push in an order deliberately different from the required merge
+  // order (B first, then A twice).
+  ch_b.push(20, [&log] { log.push_back("B0"); });
+  ch_a.push(20, [&log] { log.push_back("A0"); });
+  ch_a.push(20, [&log] { log.push_back("A1"); });
+  eng.run();
+
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "A0");
+  EXPECT_EQ(log[1], "A1");
+  EXPECT_EQ(log[2], "B0");
+  EXPECT_EQ(eng.stats().channel_msgs, 3u);
+  EXPECT_EQ(eng.now(), 20);
+}
+
+// Cross-site ping-pong driver used by the invariance test. Callbacks
+// for site i only ever touch site i's log, so the parallel run is
+// race-free by construction (the channel API is the only crossing).
+struct PingPong {
+  SiteEngine& eng;
+  SiteEngine::Channel& to1;
+  SiteEngine::Channel& to0;
+  Duration hop;
+  int remaining;
+  std::vector<std::string> log0, log1;
+
+  void kickoff() {
+    eng.site(0).schedule_at(1, [this] {
+      log0.push_back("start@" + std::to_string(eng.site(0).now()));
+      to1.push(eng.site(0).now() + hop, [this] { recv_at1(); });
+    });
+  }
+  void recv_at1() {
+    log1.push_back("r1@" + std::to_string(eng.site(1).now()));
+    if (--remaining > 0)
+      to0.push(eng.site(1).now() + hop, [this] { recv_at0(); });
+  }
+  void recv_at0() {
+    log0.push_back("r0@" + std::to_string(eng.site(0).now()));
+    to1.push(eng.site(0).now() + hop, [this] { recv_at1(); });
+  }
+};
+
+struct RunResult {
+  std::vector<std::string> log0, log1;
+  Time end;
+  std::uint64_t events;
+  std::uint64_t windows;
+};
+
+RunResult run_ping_pong(int threads) {
+  SiteEngine eng(/*sites=*/2, threads);
+  eng.set_lookahead(7);
+  SiteEngine::Channel& to1 = eng.make_channel(0, 1);
+  SiteEngine::Channel& to0 = eng.make_channel(1, 0);
+  PingPong pp{eng, to1, to0, /*hop=*/7, /*remaining=*/50, {}, {}};
+  pp.kickoff();
+  // Unrelated site-local background events interleave with the
+  // arrivals and must land in the same order regardless of threads.
+  for (Time t = 3; t < 300; t += 13) {
+    eng.site(0).schedule_at(t, [&pp, t] {
+      pp.log0.push_back("bg0@" + std::to_string(t));
+    });
+    eng.site(1).schedule_at(t, [&pp, t] {
+      pp.log1.push_back("bg1@" + std::to_string(t));
+    });
+  }
+  eng.run();
+  return RunResult{std::move(pp.log0), std::move(pp.log1), eng.now(),
+                   eng.events_executed(), eng.stats().windows};
+}
+
+// Worker count is a pure wall-clock knob: a 1-thread and a 2-thread run
+// of the same partition must produce identical per-site event orders,
+// final clocks, and window counts.
+TEST(SiteEngine, ThreadCountNeverChangesEventOrder) {
+  const RunResult seq = run_ping_pong(/*threads=*/1);
+  const RunResult par = run_ping_pong(/*threads=*/2);
+  EXPECT_EQ(seq.log0, par.log0);
+  EXPECT_EQ(seq.log1, par.log1);
+  EXPECT_EQ(seq.end, par.end);
+  EXPECT_EQ(seq.events, par.events);
+  EXPECT_EQ(seq.windows, par.windows);
+  // Sanity: the ping-pong actually crossed sites many times.
+  EXPECT_GE(seq.log1.size(), 50u);
+}
+
+// With no channels wired the sites cannot interact and simply drain
+// independently; now() is the max over site clocks.
+TEST(SiteEngine, UnwiredSitesDrainIndependently) {
+  SiteEngine eng(/*sites=*/2, /*threads=*/1);
+  int fired = 0;
+  eng.site(0).schedule_at(10, [&fired] { ++fired; });
+  eng.site(1).schedule_at(25, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 25);
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+// Wired but silent channels must not prevent termination, and the
+// merged end time still equals the sequential max.
+TEST(SiteEngine, DrainsWithEmptyChannels) {
+  SiteEngine eng(/*sites=*/2, /*threads=*/1);
+  eng.set_lookahead(5);
+  eng.make_channel(0, 1);
+  eng.make_channel(1, 0);
+  int fired = 0;
+  eng.site(0).schedule_at(40, [&fired] { ++fired; });
+  eng.site(1).schedule_at(12, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(eng.now(), 40);
+  EXPECT_EQ(eng.stats().channel_msgs, 0u);
+}
+
+// A 1-site engine degenerates to Simulator::run().
+TEST(SiteEngine, SingleSiteRunsSequentially) {
+  SiteEngine eng(/*sites=*/1, /*threads=*/4);
+  EXPECT_FALSE(eng.parallel());
+  int fired = 0;
+  eng.site(0).schedule_at(5, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.stats().windows, 0u);
+}
+
+}  // namespace
+}  // namespace ibwan::sim

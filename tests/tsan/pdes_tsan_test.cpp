@@ -1,0 +1,58 @@
+// ThreadSanitizer exercise for the site-parallel engine (ctest label
+// `tsan`): the whole library is recompiled with -fsanitize=thread and
+// a two-site PDES run executes with a real worker pool (IBWAN_THREADS
+// =2), so any cross-site access that bypasses the Channel API or the
+// barrier protocol trips TSan and fails the test. Plain main() — the
+// pass/fail signal is the sanitizer's exit code plus the differential
+// check below.
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+
+#include "apps/nas.hpp"
+#include "core/testbed.hpp"
+#include "mpi/mpi.hpp"
+
+namespace {
+
+struct Run {
+  double seconds = 0;
+  std::uint64_t events = 0;
+  int sites = 0;
+};
+
+Run nas_ft_two_site() {
+  using namespace ibwan;
+  core::Testbed tb(core::TestbedOptions{.nodes_a = 4,
+                                        .nodes_b = 4,
+                                        .wan_delay = 1'000'000,
+                                        .par_sites = 2});
+  mpi::Job job(tb.fabric(), mpi::Job::split_placement(tb.fabric(), 4));
+  const double secs = apps::run_nas(
+      job, apps::make_ft({.cls = apps::NasClass::kS, .iterations = 1}));
+  return {secs, tb.engine().events_executed(), tb.engine().sites()};
+}
+
+}  // namespace
+
+int main() {
+  ::setenv("IBWAN_THREADS", "1", 1);
+  const Run seq = nas_ft_two_site();
+  ::setenv("IBWAN_THREADS", "2", 1);
+  const Run par = nas_ft_two_site();
+  if (par.sites != 2) {
+    std::fprintf(stderr, "tsan_pdes: parallel run fell back to %d site(s)\n",
+                 par.sites);
+    return 1;
+  }
+  if (seq.seconds != par.seconds || seq.events != par.events) {
+    std::fprintf(stderr,
+                 "tsan_pdes: divergence (seq %.17g/%llu vs par %.17g/%llu)\n",
+                 seq.seconds, static_cast<unsigned long long>(seq.events),
+                 par.seconds, static_cast<unsigned long long>(par.events));
+    return 1;
+  }
+  std::printf("tsan_pdes: two-site run matches sequential (%llu events)\n",
+              static_cast<unsigned long long>(par.events));
+  return 0;
+}

@@ -461,6 +461,55 @@ def rule_det004(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# DET005 — cross-site state access must go through the WAN channel API.
+# ---------------------------------------------------------------------------
+
+# Accessors that select a specific site's Simulator (sim::SiteEngine /
+# net::Fabric / core::Testbed).
+_SITE_SELECTORS = {"site", "sim_of", "sim_of_node", "sim_a", "sim_b",
+                   "sim_for"}
+# Methods that inject events into the selected site's queue.
+_SITE_MUTATORS = {"schedule", "schedule_at"}
+
+
+def rule_det005(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    """Flags `<selector>(...).schedule[_at](...)` chains: scheduling
+    directly into a site picked by a site selector. Under site-parallel
+    execution (DESIGN.md §13) the only legal way for causality to cross
+    an LP boundary is the WAN channel (net::Link in channel mode /
+    sim::SiteEngine::Channel); direct injection bypasses the
+    conservative merge, so the event order — and with worker threads,
+    memory safety — is no longer guaranteed. Wiring code that runs
+    before the engine starts may suppress with a reason."""
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _SITE_SELECTORS:
+            continue
+        if i + 1 >= n or not (toks[i + 1].kind == PUNCT and
+                              toks[i + 1].text == "("):
+            continue
+        close = _match_paren(toks, i + 1)
+        j = close + 1
+        if j + 2 >= n or toks[j].kind != PUNCT or \
+                toks[j].text not in (".", "->"):
+            continue
+        m = toks[j + 1]
+        if m.kind != IDENT or m.text not in _SITE_MUTATORS:
+            continue
+        if not (toks[j + 2].kind == PUNCT and toks[j + 2].text == "("):
+            continue
+        yield Finding(
+            "DET005", sf.path, t.line, t.col,
+            f"`{t.text}(...)`.{m.text}(...) schedules directly into a "
+            "selected site's event queue: cross-site causality must cross "
+            "the LP boundary through the WAN channel API (net::Link in "
+            "channel mode) — direct injection bypasses the conservative "
+            "merge and breaks determinism under --par-sites "
+            "(DESIGN.md §13)")
+
+
+# ---------------------------------------------------------------------------
 # INV001 — conserved counters must not be written from outside their
 # owning translation-unit pair.
 # ---------------------------------------------------------------------------
@@ -579,6 +628,7 @@ RULES = {
     "DET002": rule_det002,
     "DET003": rule_det003,
     "DET004": rule_det004,
+    "DET005": rule_det005,
     "INV001": rule_inv001,
     "HDR001": rule_hdr001,
     "LNT001": rule_lnt001,
@@ -593,6 +643,8 @@ RULE_DOCS = {
               "std::less<T*>).",
     "DET004": "RNG draws must route through Simulator::rng()/rng_stream(); "
               "no <random> engines, no default-seeded sim::Rng locals.",
+    "DET005": "Cross-site event injection must go through the WAN channel "
+              "API; no site(i)/sim_of*/sim_for(...).schedule[_at](...).",
     "INV001": "Conserved counters (`// lint:conserved`) are written only "
               "by their owning translation unit.",
     "HDR001": "Headers carry `#pragma once`/include guards and never "
