@@ -14,7 +14,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-${IBWAN_BUILD_DIR:-build}}"
-BENCHES=(fig5_rc_bandwidth fig9_mpi_threshold ablation_rc_window)
+BENCHES=(fig5_rc_bandwidth fig9_mpi_threshold ablation_rc_window ext_sdr_fec)
 SEEDS=(42 1337)
 
 for b in "${BENCHES[@]}"; do

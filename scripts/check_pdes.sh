@@ -38,6 +38,7 @@ BENCHES=(
   ext_sdp_sockets
   ext_kv_datacenter
   ext_pfs_striping
+  ext_sdr_fec
 )
 
 for b in "${BENCHES[@]}"; do

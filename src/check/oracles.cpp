@@ -361,6 +361,12 @@ void check_conservation(OracleReport& report, const std::string& context,
     const auto it = m.find(key);
     return it == m.end() ? 0 : it->second;
   };
+  // Cross-scope SDR totals: a sender's chunks land in its peer's
+  // receiver counters, so wire- and message-level identities only close
+  // over the sum of every /sdr scope in the snapshot.
+  std::uint64_t sdr_scopes = 0;
+  std::uint64_t sdr_tx_chunks = 0, sdr_rx_chunks = 0;
+  std::uint64_t sdr_msgs_completed = 0, sdr_msgs_delivered = 0;
   for (const auto& [scope, m] : scopes) {
     const std::string ctx = context + " " + scope;
     if (ends_with(scope, "/net.link")) {
@@ -396,7 +402,71 @@ void check_conservation(OracleReport& report, const std::string& context,
         report.expect_eq_u64("rc-wqe-conservation", ctx + " exact", completed,
                              sent);
       }
+    } else if (ends_with(scope, "/sdr")) {
+      ++sdr_scopes;
+      // Sender side: every message drained to exactly one terminal
+      // state (the DONE/probe exchange guarantees liveness).
+      report.expect_eq_u64(
+          "sdr-conservation", ctx + " msgs",
+          value(m, "msgs_completed") + value(m, "msgs_failed"),
+          value(m, "msgs_sent"));
+      // Receiver side: repairs consume parity, deliveries are backed by
+      // received or repaired chunks, delivered bytes were decoded.
+      report.expect_true(
+          "sdr-conservation", ctx + " repairs",
+          value(m, "chunks_repaired") <= value(m, "parity_chunks_received"),
+          "chunks_repaired=" + std::to_string(value(m, "chunks_repaired")) +
+              " parity_chunks_received=" +
+              std::to_string(value(m, "parity_chunks_received")));
+      const std::uint64_t delivered = value(m, "data_chunks_delivered");
+      const std::uint64_t backed =
+          value(m, "data_chunks_received") + value(m, "chunks_repaired");
+      if (opt.exact_sdr) {
+        report.expect_eq_u64("sdr-conservation", ctx + " chunks", delivered,
+                             backed);
+        report.expect_eq_u64("sdr-conservation", ctx + " bytes",
+                             value(m, "msg_bytes_delivered"),
+                             value(m, "decoded_bytes"));
+      } else {
+        report.expect_true("sdr-conservation", ctx + " chunks",
+                           delivered <= backed,
+                           "data_chunks_delivered=" + std::to_string(delivered) +
+                               " received+repaired=" + std::to_string(backed));
+        report.expect_true(
+            "sdr-conservation", ctx + " bytes",
+            value(m, "msg_bytes_delivered") <= value(m, "decoded_bytes"),
+            "msg_bytes_delivered=" +
+                std::to_string(value(m, "msg_bytes_delivered")) +
+                " decoded_bytes=" + std::to_string(value(m, "decoded_bytes")));
+      }
+      sdr_tx_chunks += value(m, "data_chunks_sent") +
+                       value(m, "parity_chunks_sent") +
+                       value(m, "retrans_chunks_sent");
+      sdr_rx_chunks += value(m, "data_chunks_received") +
+                       value(m, "parity_chunks_received") +
+                       value(m, "dup_chunks");
+      sdr_msgs_completed += value(m, "msgs_completed");
+      sdr_msgs_delivered += value(m, "msgs_delivered");
     }
+  }
+  if (sdr_scopes > 0) {
+    // Chunks cross the wire at most once each; with exact_sdr (no loss)
+    // every one of them arrived. A completed message was delivered by
+    // some receiver (delivered-but-DONE-lost leaves delivered > completed).
+    const std::string ctx = context + " sdr-global";
+    if (opt.exact_sdr) {
+      report.expect_eq_u64("sdr-conservation", ctx + " chunks", sdr_rx_chunks,
+                           sdr_tx_chunks);
+    } else {
+      report.expect_true("sdr-conservation", ctx + " chunks",
+                         sdr_rx_chunks <= sdr_tx_chunks,
+                         "rx=" + std::to_string(sdr_rx_chunks) +
+                             " tx=" + std::to_string(sdr_tx_chunks));
+    }
+    report.expect_true("sdr-conservation", ctx + " msgs",
+                       sdr_msgs_completed <= sdr_msgs_delivered,
+                       "completed=" + std::to_string(sdr_msgs_completed) +
+                           " delivered=" + std::to_string(sdr_msgs_delivered));
   }
 }
 

@@ -232,10 +232,18 @@ struct ConservationOptions {
   /// for fault-free workloads with no RDMA reads (verbs scenarios);
   /// otherwise only send_completions <= msgs_sent is checked.
   bool exact_rc_wqes = false;
+  /// Tighten the SDR inequalities to equalities: every chunk sent was
+  /// received (no loss, no duplicates) and every delivered message's
+  /// bytes were decoded. Valid only for drained fault-free runs whose
+  /// sender and receiver scopes are both in the snapshot.
+  bool exact_sdr = false;
 };
 
-/// Oracles "link-conservation" + "rc-wqe-conservation" over a (possibly
-/// merged) metrics snapshot.
+/// Oracles "link-conservation" + "rc-wqe-conservation" +
+/// "sdr-conservation" over a (possibly merged) metrics snapshot. The
+/// SDR identities (src/sdr/sdr.hpp SdrStats) are checked per scope
+/// where local, and summed across all `/sdr` scopes where they relate
+/// a sender to a receiver (chunks on the wire, messages delivered).
 void check_conservation(OracleReport& report, const std::string& context,
                         const sim::MetricsSnapshot& snap,
                         const ConservationOptions& opt = {});

@@ -1,0 +1,156 @@
+#include "sdr/code.hpp"
+
+#include <cassert>
+#include <cstddef>
+
+#include "sdr/gf256.hpp"
+
+namespace ibwan::sdr {
+
+const char* scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::kNone: return "none";
+    case Scheme::kXor: return "xor";
+    case Scheme::kRs: return "rs";
+  }
+  return "?";
+}
+
+int effective_parity(Scheme s, int r) {
+  switch (s) {
+    case Scheme::kNone: return 0;
+    case Scheme::kXor: return r > 0 ? 1 : 0;
+    case Scheme::kRs: return r;
+  }
+  return 0;
+}
+
+bool recoverable(Scheme s, int k, int data_present, int parity_present) {
+  if (data_present >= k) return true;
+  switch (s) {
+    case Scheme::kNone:
+      return false;
+    case Scheme::kXor:
+    case Scheme::kRs:
+      // MDS: any k of the k+r shards reconstruct the group.
+      return data_present + parity_present >= k;
+  }
+  return false;
+}
+
+Codec::Codec(Scheme scheme, int k, int r)
+    : scheme_(scheme), k_(k), r_(effective_parity(scheme, r)) {
+  assert(k_ >= 1 && r_ >= 0 && k_ + r_ <= 128);
+}
+
+std::uint8_t Codec::coeff(int row, int col) const {
+  if (scheme_ == Scheme::kXor) return 1;
+  // Cauchy: x_row = row, y_col = r_ + col — disjoint index sets, so
+  // x_row ^ y_col is never zero (k + r <= 128 keeps both below 256).
+  return gf::inv(static_cast<std::uint8_t>(row ^ (r_ + col)));
+}
+
+void Codec::encode(const std::vector<std::vector<std::uint8_t>>& data,
+                   std::vector<std::vector<std::uint8_t>>* parity) const {
+  assert(static_cast<int>(data.size()) == k_);
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  parity->assign(static_cast<std::size_t>(r_),
+                 std::vector<std::uint8_t>(len, 0));
+  for (int p = 0; p < r_; ++p) {
+    std::vector<std::uint8_t>& out = (*parity)[static_cast<std::size_t>(p)];
+    for (int d = 0; d < k_; ++d) {
+      const std::vector<std::uint8_t>& in = data[static_cast<std::size_t>(d)];
+      assert(in.size() == len);
+      const std::uint8_t c = coeff(p, d);
+      for (std::size_t b = 0; b < len; ++b) {
+        out[b] = gf::add(out[b], gf::mul(c, in[b]));
+      }
+    }
+  }
+}
+
+bool Codec::decode(std::vector<std::vector<std::uint8_t>>* shards) const {
+  assert(static_cast<int>(shards->size()) == k_ + r_);
+  // Pick k surviving shards, data first (identity rows keep the matrix
+  // close to I, and present data shards never need recomputation).
+  std::vector<int> rows;
+  rows.reserve(static_cast<std::size_t>(k_));
+  for (int i = 0; i < k_ + r_ && static_cast<int>(rows.size()) < k_; ++i) {
+    if (!(*shards)[static_cast<std::size_t>(i)].empty()) rows.push_back(i);
+  }
+  if (static_cast<int>(rows.size()) < k_) return false;
+
+  std::size_t len = 0;
+  for (const int row : rows) {
+    len = (*shards)[static_cast<std::size_t>(row)].size();
+  }
+
+  // m = the k x k generator submatrix for the chosen shards, augmented
+  // with the identity; Gauss-Jordan leaves the inverse on the right.
+  const int n = k_;
+  std::vector<std::vector<std::uint8_t>> m(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(2 * n), 0));
+  for (int t = 0; t < n; ++t) {
+    const int shard = rows[static_cast<std::size_t>(t)];
+    auto& row = m[static_cast<std::size_t>(t)];
+    if (shard < k_) {
+      row[static_cast<std::size_t>(shard)] = 1;
+    } else {
+      for (int d = 0; d < k_; ++d) {
+        row[static_cast<std::size_t>(d)] = coeff(shard - k_, d);
+      }
+    }
+    row[static_cast<std::size_t>(n + t)] = 1;
+  }
+  for (int col = 0; col < n; ++col) {
+    int pivot = -1;
+    for (int row = col; row < n; ++row) {
+      if (m[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] !=
+          0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) return false;  // cannot happen for an MDS generator
+    m[static_cast<std::size_t>(col)].swap(m[static_cast<std::size_t>(pivot)]);
+    const std::uint8_t p =
+        m[static_cast<std::size_t>(col)][static_cast<std::size_t>(col)];
+    for (int j = 0; j < 2 * n; ++j) {
+      auto& cell = m[static_cast<std::size_t>(col)][static_cast<std::size_t>(j)];
+      cell = gf::div(cell, p);
+    }
+    for (int row = 0; row < n; ++row) {
+      if (row == col) continue;
+      const std::uint8_t f =
+          m[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      if (f == 0) continue;
+      for (int j = 0; j < 2 * n; ++j) {
+        auto& cell =
+            m[static_cast<std::size_t>(row)][static_cast<std::size_t>(j)];
+        cell = gf::add(cell, gf::mul(f, m[static_cast<std::size_t>(col)]
+                                            [static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+
+  // data_d = sum_t inv[d][t] * shards[rows[t]], only for erased d.
+  for (int d = 0; d < k_; ++d) {
+    auto& out = (*shards)[static_cast<std::size_t>(d)];
+    if (!out.empty()) continue;
+    out.assign(len, 0);
+    for (int t = 0; t < n; ++t) {
+      const std::uint8_t c =
+          m[static_cast<std::size_t>(d)][static_cast<std::size_t>(n + t)];
+      if (c == 0) continue;
+      const auto& in =
+          (*shards)[static_cast<std::size_t>(rows[static_cast<std::size_t>(t)])];
+      for (std::size_t b = 0; b < len; ++b) {
+        out[b] = gf::add(out[b], gf::mul(c, in[b]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ibwan::sdr

@@ -1,0 +1,67 @@
+// Pluggable redundancy schemes for the SDR transport (DESIGN.md §14):
+//
+//   kNone — no parity; every loss needs a selective-repeat round trip.
+//   kXor  — one parity shard per group (the generator row is all ones);
+//           repairs any single erasure per group.
+//   kRs   — systematic MDS Reed-Solomon over GF(2^8) built from a
+//           Cauchy matrix: any k of the k+r shards reconstruct the
+//           data, so up to r erasures per group repair locally, with
+//           no WAN round trip.
+//
+// The simulator moves byte *counts*, not buffers, so the transport only
+// consults recoverable(); Codec carries real bytes and exists for the
+// property tests that pin down the MDS claim (tests/sdr/gf256_test.cpp:
+// encode -> erase any r shards -> decode roundtrips).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ibwan::sdr {
+
+enum class Scheme : std::uint8_t { kNone, kXor, kRs };
+
+const char* scheme_name(Scheme s);
+
+/// Parity shards per group the scheme actually emits for a configured
+/// ratio: kNone sends none, kXor exactly one, kRs the requested r.
+int effective_parity(Scheme s, int r);
+
+/// True when a group of `k` data shards with `data_present` of them
+/// received plus `parity_present` parity shards can be decoded. Both
+/// kXor and kRs are MDS: any k of the k+r shards suffice.
+bool recoverable(Scheme s, int k, int data_present, int parity_present);
+
+/// Byte-level systematic erasure codec over equal-length shards.
+/// Generator matrix G = [I_k ; C] with C an r x k Cauchy matrix
+/// (C[i][j] = 1 / (x_i + y_j), all x_i, y_j distinct), so every k x k
+/// submatrix of G is invertible — the MDS property. Requires
+/// k >= 1, r >= 0, k + r <= 128.
+class Codec {
+ public:
+  Codec(Scheme scheme, int k, int r);
+
+  Scheme scheme() const { return scheme_; }
+  int k() const { return k_; }
+  int r() const { return r_; }
+
+  /// Fills `parity` (resized to r() shards of data[0].size() bytes)
+  /// from exactly k() equal-length data shards.
+  void encode(const std::vector<std::vector<std::uint8_t>>& data,
+              std::vector<std::vector<std::uint8_t>>* parity) const;
+
+  /// `shards` holds k()+r() entries in [data..., parity...] order;
+  /// erased shards are empty vectors. Reconstructs every missing data
+  /// shard in place and returns true, or returns false (shards
+  /// untouched) when fewer than k() shards survive.
+  bool decode(std::vector<std::vector<std::uint8_t>>* shards) const;
+
+ private:
+  std::uint8_t coeff(int row, int col) const;
+
+  Scheme scheme_;
+  int k_;
+  int r_;
+};
+
+}  // namespace ibwan::sdr

@@ -1,0 +1,65 @@
+// GF(2^8) arithmetic for the Reed-Solomon erasure code (sdr/code.hpp).
+//
+// The field is built over the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11d) with generator 2 — the conventional choice for storage and
+// network erasure codes. Multiplication goes through constexpr exp/log
+// tables; the exp table is doubled so mul() needs no modular reduction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ibwan::sdr::gf {
+
+namespace detail {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<std::uint8_t, 256> log{};
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  unsigned x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if ((x & 0x100U) != 0) x ^= 0x11dU;
+  }
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<std::size_t>(i)] =
+        t.exp[static_cast<std::size_t>(i - 255)];
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = build_tables();
+
+}  // namespace detail
+
+/// Addition == subtraction == XOR in characteristic 2.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables.exp[static_cast<std::size_t>(
+      detail::kTables.log[a] + detail::kTables.log[b])];
+}
+
+/// Multiplicative inverse; a must be nonzero.
+constexpr std::uint8_t inv(std::uint8_t a) {
+  return detail::kTables.exp[static_cast<std::size_t>(
+      255 - detail::kTables.log[a])];
+}
+
+/// a / b; b must be nonzero.
+constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  if (a == 0) return 0;
+  return detail::kTables.exp[static_cast<std::size_t>(
+      detail::kTables.log[a] + 255 - detail::kTables.log[b])];
+}
+
+}  // namespace ibwan::sdr::gf

@@ -49,6 +49,11 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kBrownoutStart: return "brownout-start";
     case TraceKind::kBrownoutEnd: return "brownout-end";
     case TraceKind::kQpError: return "qp-error";
+    case TraceKind::kSdrChunkSend: return "sdr-chunk-send";
+    case TraceKind::kSdrNackSend: return "sdr-nack-send";
+    case TraceKind::kSdrRepair: return "sdr-repair";
+    case TraceKind::kSdrMsgDone: return "sdr-msg-done";
+    case TraceKind::kSdrProbe: return "sdr-probe";
     case TraceKind::kLog: return "log";
   }
   return "?";

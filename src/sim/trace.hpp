@@ -57,6 +57,12 @@ enum class TraceKind : std::uint8_t {
   kBrownoutStart,  // a=squeezed buffer bytes, b=normal buffer bytes
   kBrownoutEnd,    // a=restored buffer bytes
   kQpError,        // a=oldest unacked psn, b=WQEs flushed (RC retry exhausted)
+  // sdr (src/sdr/sdr.hpp)
+  kSdrChunkSend,   // a=msg id, b=chunk index, c=0 data / 1 parity / 2 retrans
+  kSdrNackSend,    // a=msg id, b=missing chunks requested
+  kSdrRepair,      // a=msg id, b=group index, c=chunks repaired by parity
+  kSdrMsgDone,     // a=msg id, b=message bytes, c=chunks repaired
+  kSdrProbe,       // a=msg id, b=probe ordinal
   // free-form (routed IBWAN_TRACE log lines)
   kLog,
 };

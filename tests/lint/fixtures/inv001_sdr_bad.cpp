@@ -1,0 +1,24 @@
+// INV001 fixture (violating half, SDR-shaped): a bench or test
+// "fixing up" FEC accounting from outside the endpoint would silently
+// break the redundancy-overhead conservation oracle — the linter must
+// catch every write shape used in real accounting code.
+#include "inv001_sdr_stats.hpp"
+
+namespace fixture {
+
+void forge_fec_accounting(FxSdrEndpoint& ep) {
+  ep.mutable_stats().fx_parity_chunks_sent += 4;     // EXPECT-IBWAN(INV001)
+  ep.mutable_stats().fx_data_chunks_sent = 0;        // EXPECT-IBWAN(INV001)
+  ep.mutable_stats().fx_chunks_reconstructed++;      // EXPECT-IBWAN(INV001)
+  FxSdrStats& s = ep.mutable_stats();
+  ++s.fx_msg_bytes_delivered;                        // EXPECT-IBWAN(INV001)
+  s.scratch = 99;                                    // not conserved: fine
+}
+
+std::uint64_t audit_only(const FxSdrEndpoint& ep) {
+  // Reads power the conservation oracle itself — always fine.
+  return ep.stats().fx_data_chunks_sent +
+         ep.stats().fx_parity_chunks_sent;
+}
+
+}  // namespace fixture

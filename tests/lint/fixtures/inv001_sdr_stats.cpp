@@ -1,0 +1,20 @@
+// INV001 fixture (owning half, SDR-shaped): the endpoint's own
+// accounting, as sdr.cpp does for sdr::SdrStats — no findings here.
+#include "inv001_sdr_stats.hpp"
+
+namespace fixture {
+
+void FxSdrEndpoint::on_chunk_sent(bool parity) {
+  if (parity) {
+    stats_.fx_parity_chunks_sent++;   // owning unit: allowed
+  } else {
+    stats_.fx_data_chunks_sent++;     // owning unit: allowed
+  }
+}
+
+void FxSdrEndpoint::on_delivered(std::uint64_t bytes) {
+  stats_.fx_msg_bytes_delivered += bytes;  // owning unit: allowed
+  ++stats_.fx_chunks_reconstructed;        // owning unit: allowed
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// INV001 fixture (declaration half, SDR-shaped): mirrors the
+// sdr::SdrStats accounting block — chunk counters that participate in
+// the data == delivered + reconstructed + dropped conservation
+// identity checked by the sdr-conservation oracle. Writes are only
+// legal from this header's translation-unit pair (inv001_sdr_stats.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+struct FxSdrStats {
+  std::uint64_t fx_data_chunks_sent = 0;     // lint:conserved
+  std::uint64_t fx_parity_chunks_sent = 0;   // lint:conserved
+  std::uint64_t fx_chunks_reconstructed = 0; // lint:conserved
+  std::uint64_t fx_msg_bytes_delivered = 0;  // lint:conserved
+  std::uint64_t scratch = 0;                 // not conserved: writable anywhere
+};
+
+class FxSdrEndpoint {
+ public:
+  void on_chunk_sent(bool parity);
+  void on_delivered(std::uint64_t bytes);
+  const FxSdrStats& stats() const { return stats_; }
+  FxSdrStats& mutable_stats() { return stats_; }
+
+ private:
+  FxSdrStats stats_;
+};
+
+}  // namespace fixture

@@ -82,7 +82,7 @@ class LintFixtureTest(unittest.TestCase):
 
     def test_owning_unit_writes_are_legal(self):
         noisy = [t for t in self.everything
-                 if t[0] == "inv001_counters.cpp"]
+                 if t[0] in ("inv001_counters.cpp", "inv001_sdr_stats.cpp")]
         self.assertFalse(
             noisy, f"owning-unit accounting was flagged: {noisy}")
 

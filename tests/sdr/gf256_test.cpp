@@ -1,0 +1,156 @@
+// GF(2^8) field axioms and the MDS property of the SDR erasure codec:
+// encode -> erase any <= r shards -> decode must roundtrip for both the
+// XOR (r = 1) and Reed-Solomon schemes (ISSUE 7 decoder edge cases).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sdr/code.hpp"
+#include "sdr/gf256.hpp"
+#include "sim/rng.hpp"
+
+namespace ibwan::sdr {
+namespace {
+
+using Shards = std::vector<std::vector<std::uint8_t>>;
+
+Shards random_shards(sim::Rng& rng, int k, std::size_t len) {
+  Shards data(static_cast<std::size_t>(k));
+  for (auto& shard : data) {
+    shard.resize(len);
+    for (auto& b : shard) {
+      b = static_cast<std::uint8_t>(rng.uniform(256));
+    }
+  }
+  return data;
+}
+
+TEST(Gf256, FieldAxioms) {
+  sim::Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto b = static_cast<std::uint8_t>(rng.uniform(256));
+    const auto c = static_cast<std::uint8_t>(rng.uniform(256));
+    EXPECT_EQ(gf::mul(a, b), gf::mul(b, a));
+    EXPECT_EQ(gf::mul(a, gf::mul(b, c)), gf::mul(gf::mul(a, b), c));
+    EXPECT_EQ(gf::mul(a, gf::add(b, c)),
+              gf::add(gf::mul(a, b), gf::mul(a, c)));
+    EXPECT_EQ(gf::mul(a, 1), a);
+    EXPECT_EQ(gf::add(a, a), 0);
+    if (a != 0) {
+      EXPECT_EQ(gf::mul(a, gf::inv(a)), 1);
+      if (b != 0) {
+        EXPECT_EQ(gf::mul(gf::div(a, b), b), a);
+      }
+    }
+  }
+}
+
+TEST(Gf256, EffectiveParityPerScheme) {
+  EXPECT_EQ(effective_parity(Scheme::kNone, 4), 0);
+  EXPECT_EQ(effective_parity(Scheme::kXor, 4), 1);
+  EXPECT_EQ(effective_parity(Scheme::kXor, 0), 0);
+  EXPECT_EQ(effective_parity(Scheme::kRs, 4), 4);
+}
+
+TEST(Gf256, RecoverableIsMds) {
+  // 12 of 16 data shards present: 4 erasures need 4 parity shards.
+  EXPECT_FALSE(recoverable(Scheme::kRs, 16, 12, 3));
+  EXPECT_TRUE(recoverable(Scheme::kRs, 16, 12, 4));
+  EXPECT_TRUE(recoverable(Scheme::kRs, 16, 16, 0));
+  EXPECT_FALSE(recoverable(Scheme::kNone, 16, 15, 8));
+  EXPECT_TRUE(recoverable(Scheme::kXor, 16, 15, 1));
+}
+
+TEST(Gf256, XorRepairsSingleErasure) {
+  sim::Rng rng(11);
+  Codec codec(Scheme::kXor, 8, 1);
+  const Shards data = random_shards(rng, 8, 128);
+  Shards parity;
+  codec.encode(data, &parity);
+  ASSERT_EQ(parity.size(), 1u);
+  for (int erase = 0; erase < 8; ++erase) {
+    Shards shards = data;
+    shards.push_back(parity[0]);
+    shards[static_cast<std::size_t>(erase)].clear();
+    ASSERT_TRUE(codec.decode(&shards));
+    EXPECT_EQ(shards[static_cast<std::size_t>(erase)],
+              data[static_cast<std::size_t>(erase)]);
+  }
+}
+
+TEST(Gf256, RsExhaustiveSmallErasurePatterns) {
+  // k=4, r=2: every erasure pattern of up to 2 of the 6 shards decodes.
+  sim::Rng rng(13);
+  Codec codec(Scheme::kRs, 4, 2);
+  const Shards data = random_shards(rng, 4, 64);
+  Shards parity;
+  codec.encode(data, &parity);
+  for (int e1 = 0; e1 < 6; ++e1) {
+    for (int e2 = e1; e2 < 6; ++e2) {
+      Shards shards = data;
+      shards.insert(shards.end(), parity.begin(), parity.end());
+      shards[static_cast<std::size_t>(e1)].clear();
+      shards[static_cast<std::size_t>(e2)].clear();
+      ASSERT_TRUE(codec.decode(&shards)) << "erased " << e1 << "," << e2;
+      for (int d = 0; d < 4; ++d) {
+        EXPECT_EQ(shards[static_cast<std::size_t>(d)],
+                  data[static_cast<std::size_t>(d)])
+            << "erased " << e1 << "," << e2 << " shard " << d;
+      }
+    }
+  }
+}
+
+TEST(Gf256, RsPropertyRandomErasures) {
+  // Property: for random (k, r) geometries and random erasure patterns
+  // of exactly r shards, encode -> erase -> decode roundtrips.
+  sim::Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int k = static_cast<int>(rng.uniform(1, 24));
+    const int r = static_cast<int>(rng.uniform(1, 8));
+    Codec codec(Scheme::kRs, k, r);
+    const Shards data = random_shards(rng, k, 32);
+    Shards parity;
+    codec.encode(data, &parity);
+    Shards shards = data;
+    shards.insert(shards.end(), parity.begin(), parity.end());
+    // Erase exactly r distinct shards (the correction budget's edge).
+    int erased = 0;
+    while (erased < r) {
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform(static_cast<std::uint64_t>(k + r)));
+      if (shards[victim].empty()) continue;
+      shards[victim].clear();
+      ++erased;
+    }
+    ASSERT_TRUE(codec.decode(&shards)) << "k=" << k << " r=" << r;
+    for (int d = 0; d < k; ++d) {
+      EXPECT_EQ(shards[static_cast<std::size_t>(d)],
+                data[static_cast<std::size_t>(d)])
+          << "k=" << k << " r=" << r << " shard " << d;
+    }
+  }
+}
+
+TEST(Gf256, RsRefusesBeyondBudget) {
+  // r+1 erasures exceed the MDS bound: decode reports failure and does
+  // not fabricate data.
+  sim::Rng rng(99);
+  Codec codec(Scheme::kRs, 8, 2);
+  const Shards data = random_shards(rng, 8, 16);
+  Shards parity;
+  codec.encode(data, &parity);
+  Shards shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+  shards[0].clear();
+  shards[3].clear();
+  shards[9].clear();
+  EXPECT_FALSE(codec.decode(&shards));
+  EXPECT_TRUE(shards[0].empty());
+  EXPECT_TRUE(shards[3].empty());
+}
+
+}  // namespace
+}  // namespace ibwan::sdr

@@ -21,6 +21,7 @@
 #include "mpi/mpi.hpp"
 #include "nfs/nfs.hpp"
 #include "rpc/rpc.hpp"
+#include "sdr/sdr.hpp"
 #include "sim/metrics.hpp"
 #include "tcp/tcp.hpp"
 
@@ -49,6 +50,9 @@ int main() {
   rpc::RdmaRpcServer rdma_server(hca_a);
   rpc::RdmaRpcClient rdma_client(hca_b, rdma_server);
   nfs::NfsServer nfs_server(s, {});
+
+  // The software-defined reliability transport (sdr layer).
+  sdr::SdrEndpoint sdr_ep(hca_a, {});
 
   // Strip the instance prefix: "<instance>/<layer>/<metric>" lines
   // collapse to one row per layer-level metric.
