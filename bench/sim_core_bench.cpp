@@ -11,17 +11,20 @@
 // scheduling, link packet delivery, RC message transfer); remaining
 // arguments are forwarded to google-benchmark.
 //
-// Pass --pdes to run the site-parallel scaling suite instead: two-site
-// heavy scenarios (NAS kernels at 2 x 16 ranks, the WAN KV service)
-// executed sequentially and under --par-sites 2, reporting wall-clock
+// Pass --pdes to run the site-parallel scaling suite instead: heavy
+// scenarios (NAS kernels at 2 x 16 ranks, the WAN KV service, an RC
+// incast on a 4-site hub/spoke graph) executed sequentially and
+// site-parallel (one LP per topology site), reporting wall-clock
 // speedup and asserting the simulated results and event counts match
 // exactly. Writes BENCH_pdes.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <string_view>
@@ -38,6 +41,7 @@
 #include "kv/kv.hpp"
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
+#include "net/topology.hpp"
 #include "rpc/rpc.hpp"
 #include "sim/simulator.hpp"
 
@@ -373,6 +377,76 @@ PdesRun run_kv_scenario(int clients, int ops_per_client) {
   return {tb.engine().events_executed(), r.kops_per_sec};
 }
 
+/// Concurrent RC incast on an N-site hub/spoke graph (one node per
+/// site, 1 ms WAN edges): the smallest scenario whose site-parallel run
+/// exercises more than two LPs and the hub's WAN-ingress demux. One
+/// hand-rolled verbs flow per spoke, windowed like ext_incast.
+PdesRun run_incast_scenario(int spokes, int iters) {
+  net::TopologyConfig topo = net::TopologyConfig::hub_spoke(spokes, 1);
+  core::Testbed tb(core::TestbedOptions{.topology = &topo,
+                                        .wan_delay = 1'000'000});
+  net::Fabric& fabric = tb.fabric();
+  constexpr std::uint32_t kMsg = 8192;
+
+  net::Node& hub_node = fabric.node(tb.node_at(0));
+  ib::Hca hub_hca(hub_node, {});
+  ib::Cq hub_scq(hub_node.sim());
+  ib::Cq hub_rcq(hub_node.sim());
+
+  struct Flow {
+    std::unique_ptr<ib::Hca> hca;
+    std::unique_ptr<ib::Cq> scq;
+    std::unique_ptr<ib::Cq> rcq;
+    ib::RcQp* qp = nullptr;
+    int posted = 0;
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+
+  int received = 0;
+  sim::Time last_arrival = 0;
+  hub_rcq.set_callback([&](const ib::Cqe&) {
+    ++received;
+    if (received == spokes * iters) last_arrival = hub_node.sim().now();
+  });
+
+  for (int s = 0; s < spokes; ++s) {
+    auto flow = std::make_unique<Flow>();
+    net::Node& sp_node = fabric.node(tb.node_at(s + 1));
+    flow->hca = std::make_unique<ib::Hca>(sp_node, ib::HcaConfig{});
+    flow->scq = std::make_unique<ib::Cq>(sp_node.sim());
+    flow->rcq = std::make_unique<ib::Cq>(sp_node.sim());
+    flow->qp = &flow->hca->create_rc_qp(*flow->scq, *flow->rcq);
+    ib::RcQp& hub_qp = hub_hca.create_rc_qp(hub_scq, hub_rcq);
+    flow->qp->connect(hub_hca.lid(), hub_qp.qpn());
+    hub_qp.connect(flow->hca->lid(), flow->qp->qpn());
+    for (int i = 0; i < iters; ++i) {
+      hub_qp.post_recv(ib::RecvWr{.max_length = kMsg});
+    }
+    flows.push_back(std::move(flow));
+  }
+
+  for (auto& fp : flows) {
+    Flow* f = fp.get();
+    auto post_one = [f]() {
+      ++f->posted;
+      f->qp->post_send(ib::SendWr{
+          .wr_id = static_cast<std::uint64_t>(f->posted), .length = kMsg});
+    };
+    f->scq->set_callback([f, post_one, iters](const ib::Cqe&) {
+      if (f->posted < iters) post_one();
+    });
+    const int burst = std::min(16, iters);
+    for (int i = 0; i < burst; ++i) post_one();
+  }
+
+  tb.run();
+  const double goodput =
+      last_arrival > 0 ? static_cast<double>(received) * kMsg /
+                             static_cast<double>(last_arrival) * 1e3
+                       : 0;
+  return {tb.engine().events_executed(), goodput};
+}
+
 struct PdesResult {
   std::string name;
   std::uint64_t events = 0;
@@ -394,6 +468,7 @@ int run_pdes_suite() {
       {"nas_cg_2x16_1ms",
        [&] { return run_nas_scenario(apps::make_cg(nas_cfg), 16); }},
       {"ext_kv_16clients_1ms", [] { return run_kv_scenario(16, 300); }},
+      {"incast_hub3spokes_1ms", [] { return run_incast_scenario(3, 2000); }},
   };
 
   // NOLINT-IBWAN(DET001): reported context for the perf gate — speedup

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Double-run determinism check: regenerates a representative slice of
 # the paper CSVs (fig5 RC bandwidth, fig9 MPI threshold, the RC-window
-# ablation) twice for each of two seeds and byte-compares the runs.
+# ablation, the SDR and N-site incast extensions) twice for each of two
+# seeds and byte-compares the runs.
 # Any diff means a nondeterminism bug escaped ibwan-lint — the CSVs the
 # repo publishes could silently depend on hash order, addresses, or
 # wall clock.
@@ -14,7 +15,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-${IBWAN_BUILD_DIR:-build}}"
-BENCHES=(fig5_rc_bandwidth fig9_mpi_threshold ablation_rc_window ext_sdr_fec)
+BENCHES=(fig5_rc_bandwidth fig9_mpi_threshold ablation_rc_window ext_sdr_fec
+         ext_incast)
 SEEDS=(42 1337)
 
 for b in "${BENCHES[@]}"; do

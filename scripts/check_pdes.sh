@@ -11,7 +11,9 @@
 #
 # Benches that cannot partition (flat loss, back-to-back) fall back to
 # the sequential engine internally; they still run here so the fallback
-# itself is covered.
+# itself is covered. Any IBWAN_PAR_SITES > 1 requests the full per-site
+# partition (one LP per topology site — the only split that preserves
+# byte-identity), so the same "2" covers the N-site ext_incast graphs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,6 +41,7 @@ BENCHES=(
   ext_kv_datacenter
   ext_pfs_striping
   ext_sdr_fec
+  ext_incast
 )
 
 for b in "${BENCHES[@]}"; do
@@ -77,6 +80,6 @@ for f in "$tmp/seq"/*.csv "$tmp/seq"/*.metrics.json; do
 done
 
 if [[ "$fail" == "0" ]]; then
-  echo "check_pdes: $count artifacts byte-identical (sequential vs --par-sites 2)"
+  echo "check_pdes: $count artifacts byte-identical (sequential vs site-parallel)"
 fi
 exit "$fail"

@@ -174,6 +174,14 @@ double oneway_floor_us(const net::FabricConfig& cfg, sim::Duration wan_delay) {
          1000.0;
 }
 
+double topology_oneway_floor_us(const net::TopologyConfig& topo, int src_site,
+                                int dst_site, sim::Duration wan_delay) {
+  const net::WanRoutes routes = net::compute_wan_routes(topo);
+  const sim::Duration floor =
+      net::path_floor_ns(topo, routes, src_site, dst_site, wan_delay);
+  return static_cast<double>(floor) / 1000.0;
+}
+
 double km_latency_increment_us(double km) { return 5.0 * km; }
 
 // ---- Bandwidth oracles ----------------------------------------------

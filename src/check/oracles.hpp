@@ -136,6 +136,15 @@ double verbs_latency_model_us(const net::FabricConfig& cfg,
 /// the one-way propagation floor (microseconds).
 double oneway_floor_us(const net::FabricConfig& cfg, sim::Duration wan_delay);
 
+/// Topology-graph generalization of the latency floor (DESIGN.md §15):
+/// the one-way propagation floor in microseconds between hosts of two
+/// sites, along the build-time shortest-path route — every LAN cable,
+/// switch hop, Longbow pipeline, per-edge WAN propagation, and
+/// `wan_delay` of emulated distance per WAN edge crossed. Matches
+/// oneway_floor_us on the two-site wrapper. Negative when unreachable.
+double topology_oneway_floor_us(const net::TopologyConfig& topo, int src_site,
+                                int dst_site, sim::Duration wan_delay);
+
 /// Oracle "delay-per-km": the latency increment for `km` kilometres of
 /// emulated distance (paper Table 1: exactly 5 us/km).
 double km_latency_increment_us(double km);

@@ -33,6 +33,11 @@ namespace ibwan::core {
 struct TestbedOptions {
   int nodes_a = 1;
   int nodes_b = 1;
+  /// N-site topology graph (DESIGN.md §15). When set it overrides
+  /// nodes_a/nodes_b entirely — the fabric is built from this graph —
+  /// and a parallel run gets one LP per site of this graph instead of
+  /// 2. Must outlive the Testbed.
+  const net::TopologyConfig* topology = nullptr;
   sim::Duration wan_delay = 0;
   std::uint64_t seed = default_seed();
   /// Fault plan for the WAN links; nullptr falls back to the global
@@ -43,9 +48,11 @@ struct TestbedOptions {
   bool metrics = false;
   /// Logical processes for site-parallel execution (DESIGN.md §13):
   /// 0 falls back to the process-wide knob (core::par_sites, bench
-  /// --par-sites), 1 forces the sequential engine, 2 runs one LP per
-  /// cluster. IBWAN_THREADS=1 always collapses to 1 (the differential
-  /// oracle); either way the outputs are byte-identical.
+  /// --par-sites), 1 forces the sequential engine, any larger value
+  /// partitions fully — one LP per topology site (2 for the classic
+  /// two-cluster testbed), since a partial partition cannot preserve
+  /// byte-identity. IBWAN_THREADS=1 always collapses to 1 (the
+  /// differential oracle); either way the outputs are byte-identical.
   int par_sites = 0;
 };
 
@@ -65,16 +72,23 @@ class Testbed {
 
   explicit Testbed(const TestbedOptions& opt)
       : engine_(effective_sites(opt), pdes_threads()),
-        fabric_(engine_, fabric_defaults(opt.nodes_a, opt.nodes_b)) {
+        fabric_(opt.topology != nullptr
+                    ? std::make_unique<net::Fabric>(engine_, *opt.topology)
+                    : std::make_unique<net::Fabric>(
+                          engine_,
+                          fabric_defaults(opt.nodes_a, opt.nodes_b))) {
     engine_.seed(opt.seed);
-    fabric_.set_wan_delay(opt.wan_delay);
+    fabric_->set_wan_delay(opt.wan_delay);
     // A fault plan (per-testbed, else the process-wide bench --faults
-    // one) attaches to the WAN links; seeding first keeps the fault RNG
-    // streams tied to this run's seed.
+    // one) attaches to every WAN edge; seeding first keeps the fault
+    // RNG streams (keyed by per-edge link names) tied to this run's
+    // seed.
     const net::FaultPlanConfig* fp =
         opt.faults != nullptr ? opt.faults : net::global_fault_plan();
-    if (fp != nullptr && fabric_.longbows() != nullptr) {
-      fabric_.longbows()->apply_faults(*fp);
+    if (fp != nullptr) {
+      for (int e = 0; e < fabric_->wan_edge_count(); ++e) {
+        fabric_->wan_pair(e).apply_faults(*fp);
+      }
     }
     if (opt.metrics || sim::MetricsAggregator::global().active()) {
       for (int i = 0; i < engine_.sites(); ++i) {
@@ -94,21 +108,21 @@ class Testbed {
     }
   }
 
-  /// Site A's simulator (the only one when running sequentially).
+  /// Site 0's simulator (the only one when running sequentially).
   /// Partition-sensitive code should use sim_a()/sim_b()/sim_for().
-  sim::Simulator& sim() { return fabric_.sim(); }
-  net::Fabric& fabric() { return fabric_; }
+  sim::Simulator& sim() { return fabric_->sim(); }
+  net::Fabric& fabric() { return *fabric_; }
   sim::SiteEngine& engine() { return engine_; }
 
-  sim::Simulator& sim_a() { return fabric_.sim_of(net::Cluster::kA); }
-  sim::Simulator& sim_b() { return fabric_.sim_of(net::Cluster::kB); }
-  sim::Simulator& sim_for(net::NodeId id) { return fabric_.sim_of_node(id); }
+  sim::Simulator& sim_a() { return fabric_->sim_of(net::Cluster::kA); }
+  sim::Simulator& sim_b() { return fabric_->sim_of(net::Cluster::kB); }
+  sim::Simulator& sim_for(net::NodeId id) { return fabric_->sim_of_node(id); }
 
   /// Runs the simulation to drain (all sites, all channels).
-  void run() { fabric_.run_all(); }
+  void run() { fabric_->run_all(); }
   /// Simulated end time after run(): max over site clocks, equal to the
   /// sequential run's final now().
-  sim::Time now() const { return fabric_.max_now(); }
+  sim::Time now() const { return fabric_->max_now(); }
 
   /// Merged metrics across sites (equals sim().metrics().snapshot()
   /// when sequential).
@@ -120,31 +134,52 @@ class Testbed {
     return snap;
   }
 
-  void set_wan_delay(sim::Duration d) { fabric_.set_wan_delay(d); }
-  void set_distance_km(double km) { fabric_.set_wan_delay(delay_for_km(km)); }
-  sim::Duration wan_delay() const { return fabric_.wan_delay(); }
+  void set_wan_delay(sim::Duration d) { fabric_->set_wan_delay(d); }
+  void set_distance_km(double km) { fabric_->set_wan_delay(delay_for_km(km)); }
+  sim::Duration wan_delay() const { return fabric_->wan_delay(); }
 
   /// First host of cluster A / cluster B (the WAN-facing test nodes).
-  net::NodeId node_a(int i = 0) { return fabric_.node_id(net::Cluster::kA, i); }
-  net::NodeId node_b(int i = 0) { return fabric_.node_id(net::Cluster::kB, i); }
+  net::NodeId node_a(int i = 0) {
+    return fabric_->node_id(net::Cluster::kA, i);
+  }
+  net::NodeId node_b(int i = 0) {
+    return fabric_->node_id(net::Cluster::kB, i);
+  }
+  /// First host of an arbitrary topology site.
+  net::NodeId node_at(int site, int i = 0) {
+    return fabric_->node_id(site, i);
+  }
 
  private:
-  /// Sites actually constructed: the request (option, else the global
-  /// knob) clamped to the partition the topology supports, with
-  /// IBWAN_THREADS=1 forcing the sequential oracle.
+  /// Sites actually constructed: any parallel request partitions fully
+  /// (one LP per topology site — the only partition that preserves
+  /// byte-identity, see Fabric), with IBWAN_THREADS=1 forcing the
+  /// sequential oracle.
   static int effective_sites(const TestbedOptions& opt) {
     int req = opt.par_sites > 0 ? opt.par_sites : par_sites();
-    req = std::min(req, 2);  // one LP per cluster today
+    const int max_sites =
+        opt.topology != nullptr
+            ? static_cast<int>(opt.topology->sites.size())
+            : 2;  // the classic testbed is one LP per cluster
+    if (req > 1) req = max_sites;
     if (req > 1 && pdes_threads() == 1) req = 1;
     if (req > 1) {
-      const net::FabricConfig fc = fabric_defaults(opt.nodes_a, opt.nodes_b);
-      if (fc.back_to_back || fc.longbow.loss_rate > 0.0) req = 1;
+      // Shapes the partition cannot support run sequentially (the
+      // fabric would fall back anyway; keep the engine in sync).
+      const net::TopologyConfig topo =
+          opt.topology != nullptr
+              ? *opt.topology
+              : net::to_topology(fabric_defaults(opt.nodes_a, opt.nodes_b));
+      if (topo.back_to_back) req = 1;
+      for (const net::WanEdgeConfig& e : topo.wan) {
+        if (e.longbow.loss_rate > 0.0) req = 1;
+      }
     }
-    return req;
+    return req < 1 ? 1 : req;
   }
 
   sim::SiteEngine engine_;
-  net::Fabric fabric_;
+  std::unique_ptr<net::Fabric> fabric_;
 };
 
 }  // namespace ibwan::core

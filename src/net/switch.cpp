@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <utility>
@@ -8,21 +9,79 @@
 
 namespace ibwan::net {
 
+std::shared_ptr<Packet> Switch::alloc_packet(Packet&& p) {
+  // Same recycling scheme as Link::alloc_packet: the hop-delay callback
+  // needs the packet on the heap, and reusing one control block per
+  // in-flight hop removes an allocation per forwarded packet. A pooled
+  // entry is reusable only once the lambda that captured it has run
+  // (use_count back to 1).
+  if (!pkt_pool_.empty() && pkt_pool_.back().use_count() == 1) {
+    std::shared_ptr<Packet> sp = std::move(pkt_pool_.back());
+    pkt_pool_.pop_back();
+    *sp = std::move(p);
+    return sp;
+  }
+  return std::make_shared<Packet>(std::move(p));
+}
+
+void Switch::recycle_packet(const std::shared_ptr<Packet>& pkt) {
+  if (pkt_pool_.size() >= kPktPoolCap) return;
+  // Drop payload/callback references now so pooling a packet never pins
+  // application data beyond its delivery.
+  pkt->payload.reset();
+  pkt->on_serialized = nullptr;
+  pkt_pool_.push_back(pkt);
+}
+
+void Switch::receive_wan(int edge, Packet&& p) {
+  wan_buf_.emplace_back(edge, std::move(p));
+  if (!wan_flush_pending_) {
+    wan_flush_pending_ = true;
+    // Scheduled at the current instant: the flush lands behind every
+    // event already queued for this nanosecond, so all tied WAN
+    // arrivals are buffered before the sort runs.
+    sim_.schedule(0, [this] { flush_wan(); });
+  }
+}
+
+void Switch::flush_wan() {
+  wan_flush_pending_ = false;
+  std::stable_sort(
+      wan_buf_.begin(), wan_buf_.end(),
+      [](const std::pair<int, Packet>& a, const std::pair<int, Packet>& b) {
+        return a.first < b.first;
+      });
+  for (auto& [edge, pkt] : wan_buf_) receive(std::move(pkt));
+  wan_buf_.clear();
+}
+
 void Switch::receive(Packet&& p) {
   int port = default_port_;
   if (auto it = routes_.find(p.dst); it != routes_.end()) port = it->second;
   if (port < 0 || port >= static_cast<int>(ports_.size())) {
+    ++drops_no_route_;
     obs_drops_noroute_->add();
-    IBWAN_WARN(sim_.now(), name_.c_str(), "no route for dst=%u, dropping",
-               p.dst);
+    if (drops_no_route_ <= kNoRouteWarnLimit) {
+      IBWAN_WARN(sim_.now(), name_.c_str(), "no route for dst=%u, dropping%s",
+                 p.dst,
+                 drops_no_route_ == kNoRouteWarnLimit
+                     ? " (further no-route warnings rate-limited)"
+                     : "");
+    } else if ((drops_no_route_ & (drops_no_route_ - 1)) == 0) {
+      IBWAN_WARN(sim_.now(), name_.c_str(),
+                 "%llu no-route drops so far (warnings rate-limited)",
+                 static_cast<unsigned long long>(drops_no_route_));
+    }
     return;
   }
   ++forwarded_;
   obs_forwarded_->add();
   Link* out = ports_[port];
-  auto shared = std::make_shared<Packet>(std::move(p));
-  sim_.schedule(hop_latency_, [out, shared] {
-    out->send(std::move(*shared));
+  auto shared = alloc_packet(std::move(p));
+  sim_.schedule(hop_latency_, [this, out, shared] {
+    Packet fwd = std::move(*shared);
+    recycle_packet(shared);
+    out->send(std::move(fwd));
   });
 }
 

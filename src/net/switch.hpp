@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,16 +37,36 @@ class Switch {
   /// Static route: packets for `dst` leave via `port`.
   void set_route(NodeId dst, int port) { routes_[dst] = port; }
 
-  /// Fallback port for unknown destinations (the WAN uplink).
+  /// Fallback port for unknown destinations (the WAN uplink of a site
+  /// with a single WAN attachment, or a leaf's spine uplink).
   void set_default_route(int port) { default_port_ = port; }
 
   /// Ingress from any attached link.
   void receive(Packet&& p);
 
+  /// Ingress from WAN edge attachment `edge`, used on switches with
+  /// more than one WAN attachment. Same-instant arrivals from
+  /// different edges are buffered and forwarded at the end of the
+  /// instant in edge order: without the demux, cross-edge ties fire in
+  /// engine-dependent schedule order (the sequential engine breaks
+  /// them by global event sequence, which the site-parallel merge
+  /// cannot reconstruct), and the first shared egress queue would
+  /// serialize them differently. Forwarding still happens in the same
+  /// nanosecond, so the demux shifts no timing — only the tie order
+  /// (DESIGN.md §13).
+  void receive_wan(int edge, Packet&& p);
+
   const std::string& name() const { return name_; }
   std::uint64_t forwarded() const { return forwarded_; }
+  /// Packets dropped for lack of a usable route — exact, regardless of
+  /// warning rate limiting.
+  std::uint64_t drops_no_route() const { return drops_no_route_; }
 
  private:
+  std::shared_ptr<Packet> alloc_packet(Packet&& p);
+  void recycle_packet(const std::shared_ptr<Packet>& pkt);
+  void flush_wan();
+
   sim::Simulator& sim_;
   std::string name_;
   sim::Duration hop_latency_;
@@ -53,6 +74,21 @@ class Switch {
   std::unordered_map<NodeId, int> routes_;
   int default_port_ = -1;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t drops_no_route_ = 0;
+  /// First kNoRouteWarnLimit no-route drops warn individually; after
+  /// that only power-of-two drop counts emit a suppressed-count summary,
+  /// so a misrouted incast logs O(log drops) lines instead of one per
+  /// packet.
+  static constexpr std::uint64_t kNoRouteWarnLimit = 8;
+  /// Recycled forward allocations (switch hops are always site-local,
+  /// so unlike Link there is no channel-mode exclusion). Bounded so a
+  /// burst cannot pin memory forever.
+  static constexpr std::size_t kPktPoolCap = 64;
+  std::vector<std::shared_ptr<Packet>> pkt_pool_;
+  /// Same-instant WAN ingress buffer (receive_wan): drained by a flush
+  /// event scheduled at the arrival instant.
+  std::vector<std::pair<int, Packet>> wan_buf_;
+  bool wan_flush_pending_ = false;
   sim::Counter* obs_forwarded_ = nullptr;
   sim::Counter* obs_drops_noroute_ = nullptr;
 };

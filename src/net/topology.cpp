@@ -1,0 +1,192 @@
+#include "net/topology.hpp"
+
+#include <cstdint>
+#include <limits>
+
+namespace ibwan::net {
+
+TopologyConfig TopologyConfig::hub_spoke(int spokes, int nodes_per_site,
+                                         const LongbowPair::Config& longbow) {
+  TopologyConfig topo;
+  topo.sites.assign(static_cast<std::size_t>(spokes) + 1,
+                    SiteConfig{.nodes = nodes_per_site});
+  for (int s = 1; s <= spokes; ++s) {
+    topo.wan.push_back(
+        WanEdgeConfig{.site_a = 0, .site_b = s, .longbow = longbow});
+  }
+  return topo;
+}
+
+TopologyConfig TopologyConfig::full_mesh(int n_sites, int nodes_per_site,
+                                         const LongbowPair::Config& longbow) {
+  TopologyConfig topo;
+  topo.sites.assign(static_cast<std::size_t>(n_sites),
+                    SiteConfig{.nodes = nodes_per_site});
+  for (int a = 0; a < n_sites; ++a) {
+    for (int b = a + 1; b < n_sites; ++b) {
+      topo.wan.push_back(
+          WanEdgeConfig{.site_a = a, .site_b = b, .longbow = longbow});
+    }
+  }
+  return topo;
+}
+
+std::string validate_topology(const TopologyConfig& topo) {
+  const int n = static_cast<int>(topo.sites.size());
+  if (n == 0) return "topology has no sites";
+  for (int s = 0; s < n; ++s) {
+    if (topo.sites[s].nodes < 1) {
+      return "site " + std::to_string(s) + " has no nodes";
+    }
+    if (topo.sites[s].leaf_switches < 1) {
+      return "site " + std::to_string(s) + " has no switches";
+    }
+  }
+  if (topo.back_to_back) {
+    if (n != 2 || topo.sites[0].nodes != 1 || topo.sites[1].nodes != 1 ||
+        !topo.wan.empty()) {
+      return "back-to-back mode is exactly two one-node sites and no WAN";
+    }
+    return "";
+  }
+  std::vector<std::vector<bool>> seen(
+      static_cast<std::size_t>(n), std::vector<bool>(std::size_t(n), false));
+  for (std::size_t e = 0; e < topo.wan.size(); ++e) {
+    const WanEdgeConfig& w = topo.wan[e];
+    if (w.site_a < 0 || w.site_a >= n || w.site_b < 0 || w.site_b >= n) {
+      return "WAN edge " + std::to_string(e) + " references a missing site";
+    }
+    if (w.site_a == w.site_b) {
+      return "WAN edge " + std::to_string(e) + " is a self-loop";
+    }
+    if (seen[w.site_a][w.site_b]) {
+      return "duplicate WAN edge between sites " + std::to_string(w.site_a) +
+             " and " + std::to_string(w.site_b);
+    }
+    seen[w.site_a][w.site_b] = seen[w.site_b][w.site_a] = true;
+  }
+  return "";
+}
+
+WanRoutes compute_wan_routes(const TopologyConfig& topo) {
+  const int n = static_cast<int>(topo.sites.size());
+  WanRoutes r;
+  r.next_edge.assign(std::size_t(n), std::vector<int>(std::size_t(n), -1));
+  r.hops.assign(std::size_t(n), std::vector<int>(std::size_t(n), -1));
+
+  // Adjacency: (neighbor, edge index, weight). Edge order in the config
+  // is the final tie-break, so relaxation visits edges in config order.
+  struct Arc {
+    int to;
+    int edge;
+    sim::Duration w;
+  };
+  std::vector<std::vector<Arc>> adj;
+  adj.resize(std::size_t(n));
+  for (std::size_t e = 0; e < topo.wan.size(); ++e) {
+    const WanEdgeConfig& we = topo.wan[e];
+    const sim::Duration w =
+        we.longbow.base_propagation + 2 * we.longbow.pipeline_latency;
+    adj[we.site_a].push_back(Arc{we.site_b, static_cast<int>(e), w});
+    adj[we.site_b].push_back(Arc{we.site_a, static_cast<int>(e), w});
+  }
+
+  // O(V^2) Dijkstra from every source with a total order on paths:
+  // (latency, hop count, lowest edge index on improvement). The graph
+  // is a handful of sites, and the strict ordering makes the routing
+  // table a pure function of the config — no container iteration order
+  // or floating point involved.
+  constexpr sim::Duration kInf = std::numeric_limits<sim::Duration>::max();
+  for (int src = 0; src < n; ++src) {
+    std::vector<sim::Duration> dist(std::size_t(n), kInf);
+    std::vector<int> hops(std::size_t(n), -1);
+    std::vector<int> first(std::size_t(n), -1);  // first edge out of src
+    std::vector<bool> done(std::size_t(n), false);
+    dist[src] = 0;
+    hops[src] = 0;
+    for (int round = 0; round < n; ++round) {
+      int u = -1;
+      for (int v = 0; v < n; ++v) {
+        if (done[v] || dist[v] == kInf) continue;
+        if (u == -1 || dist[v] < dist[u] ||
+            (dist[v] == dist[u] && hops[v] < hops[u])) {
+          u = v;
+        }
+      }
+      if (u == -1) break;
+      done[u] = true;
+      for (const Arc& a : adj[u]) {
+        if (dist[u] == kInf) continue;
+        const sim::Duration nd = dist[u] + a.w;
+        const int nh = hops[u] + 1;
+        const int nf = u == src ? a.edge : first[u];
+        const bool better =
+            nd < dist[a.to] || (nd == dist[a.to] && nh < hops[a.to]) ||
+            (nd == dist[a.to] && nh == hops[a.to] && first[a.to] != -1 &&
+             nf < first[a.to]);
+        if (better) {
+          dist[a.to] = nd;
+          hops[a.to] = nh;
+          first[a.to] = nf;
+        }
+      }
+    }
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == src || dist[dst] == kInf) continue;
+      r.next_edge[src][dst] = first[dst];
+      r.hops[src][dst] = hops[dst];
+    }
+  }
+  return r;
+}
+
+namespace {
+
+/// Host up to (and including the hop through) the site's WAN-facing
+/// switch: one cable in a star, two cables and two hops via leaf and
+/// spine in a fat-tree. Symmetric, so it doubles as the ingress cost.
+sim::Duration site_edge_ns(const TopologyConfig& topo, int site) {
+  const SiteConfig& s = topo.sites[std::size_t(site)];
+  if (s.leaf_switches <= 1) {
+    return topo.host_link_prop + topo.switch_latency;
+  }
+  return 2 * topo.host_link_prop + 2 * topo.switch_latency;
+}
+
+}  // namespace
+
+sim::Duration path_floor_ns(const TopologyConfig& topo,
+                            const WanRoutes& routes, int src_site,
+                            int dst_site, sim::Duration wan_delay) {
+  if (src_site == dst_site) {
+    const SiteConfig& s = topo.sites[std::size_t(src_site)];
+    if (s.leaf_switches <= 1) {
+      return 2 * topo.host_link_prop + topo.switch_latency;
+    }
+    // Worst intra-site pair: host -> leaf -> spine -> leaf -> host.
+    return 4 * topo.host_link_prop + 3 * topo.switch_latency;
+  }
+  if (routes.next_edge[std::size_t(src_site)][std::size_t(dst_site)] < 0) {
+    return -1;
+  }
+  sim::Duration total = site_edge_ns(topo, src_site) +
+                        site_edge_ns(topo, dst_site) +
+                        2 * topo.host_link_prop;  // switch <-> Longbow cables
+  int at = src_site;
+  while (at != dst_site) {
+    const int e = routes.next_edge[std::size_t(at)][std::size_t(dst_site)];
+    const WanEdgeConfig& we = topo.wan[std::size_t(e)];
+    total += 2 * we.longbow.pipeline_latency + we.longbow.base_propagation +
+             wan_delay;
+    const int next = we.site_a == at ? we.site_b : we.site_a;
+    if (next != dst_site) {
+      // Transit through an intermediate site's WAN switch: off one
+      // Longbow, one switch hop, onto the next Longbow.
+      total += 2 * topo.host_link_prop + topo.switch_latency;
+    }
+    at = next;
+  }
+  return total;
+}
+
+}  // namespace ibwan::net

@@ -1,0 +1,99 @@
+// N-site topology graphs (DESIGN.md §15).
+//
+// A TopologyConfig describes the whole fabric as a graph: N sites (each
+// a DDR star — or a small two-level fat-tree — around its switches) and
+// a WAN graph of Longbow-pair edges between sites. Point-to-point,
+// hub/spoke, and full-mesh shapes are all expressible; the paper's
+// two-cluster testbed (Figure 2) is the special case of two sites and
+// one edge, and FabricConfig remains a thin wrapper for it.
+//
+// Routing is static and computed at build time: a deterministic
+// shortest-path pass over the WAN graph (edge weight = the minimum
+// one-way latency the edge can impose, ties broken by hop count then
+// edge index) yields, for every (site, destination-site) pair, the WAN
+// edge a packet takes next. The fabric turns that table into explicit
+// per-destination switch routes, so no switch relies on a default-route
+// escape hatch to reach a remote host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/wan.hpp"
+#include "sim/time.hpp"
+
+namespace ibwan::net {
+
+/// One site: `nodes` hosts in a star around a single switch, or — with
+/// `leaf_switches` > 1 — a two-level fat-tree where hosts round-robin
+/// across the leaves and every leaf uplinks to one spine. The spine (or
+/// the single star switch) owns the site's WAN attachments.
+struct SiteConfig {
+  int nodes = 1;
+  int leaf_switches = 1;
+};
+
+/// One WAN edge: a Longbow pair joining two sites' WAN-facing switches
+/// over a long-haul fiber, with the usual per-pair knobs.
+struct WanEdgeConfig {
+  int site_a = 0;
+  int site_b = 1;
+  LongbowPair::Config longbow{};
+};
+
+struct TopologyConfig {
+  std::vector<SiteConfig> sites;
+  std::vector<WanEdgeConfig> wan;
+  /// Host and switch link data rate, bytes/ns (IB DDR payload = 2.0).
+  double lan_rate = 2.0;
+  /// Host-to-switch (and switch-to-Longbow) cable propagation.
+  sim::Duration host_link_prop = 100;
+  /// Switch cut-through latency per hop.
+  sim::Duration switch_latency = 200;
+  /// Back-to-back mode: exactly two one-node sites, one cable, no
+  /// switches or Longbows (the Figure 3 latency baseline).
+  bool back_to_back = false;
+
+  int total_nodes() const {
+    int n = 0;
+    for (const SiteConfig& s : sites) n += s.nodes;
+    return n;
+  }
+
+  /// Site 0 is the hub; sites 1..spokes each connect to it by one edge.
+  static TopologyConfig hub_spoke(int spokes, int nodes_per_site,
+                                  const LongbowPair::Config& longbow = {});
+  /// Every site pair gets a direct edge (edges ordered lexicographically).
+  static TopologyConfig full_mesh(int n_sites, int nodes_per_site,
+                                  const LongbowPair::Config& longbow = {});
+};
+
+/// Non-empty human-readable reason when the topology is malformed
+/// (no sites, nonpositive node counts, dangling/self-loop/duplicate WAN
+/// edges, back-to-back shape violations); empty string when valid.
+std::string validate_topology(const TopologyConfig& topo);
+
+/// Build-time static routes over the WAN graph.
+struct WanRoutes {
+  /// next_edge[src][dst]: index into TopologyConfig::wan of the edge a
+  /// packet at site src takes toward site dst; -1 when src == dst or
+  /// dst is unreachable.
+  std::vector<std::vector<int>> next_edge;
+  /// WAN edges crossed on the routed src→dst path; -1 when unreachable.
+  std::vector<std::vector<int>> hops;
+};
+
+WanRoutes compute_wan_routes(const TopologyConfig& topo);
+
+/// One-way zero-load latency floor (ns) from a host in `src_site` to a
+/// host in `dst_site` along the routed path: every LAN cable hop, switch
+/// hop, Longbow pipeline, WAN propagation, and `wan_delay` of emulated
+/// distance per WAN edge crossed. Intra-site floors account for the
+/// fat-tree (host→leaf→spine→leaf→host) when a site has multiple leaf
+/// switches; cross-leaf is assumed for multi-leaf endpoints (the floor
+/// of the worst intra-site pair). Returns -1 when dst is unreachable.
+sim::Duration path_floor_ns(const TopologyConfig& topo,
+                            const WanRoutes& routes, int src_site,
+                            int dst_site, sim::Duration wan_delay);
+
+}  // namespace ibwan::net

@@ -78,6 +78,17 @@ class LongbowPair {
     double loss_rate = 0.0;
   };
 
+  /// Instance names for the routers and long-haul links — metric scopes
+  /// and fault RNG stream identities derive from them, so a fabric with
+  /// several pairs (an N-site topology graph) must hand every pair a
+  /// distinct set. The defaults are the classic two-cluster names.
+  struct Names {
+    std::string side_a = "longbow-a";
+    std::string side_b = "longbow-b";
+    std::string wan_a2b = "wan-a2b";
+    std::string wan_b2a = "wan-b2a";
+  };
+
   LongbowPair(sim::Simulator& sim, const Config& config)
       : LongbowPair(sim, sim, config) {}
 
@@ -87,6 +98,8 @@ class LongbowPair {
   /// channels to both WAN links (Link::set_channel) — the fabric does.
   LongbowPair(sim::Simulator& sim_a, sim::Simulator& sim_b,
               const Config& config);
+  LongbowPair(sim::Simulator& sim_a, sim::Simulator& sim_b,
+              const Config& config, const Names& names);
   ~LongbowPair();
 
   Longbow& side_a() { return *a_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sim/trace.hpp"
 
@@ -18,6 +19,40 @@ std::uint64_t rx_peer_key(ib::Lid lid, ib::Qpn qpn) {
 }
 }  // namespace
 
+std::string validate(const SdrConfig& config) {
+  // The chunk header carries k and r as uint16, and a GF(2^8)
+  // Reed-Solomon group holds at most 255 symbols; out-of-range values
+  // used to truncate silently in the header encode.
+  constexpr int kMaxGroupSymbols = 255;
+  if (config.group_data_chunks < 1) {
+    return "group_data_chunks must be >= 1, got " +
+           std::to_string(config.group_data_chunks);
+  }
+  if (config.group_data_chunks > kMaxGroupSymbols) {
+    return "group_data_chunks must be <= 255 (GF(2^8) group), got " +
+           std::to_string(config.group_data_chunks);
+  }
+  if (config.parity_per_group < 0) {
+    return "parity_per_group must be >= 0, got " +
+           std::to_string(config.parity_per_group);
+  }
+  if (config.adaptive_max_parity < 0) {
+    return "adaptive_max_parity must be >= 0, got " +
+           std::to_string(config.adaptive_max_parity);
+  }
+  if (config.group_data_chunks + config.parity_per_group > kMaxGroupSymbols) {
+    return "group_data_chunks + parity_per_group must be <= 255, got " +
+           std::to_string(config.group_data_chunks + config.parity_per_group);
+  }
+  if (config.group_data_chunks + config.adaptive_max_parity >
+      kMaxGroupSymbols) {
+    return "group_data_chunks + adaptive_max_parity must be <= 255, got " +
+           std::to_string(config.group_data_chunks +
+                          config.adaptive_max_parity);
+  }
+  return "";
+}
+
 SdrEndpoint::SdrEndpoint(ib::Hca& hca, SdrConfig config)
     : hca_(hca),
       sim_(hca.sim()),
@@ -28,8 +63,11 @@ SdrEndpoint::SdrEndpoint(ib::Hca& hca, SdrConfig config)
       chunk_payload_(hca.config().mtu - kSdrHeaderBytes),
       adaptive_rng_(0) {
   assert(hca_.config().mtu > kSdrHeaderBytes);
-  assert(cfg_.group_data_chunks >= 1);
-  assert(cfg_.group_data_chunks + cfg_.adaptive_max_parity <= 128);
+  if (const std::string err = validate(cfg_); !err.empty()) {
+    std::fprintf(stderr, "SdrEndpoint (lid %u): invalid SdrConfig: %s\n",
+                 hca_.lid(), err.c_str());
+    std::abort();
+  }
   // Named stream: retuning redundancy must never perturb the main RNG
   // sequence (faults-off runs stay byte-identical; DESIGN.md §14).
   adaptive_rng_ = sim_.rng_stream("sdr.adaptive");
@@ -123,6 +161,7 @@ std::uint64_t SdrEndpoint::send(ib::UdDest dst, std::uint64_t bytes,
   m.bytes = bytes;
   m.total_data = static_cast<std::uint32_t>((bytes + chunk_payload_ - 1) /
                                             chunk_payload_);
+  // Fits: construction validated group_data_chunks <= 255.
   m.k = static_cast<std::uint16_t>(cfg_.group_data_chunks);
   // Dithered rounding of the adaptive ratio: the fractional parity is
   // realized probabilistically on the named stream, so the long-run

@@ -83,6 +83,13 @@ struct SdrConfig {
   int recv_slots = 2048;
 };
 
+/// Non-empty human-readable reason when the config is unusable (the
+/// wire header carries k and r as uint16, and GF(2^8) Reed-Solomon
+/// bounds a group at 255 symbols, so out-of-range values would silently
+/// truncate and corrupt group accounting); empty string when valid.
+/// SdrEndpoint construction rejects invalid configs with this message.
+std::string validate(const SdrConfig& config);
+
 /// Accounting; conservation identities over these are oracle-checked
 /// (src/check/oracles.cpp, `/sdr` scopes):
 ///   msgs_completed + msgs_failed == msgs_initiated     (drained)

@@ -45,8 +45,8 @@ SiteEngine::Channel& SiteEngine::make_channel(int src_site, int dst_site) {
   assert(dst_site >= 0 && dst_site < sites());
   assert(src_site != dst_site);
   const int id = static_cast<int>(channels_.size());
-  channels_.push_back(
-      std::unique_ptr<Channel>(new Channel(id, src_site, dst_site)));
+  channels_.push_back(std::unique_ptr<Channel>(new Channel(
+      id, src_site, dst_site, sites_[std::size_t(src_site)].get())));
   return *channels_.back();
 }
 
@@ -106,10 +106,15 @@ void SiteEngine::run_parallel() {
 
 void SiteEngine::merge_channels(Time horizon) {
   // Collect every buffered entry with arrival < horizon, per
-  // destination, and schedule them in (arrival, channel id, push seq)
-  // order — unique keys, so the order is total and reproducible.
+  // destination, and schedule them in (arrival, push time, channel id,
+  // push seq) order — unique keys, so the order is total and
+  // reproducible. The push-time key replays the sequential engine's
+  // FIFO-by-schedule-order rule for same-instant arrivals from
+  // different senders; channel id only breaks exact double ties, where
+  // wiring order matches the sequential posting order.
   struct Ref {
     Time at;
+    Time pushed;
     int chan;
     std::uint64_t seq;
     Channel* owner;
@@ -120,13 +125,15 @@ void SiteEngine::merge_channels(Time horizon) {
     auto& buf = ch->buf_;
     for (std::size_t i = 0; i < buf.size(); ++i) {
       if (buf[i].at < horizon) {
-        due.push_back(Ref{buf[i].at, ch->id_, buf[i].seq, ch.get(), i});
+        due.push_back(
+            Ref{buf[i].at, buf[i].pushed, ch->id_, buf[i].seq, ch.get(), i});
       }
     }
   }
   if (due.empty()) return;
   std::sort(due.begin(), due.end(), [](const Ref& a, const Ref& b) {
     if (a.at != b.at) return a.at < b.at;
+    if (a.pushed != b.pushed) return a.pushed < b.pushed;
     if (a.chan != b.chan) return a.chan < b.chan;
     return a.seq < b.seq;
   });

@@ -15,8 +15,11 @@
 //   1. Barrier (one thread): m = min over every site's next event time
 //      and every channel's buffered arrivals; horizon H = m + lookahead.
 //      Buffered channel entries with arrival < H are merged into their
-//      destination site's queue, ordered by (arrival, channel id, push
-//      seq) — a total order, so the merge is bit-reproducible.
+//      destination site's queue, ordered by (arrival, source-site push
+//      time, channel id, push seq) — a total order, so the merge is
+//      bit-reproducible, and the push-time key makes same-instant
+//      arrivals from different senders land in the order the
+//      sequential engine would have scheduled them.
 //   2. Window (parallel): each site fires its events with time strictly
 //      below H. Any event fired has time >= m, so a message it pushes
 //      arrives at >= m + lookahead = H — never inside the open window.
@@ -25,9 +28,10 @@
 //      ahead of it).
 //
 // Determinism: per-site ordering is the sequential Simulator's
-// (time, seq); cross-site merge order is (timestamp, channel, seq);
-// neither depends on thread count or scheduling, so a 1-worker and an
-// 8-worker run of the same partition produce byte-identical outputs.
+// (time, seq); cross-site merge order is (timestamp, push time,
+// channel, seq); neither depends on thread count or scheduling, so a
+// 1-worker and an 8-worker run of the same partition produce
+// byte-identical outputs.
 // A 1-site engine degenerates to Simulator::run() — today's sequential
 // path — which is the differential oracle (IBWAN_THREADS=1).
 #pragma once
@@ -57,8 +61,14 @@ class SiteEngine {
     /// `arrival`. Must satisfy arrival >= source site now + lookahead
     /// (checked at the merge). `cb` runs on the destination site's
     /// worker thread and must only touch destination-site state.
+    /// The entry is stamped with the source site's current simulated
+    /// time: when several channels deliver to one site at the same
+    /// instant (an N-site hub), the merge replays the sequential
+    /// engine's order — whichever sender scheduled its delivery first
+    /// goes first — instead of an arbitrary channel-id order.
     void push(Time arrival, Simulator::Callback cb) {
-      buf_.push_back(Entry{arrival, next_seq_++, std::move(cb)});
+      buf_.push_back(
+          Entry{arrival, src_sim_->now(), next_seq_++, std::move(cb)});
     }
 
     int src_site() const { return src_; }
@@ -68,13 +78,16 @@ class SiteEngine {
     friend class SiteEngine;
     struct Entry {
       Time at;
+      Time pushed;        // source-site clock at push: first tie-break
       std::uint64_t seq;  // per-channel push counter: merge tie-break
       Simulator::Callback cb;
     };
-    Channel(int id, int src, int dst) : id_(id), src_(src), dst_(dst) {}
-    int id_;  // creation order: second merge tie-break key
+    Channel(int id, int src, int dst, const Simulator* src_sim)
+        : id_(id), src_(src), dst_(dst), src_sim_(src_sim) {}
+    int id_;  // creation order: tie-break after the push stamp
     int src_;
     int dst_;
+    const Simulator* src_sim_;
     std::uint64_t next_seq_ = 0;
     std::vector<Entry> buf_;
   };

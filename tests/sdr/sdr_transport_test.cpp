@@ -367,6 +367,42 @@ RunResult testbed_run(int par_sites) {
   return r;
 }
 
+TEST(SdrConfigValidate, AcceptsDefaultsAndBoundaryGroups) {
+  EXPECT_EQ(validate(SdrConfig{}), "");
+  SdrConfig max_group;
+  max_group.group_data_chunks = 251;
+  max_group.parity_per_group = 4;
+  max_group.adaptive_max_parity = 4;  // k + max(r) == 255 exactly
+  EXPECT_EQ(validate(max_group), "");
+}
+
+TEST(SdrConfigValidate, RejectsOutOfRangeGroupShapes) {
+  // The chunk header carries k/r as uint16 and a GF(2^8) group holds
+  // at most 255 symbols; these used to truncate silently at encode.
+  SdrConfig zero_k;
+  zero_k.group_data_chunks = 0;
+  EXPECT_NE(validate(zero_k), "");
+
+  SdrConfig huge_k;
+  huge_k.group_data_chunks = 70000;  // would wrap as uint16
+  EXPECT_NE(validate(huge_k), "");
+
+  SdrConfig negative_parity;
+  negative_parity.parity_per_group = -1;
+  EXPECT_NE(validate(negative_parity), "");
+
+  SdrConfig overfull;
+  overfull.group_data_chunks = 200;
+  overfull.parity_per_group = 100;  // k + r > 255
+  EXPECT_NE(validate(overfull), "");
+
+  SdrConfig adaptive_overfull;
+  adaptive_overfull.group_data_chunks = 200;
+  adaptive_overfull.adaptive = true;
+  adaptive_overfull.adaptive_max_parity = 100;
+  EXPECT_NE(validate(adaptive_overfull), "");
+}
+
 TEST(SdrTransport, SiteParallelMatchesSequential) {
   const RunResult seq = testbed_run(1);
   const RunResult par = testbed_run(2);
