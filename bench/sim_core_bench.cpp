@@ -124,6 +124,7 @@ class Simulator {
 namespace {
 
 using namespace ibwan;
+using namespace ibwan::sim::literals;
 
 // ---------------------------------------------------------------------------
 // Event mixes. Each is a template over the engine so the exact same
@@ -155,7 +156,7 @@ struct ProtocolMix {
     const std::uint64_t p[4] = {remaining, sink, remaining ^ sink, 42};
     sim.schedule(0, [this, p] { sink += p[0] ^ p[3]; });
     sim.schedule(0, [this, p] { sink += p[1] + p[2]; });
-    sim.schedule(100, [this] { fire(); });
+    sim.schedule(100_ns, [this] { fire(); });
   }
 
   void seed_queue(int depth) {
@@ -204,7 +205,7 @@ struct CancelMix {
   void step() {
     if (remaining == 0) return;
     --remaining;
-    const auto timeout = sim.schedule(10'000, [this] { ++sink; });
+    const auto timeout = sim.schedule(10_us, [this] { ++sink; });
     sim.schedule(static_cast<sim::Duration>(lcg.next() % 1000 + 1),
                  [this, timeout] {
                    sim.cancel(timeout);

@@ -2,15 +2,23 @@
 # One-shot static-analysis entry point: everything the `static-analysis`
 # CI job runs, in the same order, runnable locally.
 #
-#   scripts/lint.sh            # ibwan-lint + docs checks (+ clang-tidy
-#                              # when installed and a build exists)
+#   scripts/lint.sh            # ibwan-lint + clang-tidy + docs links
 #   scripts/lint.sh --fast     # ibwan-lint only
 #
-# Exit: nonzero iff any enabled check fails. clang-tidy and the
-# metrics-docs check degrade to a notice when their prerequisites
-# (clang-tidy binary / a configured build) are missing, so the script
-# works in minimal containers; CI installs both so nothing is skipped
-# there.
+# Environment:
+#   IBWAN_BUILD_DIR   build tree (default: build)
+#   CLANG_TIDY        clang-tidy binary to use (default: clang-tidy) —
+#                     CI pins a major version here so local and CI runs
+#                     agree on the check set
+#   IBWAN_LINT_CACHE  per-file result cache path (default:
+#                     $IBWAN_BUILD_DIR/.ibwan_lint_cache.json); warm
+#                     runs re-lint only changed files
+#   IBWAN_LINT_SARIF  when set, also write SARIF 2.1.0 findings there
+#
+# Exit: nonzero iff any enabled check fails. clang-tidy degrades to a
+# notice when the binary or a configured build is missing, so the
+# script works in minimal containers; CI installs both so nothing is
+# skipped there.
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,14 +26,31 @@ FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
 BUILD_DIR="${IBWAN_BUILD_DIR:-build}"
+CLANG_TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+LINT_CACHE="${IBWAN_LINT_CACHE:-$BUILD_DIR/.ibwan_lint_cache.json}"
+LINT_SCOPE=(src bench examples tools)
 fail=0
 
 step() { printf '\n== %s ==\n' "$1"; }
 
-step "ibwan-lint (determinism & invariant rules)"
+step "ibwan-lint (determinism, concurrency, unit & schema rules)"
+mkdir -p "$(dirname "$LINT_CACHE")"
+lint_args=(
+  --compile-commands "$BUILD_DIR/compile_commands.json"
+  --metrics-docs docs/METRICS.md
+  --cache "$LINT_CACHE"
+)
+[[ -n "${IBWAN_LINT_SARIF:-}" ]] && lint_args+=(--sarif "$IBWAN_LINT_SARIF")
+if ! python3 tools/ibwan_lint "${lint_args[@]}" "${LINT_SCOPE[@]}"; then
+  fail=1
+fi
+
+step "ibwan-lint suppression budget (tests/lint/suppressions_baseline.txt)"
 if ! python3 tools/ibwan_lint \
     --compile-commands "$BUILD_DIR/compile_commands.json" \
-    src bench examples tools; then
+    --metrics-docs docs/METRICS.md \
+    --suppressions-baseline tests/lint/suppressions_baseline.txt \
+    "${LINT_SCOPE[@]}"; then
   fail=1
 fi
 
@@ -33,23 +58,17 @@ if [[ "$FAST" == "1" ]]; then
   exit "$fail"
 fi
 
-step "clang-tidy (bugprone/performance profile)"
-if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "clang-tidy not installed — skipped (CI runs it)"
+step "clang-tidy (bugprone/performance profile, $CLANG_TIDY_BIN)"
+if ! command -v "$CLANG_TIDY_BIN" >/dev/null 2>&1; then
+  echo "$CLANG_TIDY_BIN not installed — skipped (CI runs it)"
 elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   echo "no $BUILD_DIR/compile_commands.json — configure first (cmake -B $BUILD_DIR -S .)"
 else
   # Sources only; headers are covered through HeaderFilterRegex.
   mapfile -t sources < <(git ls-files 'src/**/*.cpp' 'tools/*.cpp')
-  if command -v run-clang-tidy >/dev/null 2>&1; then
-    if ! run-clang-tidy -quiet -p "$BUILD_DIR" "${sources[@]}"; then
-      fail=1
-    fi
-  else
-    if ! printf '%s\n' "${sources[@]}" | \
-        xargs -P "$(nproc)" -n 4 clang-tidy -quiet -p "$BUILD_DIR"; then
-      fail=1
-    fi
+  if ! printf '%s\n' "${sources[@]}" | \
+      xargs -P "$(nproc)" -n 4 "$CLANG_TIDY_BIN" -quiet -p "$BUILD_DIR"; then
+    fail=1
   fi
 fi
 
@@ -58,15 +77,9 @@ if ! python3 scripts/check_md_links.py; then
   fail=1
 fi
 
-step "docs/METRICS.md vs registry"
-DUMP="$BUILD_DIR/tools/metrics_schema_dump"
-if [[ -x "$DUMP" ]]; then
-  if ! python3 scripts/check_metrics_docs.py "$DUMP"; then
-    fail=1
-  fi
-else
-  echo "$DUMP not built — skipped (cmake --build $BUILD_DIR --target metrics_schema_dump)"
-fi
+# docs/METRICS.md consistency is now SCHEMA001's job (the --metrics-docs
+# pass above checks both directions, statically), so the old
+# metrics_schema_dump based checker is gone.
 
 if [[ "$fail" == "0" ]]; then
   printf '\nlint.sh: all checks passed\n'

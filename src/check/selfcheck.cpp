@@ -3,6 +3,8 @@
 namespace ibwan::check {
 
 OracleReport& selfcheck_report() {
+  // NOLINT-IBWAN(CONC003): bench-process singleton, written only by the
+  // single-threaded selfcheck pass after the engine has drained
   static OracleReport report;  // NOLINT: bench-process singleton
   return report;
 }

@@ -18,6 +18,7 @@ namespace ibwan::core {
 
 namespace detail {
 inline int& par_sites_storage() {
+  // NOLINT-IBWAN(CONC003): process-wide CLI knob, set once before any run
   static int sites = 1;  // NOLINT: process-wide knob, set before runs start
   return sites;
 }

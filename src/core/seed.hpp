@@ -13,6 +13,8 @@ namespace ibwan::core {
 
 namespace detail {
 inline std::uint64_t& default_seed_storage() {
+  // NOLINT-IBWAN(CONC003): process-wide seed knob, set once at startup
+  // (IBWAN_SEED/bench::init) before any simulator is constructed
   static std::uint64_t seed = 42;
   return seed;
 }

@@ -295,8 +295,10 @@ void Fabric::build_topology() {
     for (std::size_t k = 0; k < leaves[std::size_t(s)].size(); ++k) {
       Switch* leaf = leaves[std::size_t(s)][k];
       const std::string kk = std::to_string(k);
+      // NOLINT-IBWAN(CONC001): construction-time wiring, engine not started
       Link* up = make_link(sim_of_site(s), host_link,
                            "sw" + ls + "-leaf" + kk + "-to-spine");
+      // NOLINT-IBWAN(CONC001): construction-time wiring, engine not started
       Link* down = make_link(sim_of_site(s), host_link,
                              "sw" + ls + "-spine-to-leaf" + kk);
       up->set_sink([spine](Packet&& p) { spine->receive(std::move(p)); });
@@ -339,8 +341,10 @@ void Fabric::build_topology() {
                             const std::string& ts, Longbow* lb) {
       Switch* sw = wan_switch_[std::size_t(site)];
       Link* sw_to_lb =
+          // NOLINT-IBWAN(CONC001): construction-time wiring, engine idle
           make_link(sim_of_site(site), host_link, "sw" + ls + "-to-lb" + ts);
       Link* lb_to_sw =
+          // NOLINT-IBWAN(CONC001): construction-time wiring, engine idle
           make_link(sim_of_site(site), host_link, "lb" + ts + "-to-sw" + ls);
       sw_to_lb->set_sink(
           [lb](Packet&& p) { lb->receive_from_lan(std::move(p)); });

@@ -357,6 +357,8 @@ bool parse_brownouts(const JsonValue& v, std::vector<BrownoutWindow>* out,
 }
 
 std::optional<FaultPlanConfig>& global_plan_slot() {
+  // NOLINT-IBWAN(CONC003): loaded once from --faults before the engine
+  // starts; read-only while LPs run
   static std::optional<FaultPlanConfig> plan;
   return plan;
 }

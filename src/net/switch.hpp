@@ -73,8 +73,10 @@ class Switch {
   std::vector<Link*> ports_;
   std::unordered_map<NodeId, int> routes_;
   int default_port_ = -1;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t drops_no_route_ = 0;
+  // Conservation: forwarded_ + drops_no_route_ == packets received
+  // (receive + receive_wan); written only by switch.cpp (INV001).
+  std::uint64_t forwarded_ = 0;       // lint:conserved
+  std::uint64_t drops_no_route_ = 0;  // lint:conserved
   /// First kNoRouteWarnLimit no-route drops warn individually; after
   /// that only power-of-two drop counts emit a suppressed-count summary,
   /// so a misrouted incast logs O(log drops) lines instead of one per

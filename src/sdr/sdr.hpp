@@ -109,9 +109,9 @@ struct SdrStats {
   std::uint64_t data_chunks_sent = 0;     // lint:conserved
   std::uint64_t parity_chunks_sent = 0;   // lint:conserved
   std::uint64_t retrans_chunks_sent = 0;  // lint:conserved
-  std::uint64_t chunk_bytes_sent = 0;
-  std::uint64_t nacks_received = 0;
-  std::uint64_t probes_sent = 0;
+  std::uint64_t chunk_bytes_sent = 0;     // lint:conserved
+  std::uint64_t nacks_received = 0;       // lint:conserved
+  std::uint64_t probes_sent = 0;          // lint:conserved
   // --- receiver ---
   std::uint64_t data_chunks_received = 0;    // lint:conserved
   std::uint64_t parity_chunks_received = 0;  // lint:conserved
@@ -119,9 +119,9 @@ struct SdrStats {
   std::uint64_t chunks_repaired = 0;         // lint:conserved
   std::uint64_t data_chunks_delivered = 0;   // lint:conserved
   std::uint64_t decoded_bytes = 0;           // lint:conserved
-  std::uint64_t groups_decoded = 0;
-  std::uint64_t nacks_sent = 0;
-  std::uint64_t dones_sent = 0;
+  std::uint64_t groups_decoded = 0;          // lint:conserved
+  std::uint64_t nacks_sent = 0;              // lint:conserved
+  std::uint64_t dones_sent = 0;              // lint:conserved
   std::uint64_t msgs_delivered = 0;      // lint:conserved
   std::uint64_t msg_bytes_delivered = 0;  // lint:conserved
   std::uint64_t msgs_abandoned = 0;      // lint:conserved

@@ -270,6 +270,8 @@ bool MetricsSnapshot::write_csv(const std::string& path) const {
 }
 
 MetricsAggregator& MetricsAggregator::global() {
+  // NOLINT-IBWAN(CONC003): export-time aggregator; merged after the
+  // engine has joined its site threads (mutex-guarded internally)
   static MetricsAggregator agg;
   return agg;
 }

@@ -8,6 +8,8 @@ namespace {
 // The armed recorder acting as this thread's IBWAN_TRACE sink. Sweeps
 // run one simulator per worker thread, so thread-local keeps
 // concurrently armed recorders independent.
+// NOLINT-IBWAN(CONC003): thread_local by design — one recorder per
+// worker thread is exactly the per-LP isolation the rule wants
 thread_local FlightRecorder* t_sink = nullptr;
 
 void copy_padded(char* dst, std::size_t cap, const char* src) {

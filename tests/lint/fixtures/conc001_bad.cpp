@@ -1,0 +1,32 @@
+// CONC001 fixture: cross-site scheduling through a call chain.  DET005
+// only sees `site(i).schedule(...)` in one expression; CONC001 uses the
+// pass-1 call graph to catch methods and free functions that reach
+// Simulator::schedule transitively.
+
+struct Sim {
+  void schedule(long delay_ns, void (*cb)());
+  // A method that schedules: calling it on a selected site injects an
+  // event without crossing a Channel.
+  void fire_later(long delay_ns, void (*cb)()) { schedule(delay_ns, cb); }
+};
+
+struct Engine {
+  Sim& site(int i);
+};
+
+void poke() {}
+
+// Free function that schedules into whatever simulator it is handed.
+void relay_into(Sim& s, long d_ns) { s.schedule(d_ns, &poke); }
+
+// Two hops: still reachable in the call graph.
+void relay_hop(Sim& s, long d_ns) { relay_into(s, d_ns); }
+
+void chain_form(Engine& eng, long d_ns) {
+  eng.site(1).fire_later(d_ns, &poke);  // EXPECT-IBWAN(CONC001)
+}
+
+void arg_form(Engine& eng, long d_ns) {
+  relay_into(eng.site(2), d_ns);  // EXPECT-IBWAN(CONC001)
+  relay_hop(eng.site(3), d_ns);   // EXPECT-IBWAN(CONC001)
+}

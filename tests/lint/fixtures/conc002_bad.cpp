@@ -1,0 +1,37 @@
+// CONC002 fixture: site-local resources captured into Channel::push
+// callbacks.  The callback runs when the *destination* LP pops the
+// event, so a captured source-site Simulator/MetricsRegistry/
+// FlightRecorder/Rng is touched from another thread under --par-sites.
+
+struct Simulator {
+  void poke();
+};
+struct MetricsRegistry {
+  void bump();
+};
+struct Rng {
+  unsigned next();
+};
+
+struct ChannelB2 {
+  template <typename F>
+  void push(long arrival_ns, F cb);
+};
+
+void capture_sim(ChannelB2& ch, Simulator& sim, long at_ns) {
+  ch.push(at_ns, [&sim] {  // EXPECT-IBWAN(CONC002)
+    sim.poke();
+  });
+}
+
+void capture_metrics(ChannelB2& ch, MetricsRegistry& mreg, long at_ns) {
+  ch.push(at_ns, [&mreg] {  // EXPECT-IBWAN(CONC002)
+    mreg.bump();
+  });
+}
+
+void capture_rng(ChannelB2& ch, Rng& dice, long at_ns) {
+  ch.push(at_ns, [dice]() mutable {  // EXPECT-IBWAN(CONC002)
+    (void)dice;
+  });
+}

@@ -1,0 +1,30 @@
+// CONC002 clean fixture: the sanctioned Channel::push patterns —
+// capture plain data (packet copies, ids, byte counts) and resolve any
+// site-local resource on the receiving side (cf. net::Link's channel
+// mode, which captures only `this` and the packet).
+
+struct PacketC2 {
+  unsigned id;
+};
+
+struct ChannelC2 {
+  template <typename F>
+  void push(long arrival_ns, F cb);
+};
+
+struct LinkC2 {
+  ChannelC2* channel_;
+  void deliver(PacketC2 p);
+
+  void forward(PacketC2 pkt, long arrival_ns) {
+    // Plain data + this: the destination object resolves its own
+    // resources when the callback runs.
+    channel_->push(arrival_ns, [this, pkt] { deliver(pkt); });
+  }
+};
+
+struct WorkQueueC2 {
+  void push(PacketC2 p);  // an ordinary container push is not a crossing
+};
+
+void enqueue(WorkQueueC2& q, PacketC2 p) { q.push(p); }

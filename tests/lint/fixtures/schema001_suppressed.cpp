@@ -1,0 +1,15 @@
+// SCHEMA001 suppressed fixture: an intentionally undocumented metric,
+// e.g. a short-lived debug counter that must not enter the schema.
+
+struct CounterS1;
+
+struct RegS1 {
+  CounterS1& counter(const char* scope, const char* name);
+};
+
+void register_debug(RegS1& m) {
+  const char* scope = "node0/fix.layer";
+  // NOLINT-IBWAN(SCHEMA001): temporary debug counter for the flaky
+  // replay investigation; removed before the schema freeze
+  m.counter(scope, "debug_probe");
+}

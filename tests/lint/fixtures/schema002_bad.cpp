@@ -1,0 +1,27 @@
+// SCHEMA002 fixture: names that break the grammar. Layers are
+// dot-separated lowercase, leaves snake_case, trace kinds kebab-case.
+// The offending names are documented in fixtures/metrics_docs.md so
+// only the grammar rule (not SCHEMA001 drift) fires.
+
+struct CounterG;
+
+struct RegG {
+  CounterG& counter(const char* scope, const char* name);
+};
+
+void register_ugly(RegG& m) {
+  const char* cameled = "node1/Net.Link";
+  m.counter(cameled, "pkts");  // EXPECT-IBWAN(SCHEMA002)
+  const char* scope = "node1/fix.layer";
+  m.counter(scope, "BadLeaf");  // EXPECT-IBWAN(SCHEMA002)
+}
+
+const char* trace_kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "neat-trace";
+    case 1:
+      return "Shouty-Trace";  // EXPECT-IBWAN(SCHEMA002)
+  }
+  return "?";
+}

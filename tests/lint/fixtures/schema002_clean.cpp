@@ -1,0 +1,20 @@
+// SCHEMA002 clean fixture: grammar-conforming names throughout.
+
+struct CounterN;
+
+struct RegN {
+  CounterN& counter(const char* scope, const char* name);
+};
+
+void register_neat(RegN& m) {
+  const char* scope = "node2/fix.layer";
+  m.counter(scope, "snake_leaf");
+}
+
+const char* trace_kind_name(int kind) {
+  switch (kind) {
+    case 0:
+      return "neat-trace";
+  }
+  return "?";
+}

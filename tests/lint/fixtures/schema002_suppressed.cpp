@@ -1,0 +1,16 @@
+// SCHEMA002 suppressed fixture: a legacy leaf name kept verbatim for
+// dashboard compatibility. It is documented (so SCHEMA001 is quiet)
+// and the grammar violation is acknowledged in place.
+
+struct CounterH;
+
+struct RegH {
+  CounterH& counter(const char* scope, const char* name);
+};
+
+void register_legacy(RegH& m) {
+  const char* scope = "node4/fix.layer";
+  // NOLINT-IBWAN(SCHEMA002): leaf name predates the naming grammar;
+  // dashboards key on it, rename tracked separately
+  m.counter(scope, "Hidden_Leaf");
+}

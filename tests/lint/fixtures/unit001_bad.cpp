@@ -1,0 +1,21 @@
+// UNIT001 fixture: arithmetic and assignment mixing inferred units.
+// Everything in the simulator is a plain uint64, so the only defense
+// against adding nanoseconds to bytes is the `_ns`/`_bytes`/`_per_s`
+// naming convention — which pass 1 turns into checkable dimensions.
+
+unsigned long mix_dimensions(unsigned long elapsed_ns,
+                             unsigned long payload_bytes) {
+  return elapsed_ns + payload_bytes;  // EXPECT-IBWAN(UNIT001)
+}
+
+bool mix_compare(unsigned long deadline_ns, unsigned long quota_bytes) {
+  return deadline_ns < quota_bytes;  // EXPECT-IBWAN(UNIT001)
+}
+
+void mix_rate(unsigned long goodput_per_s, unsigned long window_bytes) {
+  goodput_per_s += window_bytes;  // EXPECT-IBWAN(UNIT001)
+}
+
+void mix_scale(unsigned long lat_us, unsigned long lat_ns) {
+  lat_us = lat_ns;  // EXPECT-IBWAN(UNIT001)
+}

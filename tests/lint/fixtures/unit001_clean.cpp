@@ -1,0 +1,25 @@
+// UNIT001 clean fixture: same-unit arithmetic, and mixed-dimension
+// expressions whose multiplicative terms make the dimensions line up.
+
+unsigned long same_unit(unsigned long busy_ns, unsigned long idle_ns) {
+  return busy_ns + idle_ns;
+}
+
+unsigned long accumulate(unsigned long total_bytes,
+                         unsigned long chunk_bytes) {
+  total_bytes += chunk_bytes;
+  return total_bytes;
+}
+
+// bytes = rate * time: the `*` makes the right-hand term's dimension
+// differ from its leftmost operand, so the heuristic stands down.
+unsigned long window(unsigned long rate_per_s, unsigned long span_ns) {
+  unsigned long win_bytes = rate_per_s * span_ns / 1000000000ull;
+  return win_bytes;
+}
+
+// Explicit conversion: the scale factor is visible.
+unsigned long to_us(unsigned long span_ns) {
+  unsigned long span_us = span_ns / 1000;
+  return span_us;
+}

@@ -1,0 +1,8 @@
+// UNIT001 suppressed fixture: a deliberate pun (hashing mixed fields)
+// may mix units if it says why.
+
+unsigned long digest(unsigned long seen_ns, unsigned long seen_bytes) {
+  // NOLINT-IBWAN(UNIT001): checksum over raw fields, not arithmetic —
+  // dimensions are irrelevant to the hash
+  return seen_ns + seen_bytes;
+}

@@ -1,0 +1,17 @@
+// UNIT002 fixture: raw numeric literals in schedule()/schedule_at()
+// delay positions.  sim::Duration is nanoseconds, but `schedule(100,
+// ...)` does not say so — the unit literals and kNanosecond-family
+// constants do.
+
+struct SimU2 {
+  void schedule(long delay_ns, void (*cb)());
+  void schedule_at(long at_ns, void (*cb)());
+};
+
+void fire() {}
+
+void raw_delays(SimU2& sim) {
+  sim.schedule(100, &fire);        // EXPECT-IBWAN(UNIT002)
+  sim.schedule_at(10'000, &fire);  // EXPECT-IBWAN(UNIT002)
+  sim.schedule(5 + 3, &fire);      // EXPECT-IBWAN(UNIT002)
+}

@@ -1,0 +1,28 @@
+// UNIT002 clean fixture: every legal way to spell a delay — unit
+// literals, the named constants, unit-suffixed variables, an explicit
+// Duration cast, and the scale-free zero.
+
+using Duration = unsigned long long;
+
+constexpr Duration kMicrosecond = 1000;
+
+constexpr Duration operator""_ns(unsigned long long v) { return v; }
+constexpr Duration operator""_us(unsigned long long v) {
+  return v * kMicrosecond;
+}
+
+struct SimU2C {
+  void schedule(Duration delay_ns, void (*cb)());
+  void schedule_at(Duration at_ns, void (*cb)());
+};
+
+void tick() {}
+
+void good_delays(SimU2C& sim, Duration gap_ns, int i) {
+  sim.schedule(100_ns, &tick);
+  sim.schedule_at(10_us, &tick);
+  sim.schedule(2 * kMicrosecond, &tick);
+  sim.schedule(gap_ns, &tick);
+  sim.schedule(static_cast<Duration>(i % 97), &tick);
+  sim.schedule(0, &tick);  // zero is "now": no scale to get wrong
+}

@@ -25,12 +25,23 @@ from ibwan_lint.model import EXPECT_RE  # noqa: E402
 from ibwan_lint.rules import RULES  # noqa: E402
 
 
+METRICS_DOCS = os.path.join(FIXTURES, "metrics_docs.md")
+
+# Findings SCHEMA001 anchors on the docs file itself (documented rows
+# that no code backs).  The .md is not lexed as C++, so it cannot carry
+# EXPECT markers; the ghost rows are asserted here instead.
+DOCS_SIDE_EXPECTED = {
+    ("metrics_docs.md", "SCHEMA001", "fix.layer/ghost_metric"),
+    ("metrics_docs.md", "SCHEMA001", "ghost-trace"),
+}
+
+
 def lint_corpus():
     paths = engine.discover([FIXTURES])
     files, errors = engine.parse_files(paths)
     if errors:
         raise AssertionError(f"fixture corpus failed to lex: {errors}")
-    return files, engine.run_rules(files)
+    return files, engine.run_rules(files, metrics_docs=METRICS_DOCS)
 
 
 def expected_markers(files):
@@ -45,10 +56,14 @@ class LintFixtureTest(unittest.TestCase):
     @classmethod
     def setUpClass(cls):
         cls.files, cls.findings = lint_corpus()
+        cls.docs_side = [f for f in cls.findings
+                         if os.path.basename(f.path) == "metrics_docs.md"]
+        code = [f for f in cls.findings
+                if os.path.basename(f.path) != "metrics_docs.md"]
         cls.active = {(os.path.basename(f.path), f.line, f.rule)
-                      for f in cls.findings if not f.suppressed}
+                      for f in code if not f.suppressed}
         cls.everything = {(os.path.basename(f.path), f.line, f.rule)
-                          for f in cls.findings}
+                          for f in code}
 
     def test_each_rule_fires_exactly_where_expected(self):
         expected = expected_markers(self.files)
@@ -79,6 +94,39 @@ class LintFixtureTest(unittest.TestCase):
     def test_clean_fixture_is_silent(self):
         noisy = [t for t in self.everything if t[0] == "clean.cpp"]
         self.assertFalse(noisy, f"clean.cpp must report nothing: {noisy}")
+
+    def test_docs_side_ghost_rows_are_reported(self):
+        got = set()
+        for f in self.docs_side:
+            self.assertFalse(f.suppressed,
+                             "docs-side findings cannot be suppressed")
+            name = next((tok for tok in DOCS_SIDE_EXPECTED
+                         if tok[2] in f.message), None)
+            self.assertIsNotNone(
+                name, f"unexpected docs-side finding: {f.message}")
+            got.add((os.path.basename(f.path), f.rule, name[2]))
+        self.assertEqual(got, DOCS_SIDE_EXPECTED,
+                         "ghost rows in metrics_docs.md must each "
+                         "produce exactly one SCHEMA001 finding")
+
+    def test_per_rule_suppressed_fixtures(self):
+        names = {t[0] for t in self.everything} | {
+            os.path.basename(sf.path) for sf in self.files}
+        for name in sorted(n for n in names if n.endswith("_suppressed.cpp")):
+            active = [t for t in self.active if t[0] == name]
+            self.assertFalse(active, f"{name}: suppression ignored: {active}")
+            hidden = [t for t in self.everything - self.active
+                      if t[0] == name]
+            self.assertTrue(hidden,
+                            f"{name} must carry >=1 suppressed finding")
+
+    def test_per_rule_clean_fixtures_are_silent(self):
+        for sf in self.files:
+            name = os.path.basename(sf.path)
+            if not name.endswith("_clean.cpp"):
+                continue
+            noisy = [t for t in self.everything if t[0] == name]
+            self.assertFalse(noisy, f"{name} must report nothing: {noisy}")
 
     def test_owning_unit_writes_are_legal(self):
         noisy = [t for t in self.everything

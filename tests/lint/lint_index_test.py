@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Unit tests for the pass-1 project index (tools/ibwan_lint/index.py).
+
+Covers the three behaviours the flow-aware rules lean on hardest:
+
+  * unit-suffix inference (`unit_of` and declaration scanning),
+  * call-graph edges that cross translation units (a header-defined
+    helper that reaches `schedule` taints its callers in other files),
+  * the stale-cache regression: editing one file so a cross-file fact
+    changes must invalidate every cached verdict, not just the edited
+    file's.
+
+Runs under plain python3 (ctest) or pytest.
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "tools"))
+
+from ibwan_lint import engine  # noqa: E402
+from ibwan_lint.index import (  # noqa: E402
+    ProjectIndex, build_summary, unit_of)
+from ibwan_lint.model import SourceFile  # noqa: E402
+
+
+def summarize(*named_sources):
+    out = []
+    for name, text in named_sources:
+        out.append(build_summary(SourceFile(name, text)))
+    return out
+
+
+HEADER = """\
+#pragma once
+struct SimX {
+  void schedule(long delay_ns, void (*cb)());
+};
+inline void arm_timer(SimX& sim, long delay_ns) {
+  sim.schedule(delay_ns, nullptr);
+}
+"""
+
+MAIN = """\
+#include "util.hpp"
+void kick(SimX& sim, long d_ns) { arm_timer(sim, d_ns); }
+void idle(SimX& sim) { (void)sim; }
+"""
+
+
+class UnitInferenceTest(unittest.TestCase):
+    def test_suffix_table(self):
+        self.assertEqual(unit_of("elapsed_ns"), "ns")
+        self.assertEqual(unit_of("window_us"), "us")
+        self.assertEqual(unit_of("timeout_ms"), "ms")
+        self.assertEqual(unit_of("payload_bytes"), "bytes")
+        self.assertEqual(unit_of("rate_per_s"), "per_s")
+        self.assertEqual(unit_of("speed_mbps"), "per_s")
+        self.assertEqual(unit_of("line_bps"), "per_s")
+
+    def test_trailing_underscore_members(self):
+        self.assertEqual(unit_of("pending_bytes_"), "bytes")
+        self.assertEqual(unit_of("deadline_ns_"), "ns")
+
+    def test_non_units_stay_untyped(self):
+        for name in ("banns", "_ns", "albums", "total", "nanoseconds"):
+            self.assertIsNone(unit_of(name), name)
+
+    def test_declarations_feed_var_units(self):
+        (s,) = summarize(("u.cpp", """\
+void f(long span_ns, unsigned long total_bytes) {
+  long idle_us = 0;
+  int plain = 0;
+  (void)span_ns; (void)total_bytes; (void)idle_us; (void)plain;
+}
+"""))
+        idx = ProjectIndex.build([s], None)
+        self.assertEqual(idx.var_units.get("span_ns"), "ns")
+        self.assertEqual(idx.var_units.get("total_bytes"), "bytes")
+        self.assertEqual(idx.var_units.get("idle_us"), "us")
+        self.assertNotIn("plain", idx.var_units)
+
+
+class CrossHeaderCallGraphTest(unittest.TestCase):
+    def test_header_helper_taints_cpp_caller(self):
+        idx = ProjectIndex.build(
+            summarize(("util.hpp", HEADER), ("main.cpp", MAIN)), None)
+        # Direct edge inside the header...
+        self.assertIn("schedule", idx.call_graph.get("arm_timer", ()))
+        # ...and the cross-TU edge from the .cpp caller.
+        self.assertIn("arm_timer", idx.call_graph.get("kick", ()))
+        # Reverse reachability closes over both hops.
+        self.assertIn("arm_timer", idx.reaches_schedule)
+        self.assertIn("kick", idx.reaches_schedule)
+        self.assertNotIn("idle", idx.reaches_schedule)
+
+    def test_engine_aware_by_parameter_type(self):
+        (s,) = summarize(("e.cpp", """\
+struct SiteEngine;
+void drive(SiteEngine& eng, int steps) { (void)eng; (void)steps; }
+void bystander(int x) { (void)x; }
+"""))
+        idx = ProjectIndex.build([s], None)
+        self.assertIn("drive", idx.engine_aware)
+        self.assertNotIn("bystander", idx.engine_aware)
+
+
+B_REACHES = """\
+struct SimY {
+  void schedule(long delay_ns, void (*cb)());
+};
+struct SiteEngineY {
+  SimY& site(int i);
+};
+void fire_later(SimY& s, long d_ns) { s.schedule(d_ns, nullptr); }
+"""
+
+B_LOCAL = """\
+struct SimY {
+  void schedule(long delay_ns, void (*cb)());
+};
+struct SiteEngineY {
+  SimY& site(int i);
+};
+void fire_later(SimY& s, long d_ns) { (void)s; (void)d_ns; }
+"""
+
+A_CALLER = """\
+void drive(SiteEngineY& eng, long d_ns) {
+  fire_later(eng.site(1), d_ns);
+}
+"""
+
+
+class StaleCacheRegressionTest(unittest.TestCase):
+    """Editing b.cpp changes a's verdict; the cache must notice."""
+
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="ibwan_lint_idx_")
+        self.cache = os.path.join(self.dir, "cache.json")
+        self._write("a.cpp", A_CALLER)
+        self._write("b.cpp", B_REACHES)
+
+    def tearDown(self):
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+    def _write(self, name, text):
+        with open(os.path.join(self.dir, name), "w") as fh:
+            fh.write(text)
+
+    def _run(self):
+        return engine.run([self.dir], cache_path=self.cache)
+
+    def test_cross_file_fact_change_invalidates_everything(self):
+        cold = self._run()
+        self.assertEqual(
+            [(os.path.basename(f.path), f.rule) for f in cold.findings],
+            [("a.cpp", "CONC001")],
+            "seed scenario should flag a.cpp handing a site engine "
+            "into a schedule-reaching helper")
+
+        # Warm, untouched: everything served from the cache, verdicts
+        # identical.
+        warm = self._run()
+        self.assertEqual(warm.files_linted, 0)
+        self.assertEqual(warm.files_cached, 2)
+        self.assertEqual(
+            [(f.path, f.line, f.rule) for f in warm.findings],
+            [(f.path, f.line, f.rule) for f in cold.findings])
+
+        # Edit only b.cpp so fire_later no longer reaches schedule.
+        # a.cpp is byte-identical, but its cached finding is now stale:
+        # the index digest change must force a full re-lint.
+        self._write("b.cpp", B_LOCAL)
+        third = self._run()
+        self.assertEqual(third.files_linted, 2,
+                         "a cross-file fact changed; serving a.cpp "
+                         "from the cache would keep a stale finding")
+        self.assertEqual(third.findings, [])
+
+    def test_sha_mismatch_relints_changed_file(self):
+        self._run()
+        # A local-only edit (no cross-file fact changes): only the
+        # touched file goes through pass 2 again.
+        self._write("a.cpp", A_CALLER + "\nvoid pad(int x) { (void)x; }\n")
+        warm = self._run()
+        self.assertEqual(warm.files_linted, 1)
+        self.assertEqual(warm.files_cached, 1)
+        self.assertEqual(sorted(os.path.basename(p) for p in warm.changed),
+                         ["a.cpp"])
+        self.assertEqual(
+            [(os.path.basename(f.path), f.rule) for f in warm.findings],
+            [("a.cpp", "CONC001")])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

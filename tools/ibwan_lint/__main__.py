@@ -14,7 +14,7 @@ if __package__ in (None, ""):  # `python3 tools/ibwan_lint` (path exec)
         0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     __package__ = "ibwan_lint"
 
-from . import __version__, clang_backend, engine  # noqa: E402
+from . import __version__, clang_backend, engine, sarif  # noqa: E402
 from .rules import RULES, RULE_DOCS  # noqa: E402
 
 
@@ -37,6 +37,30 @@ def main(argv=None) -> int:
                     help="print the rule catalog and exit")
     ap.add_argument("--json", action="store_true",
                     help="machine-readable ibwan.lint.v1 output")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="also write findings as SARIF 2.1.0 to FILE "
+                         "(GitHub code scanning)")
+    ap.add_argument("--cache", metavar="FILE",
+                    help="content-hash result cache: unchanged files "
+                         "skip lexing and reuse their findings unless a "
+                         "cross-file fact changed")
+    ap.add_argument("--changed-only", action="store_true",
+                    help="with --cache: report findings only for files "
+                         "whose content changed (plus docs-side "
+                         "SCHEMA001); exit code follows the reported set")
+    ap.add_argument("--metrics-docs", metavar="MD",
+                    help="docs/METRICS.md path enabling the SCHEMA001 "
+                         "two-way metric/trace schema check")
+    ap.add_argument("--suppressions", action="store_true",
+                    help="report every NOLINT-IBWAN in the scanned tree "
+                         "instead of linting")
+    ap.add_argument("--suppressions-baseline", metavar="FILE",
+                    help="fail if the tree carries suppressions beyond "
+                         "this committed `path RULE` baseline")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="with --suppressions-baseline: rewrite the "
+                         "baseline from the current tree instead of "
+                         "checking against it")
     ap.add_argument("--show-suppressed", action="store_true",
                     help="also print suppressed findings with reasons")
     ap.add_argument("--no-clang", action="store_true",
@@ -60,25 +84,46 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
 
-    try:
-        paths = engine.discover(args.paths, args.compile_commands)
-    except FileNotFoundError as e:
-        print(f"ibwan-lint: no such path: {e}", file=sys.stderr)
-        return 2
-    files, errors = engine.parse_files(paths)
-    for e in errors:
-        print(f"ibwan-lint: parse error: {e}", file=sys.stderr)
-
     backend = None
     if not args.no_clang:
         backend = clang_backend.load(args.compile_commands)
-    findings = engine.run_rules(files, rule_ids, backend)
 
+    try:
+        res = engine.run(args.paths,
+                         compile_commands=args.compile_commands,
+                         rule_ids=rule_ids,
+                         backend=backend,
+                         cache_path=args.cache,
+                         changed_only=args.changed_only,
+                         metrics_docs=args.metrics_docs)
+    except FileNotFoundError as e:
+        print(f"ibwan-lint: no such path: {e}", file=sys.stderr)
+        return 2
+    for e in res.errors:
+        print(f"ibwan-lint: parse error: {e}", file=sys.stderr)
+
+    if args.suppressions or args.suppressions_baseline:
+        if args.suppressions:
+            rc = engine.suppression_report(res.index)
+        else:
+            rc = 0
+        if args.suppressions_baseline:
+            if args.update_baseline:
+                rc = max(rc, engine.write_suppression_baseline(
+                    res.index, args.suppressions_baseline))
+            else:
+                rc = max(rc, engine.check_suppression_baseline(
+                    res.index, args.suppressions_baseline))
+        return 2 if res.errors else rc
+
+    if args.sarif:
+        sarif.write_sarif(res.findings, args.sarif)
     if args.json:
-        rc = engine.report_json(findings)
+        rc = engine.report_json(res.findings)
     else:
-        rc = engine.report_text(findings, args.show_suppressed)
-    if errors:
+        rc = engine.report_text(res.findings, args.show_suppressed,
+                                stats=res)
+    if res.errors:
         rc = 2
     return rc
 

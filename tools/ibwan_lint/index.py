@@ -1,0 +1,609 @@
+"""Pass 1: the project-wide symbol index.
+
+Every file is distilled into a `FileSummary` — a small, JSON-serializable
+bag of cross-TU facts (function definitions and their callees, declared
+variables with types, unit-suffix inference, metric/trace registrations,
+conserved-counter and unordered-container declarations, suppressions).
+`ProjectIndex.build` merges the summaries into the views pass-2 rules
+consume:
+
+  * a name-based call graph and its transitive closure onto the
+    event-queue mutators (`schedule`/`schedule_at`) — CONC001;
+  * a variable/member → declared-type map for the site-local resource
+    watchlist (Simulator, MetricsRegistry, FlightRecorder, Rng,
+    Channel) — CONC002;
+  * unit inference from declaration suffixes (`_ns`, `_bytes`,
+    `_per_s`, ...) — UNIT001/UNIT002;
+  * the set of metric `layer/leaf` registrations and flight-recorder
+    trace kinds, matched two-way against docs/METRICS.md — SCHEMA001/2;
+  * the conserved-counter and unordered-container maps the v1 rules
+    already used.
+
+Because a `FileSummary` round-trips through JSON, the engine's
+content-hash cache can rebuild the whole index without re-lexing
+unchanged files; `ProjectIndex.digest()` covers exactly the facts rules
+consume, so an edit that leaves the cross-file surface unchanged
+invalidates only the edited file's pass-2 results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .lexer import IDENT, PUNCT, STRING, Token
+from .model import SourceFile
+
+SUMMARY_VERSION = 2
+
+# ---------------------------------------------------------------------------
+# Unit-suffix inference.
+# ---------------------------------------------------------------------------
+
+# Ordered: longest suffix first so `_per_s` wins over a future `_s`.
+UNIT_SUFFIXES: Tuple[Tuple[str, str], ...] = (
+    ("_per_s", "per_s"),
+    ("_bytes", "bytes"),
+    ("_mbps", "per_s"),
+    ("_bps", "per_s"),
+    ("_ns", "ns"),
+    ("_us", "us"),
+    ("_ms", "ms"),
+)
+
+UNIT_HUMAN = {
+    "ns": "time [ns]",
+    "us": "time [us]",
+    "ms": "time [ms]",
+    "bytes": "bytes",
+    "per_s": "rate [1/s]",
+}
+
+
+def unit_of(name: str) -> Optional[str]:
+    """Dimension inferred from an identifier's suffix, or None.
+    Trailing underscores (members) are ignored: `busy_ns_` is ns."""
+    base = name.rstrip("_")
+    for suffix, unit in UNIT_SUFFIXES:
+        if base.endswith(suffix) and len(base) > len(suffix):
+            return unit
+    return None
+
+
+# ---------------------------------------------------------------------------
+# docs/METRICS.md parsing (the SCHEMA001 ground truth).
+# ---------------------------------------------------------------------------
+
+# | `net.link/pkts_sent` | counter | packets | ...
+METRIC_ROW_RE = re.compile(
+    r"^\|\s*`([A-Za-z0-9_.-]+/[A-Za-z0-9_-]+)`\s*\|\s*(\w+)\s*\|\s*(\w+)\s*\|")
+# | `pkt-send` | net | ...
+TRACE_ROW_RE = re.compile(r"^\|\s*`([A-Za-z0-9?-]+)`\s*\|")
+
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+METRIC_UNITS = {"count", "packets", "bytes", "messages", "ns"}
+
+LAYER_GRAMMAR = re.compile(r"^[a-z0-9]+(\.[a-z0-9_]+)*$")
+LEAF_GRAMMAR = re.compile(r"^[a-z0-9_]+$")
+TRACE_GRAMMAR = re.compile(r"^[a-z0-9]+(-[a-z0-9]+)*$")
+
+
+@dataclass
+class MetricsDocs:
+    """Rows parsed out of docs/METRICS.md: the documented metric
+    inventory and flight-recorder kinds, with line numbers so the
+    docs-side SCHEMA001 findings point at the stale row."""
+
+    path: str = ""
+    # "layer/leaf" -> (kind, unit, line)
+    metrics: Dict[str, Tuple[str, str, int]] = field(default_factory=dict)
+    # trace kind -> line
+    traces: Dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def load(path: str) -> Optional["MetricsDocs"]:
+        if not path or not os.path.isfile(path):
+            return None
+        docs = MetricsDocs(path=path)
+        section = ""
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, raw in enumerate(fh, start=1):
+                s = raw.strip()
+                if s.startswith("## "):
+                    section = s[3:].strip().lower()
+                    continue
+                m = METRIC_ROW_RE.match(s)
+                if m and m.group(2) in METRIC_KINDS and \
+                        m.group(3) in METRIC_UNITS:
+                    docs.metrics[m.group(1)] = (m.group(2), m.group(3),
+                                                lineno)
+                    continue
+                if "flight recorder" in section:
+                    t = TRACE_ROW_RE.match(s)
+                    if t and "/" not in t.group(1) and \
+                            t.group(1) not in ("kind",):
+                        docs.traces.setdefault(t.group(1), lineno)
+        return docs
+
+
+# ---------------------------------------------------------------------------
+# Per-file summaries.
+# ---------------------------------------------------------------------------
+
+_MUNIT_MAP = {
+    "kCount": "count",
+    "kPackets": "packets",
+    "kBytes": "bytes",
+    "kMessages": "messages",
+    "kNanoseconds": "ns",
+}
+
+# Types whose instances are owned by exactly one site under --par-sites.
+RESOURCE_TYPES = ("Simulator", "MetricsRegistry", "FlightRecorder", "Rng",
+                  "Channel")
+
+_CALL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "static_assert", "catch", "assert", "defined",
+    "co_await", "co_return", "co_yield", "throw", "new", "delete",
+}
+
+_REGISTER_METHODS = {"counter", "gauge", "histogram"}
+
+
+@dataclass
+class FileSummary:
+    """Everything pass 2 may need from a file *other than* its own
+    token stream.  Must stay JSON-round-trippable (see to_dict)."""
+
+    path: str
+    version: int = SUMMARY_VERSION
+    # [{name, qual, line, params: [type strings], calls: [simple names]}]
+    functions: List[dict] = field(default_factory=list)
+    # var/member name -> (watchlist type, line)
+    resource_vars: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    # declared name -> unit, from declaration-site suffix inference
+    var_units: Dict[str, str] = field(default_factory=dict)
+    # [(name, line)]
+    conserved: List[Tuple[str, int]] = field(default_factory=list)
+    unordered: List[Tuple[str, int]] = field(default_factory=list)
+    # [{layer|None, leaf|None, kind, unit, line}]
+    metrics: List[dict] = field(default_factory=list)
+    # [(trace name, line)]
+    traces: List[Tuple[str, int]] = field(default_factory=list)
+    # [(rule, line, reason)]
+    suppressions: List[Tuple[str, int, str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "version": self.version,
+            "functions": self.functions,
+            "resource_vars": {k: list(v) for k, v in
+                              self.resource_vars.items()},
+            "var_units": self.var_units,
+            "conserved": [list(t) for t in self.conserved],
+            "unordered": [list(t) for t in self.unordered],
+            "metrics": self.metrics,
+            "traces": [list(t) for t in self.traces],
+            "suppressions": [list(t) for t in self.suppressions],
+        }
+
+    @staticmethod
+    def from_dict(d: dict) -> "FileSummary":
+        return FileSummary(
+            path=d["path"],
+            version=d.get("version", 0),
+            functions=d.get("functions", []),
+            resource_vars={k: (v[0], v[1]) for k, v in
+                           d.get("resource_vars", {}).items()},
+            var_units=d.get("var_units", {}),
+            conserved=[(t[0], t[1]) for t in d.get("conserved", [])],
+            unordered=[(t[0], t[1]) for t in d.get("unordered", [])],
+            metrics=d.get("metrics", []),
+            traces=[(t[0], t[1]) for t in d.get("traces", [])],
+            suppressions=[(t[0], t[1], t[2]) for t in
+                          d.get("suppressions", [])],
+        )
+
+
+def _match_fwd(toks: List[Token], i: int, open_: str, close: str) -> int:
+    depth = 0
+    n = len(toks)
+    while i < n:
+        t = toks[i]
+        if t.kind == PUNCT:
+            if t.text == open_:
+                depth += 1
+            elif t.text == close:
+                depth -= 1
+                if depth == 0:
+                    return i
+        i += 1
+    return n - 1
+
+
+def _split_args(toks: List[Token], lparen: int) -> Tuple[List[List[Token]],
+                                                         int]:
+    """Splits the argument list of the call whose '(' sits at `lparen`
+    into top-level comma-separated token groups; returns (args, rparen)."""
+    close = _match_fwd(toks, lparen, "(", ")")
+    args: List[List[Token]] = [[]]
+    depth = 0
+    for k in range(lparen + 1, close):
+        t = toks[k]
+        if t.kind == PUNCT:
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                args.append([])
+                continue
+        args[-1].append(t)
+    if args == [[]]:
+        args = []
+    return args, close
+
+
+def _collect_calls(toks: List[Token], start: int, end: int) -> List[str]:
+    out: List[str] = []
+    seen: Set[str] = set()
+    for k in range(start, min(end + 1, len(toks))):
+        t = toks[k]
+        if t.kind != IDENT or t.text in _CALL_KEYWORDS:
+            continue
+        nxt = toks[k + 1] if k + 1 < len(toks) else None
+        if nxt is not None and nxt.kind == PUNCT and nxt.text == "(" and \
+                t.text not in seen:
+            seen.add(t.text)
+            out.append(t.text)
+    return out
+
+
+def _param_types(toks: List[Token], name_idx: int) -> List[str]:
+    """Joined type text of each parameter of the function whose name
+    token is at name_idx (its '(' follows immediately)."""
+    lparen = name_idx + 1
+    if lparen >= len(toks) or toks[lparen].text != "(":
+        return []
+    args, _ = _split_args(toks, lparen)
+    out = []
+    for arg in args:
+        # Drop the trailing parameter name and default value.
+        cut = len(arg)
+        for k, t in enumerate(arg):
+            if t.kind == PUNCT and t.text == "=":
+                cut = k
+                break
+        core = arg[:cut]
+        if core and core[-1].kind == IDENT:
+            core = core[:-1]  # the parameter name
+        out.append(" ".join(t.text for t in core))
+    return out
+
+
+def _scan_declarations(sf: SourceFile, summary: FileSummary) -> None:
+    """Records watchlist-typed declarations (`Simulator& sim_;`,
+    `MetricsRegistry& m = ...`) and unit-suffixed declared names."""
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT:
+            continue
+        if t.text in RESOURCE_TYPES:
+            # TYPE [:: nested]* [&*]* NAME  (terminated by ; = , ) { )
+            j = i + 1
+            while j < n and toks[j].kind == PUNCT and toks[j].text == "::":
+                j += 2  # qualified mention: Type::Sub — skip the pair
+            while j < n and toks[j].kind == PUNCT and \
+                    toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < n and toks[j].kind == IDENT and toks[j].text != "const":
+                k = j + 1
+                if k < n and toks[k].kind == PUNCT and \
+                        toks[k].text in (";", "=", ",", ")", "{"):
+                    summary.resource_vars.setdefault(
+                        toks[j].text, (t.text, toks[j].line))
+        u = unit_of(t.text)
+        if u is not None:
+            nxt = toks[i + 1] if i + 1 < n else None
+            prv = toks[i - 1] if i > 0 else None
+            # Declaration shape: preceded by a type-ish ident or * & ,
+            # and followed by ; = { , )
+            if nxt is not None and nxt.kind == PUNCT and \
+                    nxt.text in (";", "=", "{", ",", ")") and \
+                    prv is not None and \
+                    (prv.kind == IDENT or
+                     (prv.kind == PUNCT and prv.text in ("&", "*", ","))):
+                summary.var_units.setdefault(t.text, u)
+
+
+def _resolve_scope_layer(sf: SourceFile, call_idx: int,
+                         arg0: List[Token]) -> Optional[str]:
+    """Layer of a metric registration: string literals in the scope
+    expression (or in the initializer of the scope variable, searched
+    backwards from the call), joined; the layer is the segment after
+    the last '/'."""
+    literals = [t for t in arg0 if t.kind == STRING]
+    if not literals and len(arg0) == 1 and arg0[0].kind == IDENT:
+        name = arg0[0].text
+        toks = sf.tokens
+        best: Optional[List[Token]] = None
+        k = call_idx - 1
+        while k > 0:
+            t = toks[k]
+            if t.kind == IDENT and t.text == name and k + 1 < len(toks) and \
+                    toks[k + 1].kind == PUNCT and toks[k + 1].text == "=":
+                init: List[Token] = []
+                j = k + 2
+                while j < len(toks) and not (toks[j].kind == PUNCT and
+                                             toks[j].text == ";"):
+                    init.append(toks[j])
+                    j += 1
+                best = init
+                break
+            k -= 1
+        if best is not None:
+            literals = [t for t in best if t.kind == STRING]
+    if not literals:
+        return None
+    joined = "".join(t.text.strip('"') for t in literals)
+    if "/" not in joined:
+        return None
+    return joined.rsplit("/", 1)[1]
+
+
+def _scan_metrics(sf: SourceFile, summary: FileSummary) -> None:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _REGISTER_METHODS:
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        prv = toks[i - 1] if i > 0 else None
+        if prv is None or prv.kind != PUNCT or prv.text not in (".", "->"):
+            continue  # not a registry method call
+        args, _ = _split_args(toks, i + 1)
+        if len(args) < 2 or len(args[1]) != 1 or args[1][0].kind != STRING:
+            continue  # not the (scope, "leaf"[, unit]) shape
+        leaf = args[1][0].text.strip('"')
+        unit = "count"
+        if len(args) >= 3:
+            for at in args[2]:
+                if at.kind == IDENT and at.text in _MUNIT_MAP:
+                    unit = _MUNIT_MAP[at.text]
+        layer = _resolve_scope_layer(sf, i, args[0])
+        summary.metrics.append({
+            "layer": layer,
+            "leaf": leaf,
+            "kind": t.text,
+            "unit": unit,
+            "line": t.line,
+        })
+
+
+def _scan_traces(sf: SourceFile, summary: FileSummary) -> None:
+    """Trace kinds come from the one `trace_kind_name` switch:
+    `case TraceKind::kX: return "spelling";`."""
+    fn = next((f for f in sf.functions if f.name == "trace_kind_name"), None)
+    if fn is None:
+        return
+    toks = sf.tokens
+    k = fn.body_start
+    while k < fn.body_end:
+        t = toks[k]
+        if t.kind == IDENT and t.text == "case":
+            # scan forward to ':' then expect `return "..."`
+            j = k + 1
+            while j < fn.body_end and not (toks[j].kind == PUNCT and
+                                           toks[j].text == ":"):
+                j += 1
+            if j + 2 < fn.body_end and toks[j + 1].kind == IDENT and \
+                    toks[j + 1].text == "return" and \
+                    toks[j + 2].kind == STRING:
+                summary.traces.append(
+                    (toks[j + 2].text.strip('"'), toks[j + 2].line))
+            k = j
+        k += 1
+
+
+def _scan_conserved(sf: SourceFile, summary: FileSummary) -> None:
+    for c in sf.comments:
+        if "lint:conserved" not in c.text:
+            continue
+        line = c.line if not c.own_line else c.line + 1
+        idx = sf.first_token_on_line(line)
+        if idx is None:
+            continue
+        name = None
+        toks = sf.tokens
+        i = idx
+        while i < len(toks) and toks[i].line == line:
+            t = toks[i]
+            if t.kind == PUNCT and t.text in (";", "=", "{"):
+                break
+            if t.kind == IDENT:
+                name = t.text
+            i += 1
+        if name:
+            summary.conserved.append((name, line))
+
+
+_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset"}
+
+
+def _scan_unordered(sf: SourceFile, summary: FileSummary) -> None:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _UNORDERED:
+            continue
+        j = i + 1
+        if j >= n or not (toks[j].kind == PUNCT and toks[j].text == "<"):
+            continue
+        depth = 0
+        while j < n:
+            tj = toks[j]
+            if tj.kind == PUNCT:
+                if tj.text == "<":
+                    depth += 1
+                elif tj.text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif tj.text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        break
+                elif tj.text in (";", "{", "}"):
+                    break
+            j += 1
+        k = j + 1
+        while k < n and toks[k].kind == PUNCT and toks[k].text in ("&", "*"):
+            k += 1
+        if k < n and toks[k].kind == IDENT:
+            summary.unordered.append((toks[k].text, toks[k].line))
+
+
+def build_summary(sf: SourceFile) -> FileSummary:
+    summary = FileSummary(path=sf.path)
+    toks = sf.tokens
+    for fn in sf.functions:
+        summary.functions.append({
+            "name": fn.name,
+            "qual": fn.qual,
+            "line": fn.line,
+            "params": _param_types(toks, fn.name_idx),
+            "calls": _collect_calls(toks, fn.body_start, fn.body_end),
+        })
+    _scan_declarations(sf, summary)
+    _scan_metrics(sf, summary)
+    _scan_traces(sf, summary)
+    _scan_conserved(sf, summary)
+    _scan_unordered(sf, summary)
+    for s in sf.suppressions:
+        summary.suppressions.append((s.rule, s.line, s.reason))
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# The merged project index.
+# ---------------------------------------------------------------------------
+
+SCHEDULE_MUTATORS = ("schedule", "schedule_at")
+
+
+@dataclass
+class ProjectIndex:
+    """Merged pass-1 facts, plus the docs ground truth.  `digest()`
+    covers exactly what rules read cross-file, so the engine can decide
+    whether cached pass-2 results are still valid."""
+
+    # v1-compatible views --------------------------------------------------
+    unordered_names: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    conserved: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    # v2 views -------------------------------------------------------------
+    # simple function name -> sorted callee names (unioned over overloads)
+    call_graph: Dict[str, List[str]] = field(default_factory=dict)
+    # functions that (transitively) call schedule/schedule_at
+    reaches_schedule: Set[str] = field(default_factory=set)
+    # functions that take a SiteEngine — engine-aware runners, exempt
+    # from CONC001's argument form
+    engine_aware: Set[str] = field(default_factory=set)
+    # var/member name -> (watchlist type, path, line)
+    resource_vars: Dict[str, Tuple[str, str, int]] = field(
+        default_factory=dict)
+    # declared name -> inferred unit
+    var_units: Dict[str, str] = field(default_factory=dict)
+    # "layer/leaf" -> (kind, unit, path, line); unresolved layers under
+    # key "?/<leaf>"
+    metric_regs: Dict[str, Tuple[str, str, str, int]] = field(
+        default_factory=dict)
+    # trace kind -> (path, line)
+    trace_kinds: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    docs: Optional[MetricsDocs] = None
+    # every suppression in the project: (path, line, rule, reason)
+    all_suppressions: List[Tuple[str, int, str, str]] = field(
+        default_factory=list)
+
+    @staticmethod
+    def build(summaries: Iterable[FileSummary],
+              docs: Optional[MetricsDocs] = None) -> "ProjectIndex":
+        idx = ProjectIndex(docs=docs)
+        graph: Dict[str, Set[str]] = {}
+        for s in summaries:
+            for name, line in s.unordered:
+                idx.unordered_names.setdefault(name, (s.path, line))
+            for name, line in s.conserved:
+                idx.conserved.setdefault(name, (s.path, line))
+            for f in s.functions:
+                graph.setdefault(f["name"], set()).update(f["calls"])
+                if any("SiteEngine" in p for p in f.get("params", [])):
+                    idx.engine_aware.add(f["name"])
+            for name, (ty, line) in s.resource_vars.items():
+                idx.resource_vars.setdefault(name, (ty, s.path, line))
+            for name, u in s.var_units.items():
+                idx.var_units.setdefault(name, u)
+            for m in s.metrics:
+                layer = m["layer"] if m["layer"] else "?"
+                idx.metric_regs.setdefault(
+                    f"{layer}/{m['leaf']}",
+                    (m["kind"], m["unit"], s.path, m["line"]))
+            for name, line in s.traces:
+                idx.trace_kinds.setdefault(name, (s.path, line))
+            for rule, line, reason in s.suppressions:
+                idx.all_suppressions.append((s.path, line, rule, reason))
+        idx.call_graph = {k: sorted(v) for k, v in graph.items()}
+        idx.reaches_schedule = _closure_onto(graph, set(SCHEDULE_MUTATORS))
+        idx.all_suppressions.sort()
+        return idx
+
+    def digest(self) -> str:
+        """Hash of every cross-file fact pass 2 consumes."""
+        doc = {
+            "unordered": sorted(self.unordered_names),
+            "conserved": {k: os.path.basename(v[0])
+                          for k, v in sorted(self.conserved.items())},
+            "reaches_schedule": sorted(self.reaches_schedule),
+            "engine_aware": sorted(self.engine_aware),
+            "resource_vars": {k: v[0]
+                              for k, v in sorted(self.resource_vars.items())},
+            "var_units": dict(sorted(self.var_units.items())),
+            "metric_regs": {k: v[:2]
+                            for k, v in sorted(self.metric_regs.items())},
+            "trace_kinds": sorted(self.trace_kinds),
+            "docs_metrics": ({k: v[:2] for k, v in
+                              sorted(self.docs.metrics.items())}
+                             if self.docs else None),
+            "docs_traces": sorted(self.docs.traces) if self.docs else None,
+        }
+        blob = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def _closure_onto(graph: Dict[str, Set[str]],
+                  targets: Set[str]) -> Set[str]:
+    """Functions from which some target is reachable along call edges.
+    The targets themselves are not included unless they call another
+    target."""
+    # Reverse edges: callee -> callers.
+    rev: Dict[str, Set[str]] = {}
+    for caller, callees in graph.items():
+        for c in callees:
+            rev.setdefault(c, set()).add(caller)
+    out: Set[str] = set()
+    frontier = list(targets)
+    while frontier:
+        cur = frontier.pop()
+        for caller in rev.get(cur, ()):
+            if caller not in out:
+                out.add(caller)
+                frontier.append(caller)
+    return out

@@ -23,8 +23,8 @@ from typing import Dict, List, Optional, Tuple
 from . import lexer
 from .lexer import IDENT, PUNCT, Token
 
-SUPPRESS_RE = re.compile(r"NOLINT-IBWAN\(([A-Z]{3}\d{3})\)(?::\s*(\S.*))?")
-EXPECT_RE = re.compile(r"EXPECT-IBWAN\(([A-Z]{3}\d{3})\)")
+SUPPRESS_RE = re.compile(r"NOLINT-IBWAN\(([A-Z]{3,8}\d{3})\)(?::\s*(\S.*))?")
+EXPECT_RE = re.compile(r"EXPECT-IBWAN\(([A-Z]{3,8}\d{3})\)")
 
 # Keywords that can look like function names to the context tracker.
 _NON_FUNC = {
@@ -63,6 +63,21 @@ class Scope:
     kind: str        # "namespace" | "class" | "function" | "block" | "other"
     name: str
     depth: int       # brace depth at which this scope was opened
+    name_idx: int = -1   # token index of the defining name (functions)
+    body_start: int = -1  # token index of the opening '{' (functions)
+
+
+@dataclass
+class FunctionSpan:
+    """One function definition found by the brace-tracking pass.  Used
+    by the pass-1 index (tools/ibwan_lint/index.py) to build the call
+    graph and parameter lists."""
+    name: str        # simple name ("schedule")
+    qual: str        # qualified ("ibwan::sim::Simulator::schedule")
+    line: int
+    name_idx: int    # token index of the name token
+    body_start: int  # token index of '{'
+    body_end: int    # token index of the matching '}'
 
 
 class SourceFile:
@@ -83,6 +98,7 @@ class SourceFile:
                 self.expects.append((em.group(1), c.line))
         self._scope_by_token: List[Optional[str]] = []
         self._kind_by_token: List[str] = []
+        self.functions: List[FunctionSpan] = []
         self._build_contexts()
         self._token_index_by_line: Dict[int, int] = {}
         for idx, t in enumerate(self.tokens):
@@ -188,16 +204,20 @@ class SourceFile:
                         quals.insert(0, toks[k - 2].text)
                         k -= 2
                     full = "::".join(quals + [name])
-                    pending = Scope("function", full, depth)
+                    pending = Scope("function", full, depth, i - 1)
                     pending_guard = 0
             elif t.kind == PUNCT and t.text == ";":
-                # A ';' at scope depth cancels a pending declaration
-                # (it was a prototype / member declaration).
-                if pending is not None and pending.kind == "function":
+                # A ';' at scope depth cancels a pending declaration:
+                # a function prototype, or a class/struct forward
+                # declaration (`struct SiteEngine;`) whose '{' never
+                # arrives — leaving it pending would swallow the next
+                # definition's body into a phantom class scope.
+                if pending is not None:
                     pending = None
             elif t.kind == PUNCT and t.text == "{":
                 if pending is not None:
-                    stack.append(Scope(pending.kind, pending.name, depth))
+                    stack.append(Scope(pending.kind, pending.name, depth,
+                                       pending.name_idx, i))
                     pending = None
                 else:
                     stack.append(Scope("block", "", depth))
@@ -205,7 +225,17 @@ class SourceFile:
             elif t.kind == PUNCT and t.text == "}":
                 depth -= 1
                 while stack and stack[-1].depth >= depth:
-                    stack.pop()
+                    sc = stack.pop()
+                    if sc.kind == "function" and sc.body_start >= 0:
+                        prefix = [s.name for s in stack
+                                  if s.kind in ("namespace", "class")]
+                        simple = sc.name.rsplit("::", 1)[-1]
+                        self.functions.append(FunctionSpan(
+                            simple, "::".join(n for n in prefix + [sc.name]
+                                              if n),
+                            toks[sc.name_idx].line if sc.name_idx >= 0
+                            else t.line,
+                            sc.name_idx, sc.body_start, i))
             if pending is not None:
                 pending_guard += 1
                 if pending_guard > 400:  # runaway: not a definition

@@ -18,6 +18,9 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .lexer import CHAR, IDENT, NUMBER, PUNCT, STRING, Token
 from .model import Finding, SourceFile
+from . import index as index_mod
+from .index import (FileSummary, MetricsDocs, ProjectIndex, build_summary,
+                    unit_of)
 
 # ---------------------------------------------------------------------------
 # Project-wide context (built once over every scanned file).
@@ -26,26 +29,41 @@ from .model import Finding, SourceFile
 
 @dataclass
 class ProjectContext:
-    """Cross-file facts rules need: which names are unordered
-    containers, and which members are conserved counters."""
+    """Cross-file facts rules need.  Since v2 this is a thin view over
+    the pass-1 `ProjectIndex` (tools/ibwan_lint/index.py), which merges
+    per-file summaries — possibly loaded from the content-hash cache
+    instead of re-lexed files."""
 
     # Variable/member names declared with an unordered container type,
     # mapped to one declaration site (path, line) for the message.
     unordered_names: Dict[str, Tuple[str, int]] = field(default_factory=dict)
     # Conserved counter members: name -> (declaring path, line).
     conserved: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    # The full pass-1 index (None only in degenerate direct calls).
+    index: Optional[ProjectIndex] = None
 
     @staticmethod
-    def build(files: Iterable[SourceFile]) -> "ProjectContext":
-        ctx = ProjectContext()
+    def from_index(idx: ProjectIndex) -> "ProjectContext":
+        return ProjectContext(dict(idx.unordered_names),
+                              dict(idx.conserved), idx)
+
+    @staticmethod
+    def build(files: Iterable[SourceFile],
+              docs: Optional[MetricsDocs] = None) -> "ProjectContext":
+        summaries = []
         for sf in files:
-            _collect_unordered_decls(sf, ctx)
-            _collect_conserved(sf, ctx)
-        return ctx
+            if getattr(sf, "summary", None) is None:
+                sf.summary = build_summary(sf)
+            summaries.append(sf.summary)
+        return ProjectContext.from_index(ProjectIndex.build(summaries, docs))
 
 
-_UNORDERED = {"unordered_map", "unordered_set", "unordered_multimap",
-              "unordered_multiset"}
+def _summary_of(sf: SourceFile) -> FileSummary:
+    s = getattr(sf, "summary", None)
+    if s is None:
+        s = build_summary(sf)
+        sf.summary = s
+    return s
 
 
 def _match_angle(toks: List[Token], i: int) -> int:
@@ -70,51 +88,6 @@ def _match_angle(toks: List[Token], i: int) -> int:
                 return i  # not a template argument list after all
         i += 1
     return n - 1
-
-
-def _collect_unordered_decls(sf: SourceFile, ctx: ProjectContext) -> None:
-    toks = sf.tokens
-    n = len(toks)
-    for i, t in enumerate(toks):
-        if t.kind != IDENT or t.text not in _UNORDERED:
-            continue
-        j = i + 1
-        if j >= n or not (toks[j].kind == PUNCT and toks[j].text == "<"):
-            continue
-        close = _match_angle(toks, j)
-        k = close + 1
-        # `unordered_map<K, V> name` — possibly with refs/pointers in
-        # between (a reference to an unordered container iterates the
-        # same way).
-        while k < n and toks[k].kind == PUNCT and toks[k].text in ("&", "*"):
-            k += 1
-        if k < n and toks[k].kind == IDENT:
-            ctx.unordered_names.setdefault(toks[k].text, (sf.path, toks[k].line))
-
-
-def _collect_conserved(sf: SourceFile, ctx: ProjectContext) -> None:
-    for c in sf.comments:
-        if "lint:conserved" not in c.text:
-            continue
-        # The annotated declaration is the last identifier before the
-        # ';' on the comment's line (or the previous line for an
-        # own-line comment above the member).
-        line = c.line if not c.own_line else c.line + 1
-        idx = sf.first_token_on_line(line)
-        if idx is None:
-            continue
-        name = None
-        toks = sf.tokens
-        i = idx
-        while i < len(toks) and toks[i].line == line:
-            t = toks[i]
-            if t.kind == PUNCT and t.text in (";", "=", "{"):
-                break
-            if t.kind == IDENT:
-                name = t.text
-            i += 1
-        if name:
-            ctx.conserved.setdefault(name, (sf.path, line))
 
 
 # ---------------------------------------------------------------------------
@@ -466,8 +439,8 @@ def rule_det004(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
 
 # Accessors that select a specific site's Simulator (sim::SiteEngine /
 # net::Fabric / core::Testbed).
-_SITE_SELECTORS = {"site", "sim_of", "sim_of_node", "sim_a", "sim_b",
-                   "sim_for"}
+_SITE_SELECTORS = {"site", "sim_of", "sim_of_node", "sim_of_site", "sim_a",
+                   "sim_b", "sim_for"}
 # Methods that inject events into the selected site's queue.
 _SITE_MUTATORS = {"schedule", "schedule_at"}
 
@@ -623,15 +596,458 @@ def rule_lnt001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
                 "must say why (`// NOLINT-IBWAN(RULE): reason`)")
 
 
+# ---------------------------------------------------------------------------
+# CONC001 — site selection flowing into the scheduler through a call
+# chain (DET005 deepened with the pass-1 call graph).
+# ---------------------------------------------------------------------------
+
+
+def _enclosing_call_name(toks: List[Token], i: int) -> Optional[str]:
+    """Name of the call whose argument list contains token i, or None
+    when i is not inside a call's parentheses (statement boundary hit
+    first)."""
+    depth = 0
+    k = i - 1
+    while k >= 0:
+        t = toks[k]
+        if t.kind == PUNCT:
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                if depth == 0:
+                    if k > 0 and toks[k - 1].kind == IDENT:
+                        return toks[k - 1].text
+                    return None
+                depth -= 1
+            elif depth == 0 and t.text in (";", "{", "}"):
+                return None
+        k -= 1
+    return None
+
+
+def rule_conc001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    """DET005 catches `site(i).schedule(...)` in one expression.  With
+    the pass-1 call graph we can also catch the indirect forms: calling
+    a method on a selected site that *transitively* reaches
+    schedule/schedule_at, and passing a selected site's Simulator into
+    a free function that does.  Functions that take a `SiteEngine`
+    parameter are engine-aware runners (they own the cross-LP
+    coordination) and are exempt."""
+    idx = ctx.index
+    if idx is None:
+        return
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _SITE_SELECTORS:
+            continue
+        if i + 1 >= n or not (toks[i + 1].kind == PUNCT and
+                              toks[i + 1].text == "("):
+            continue
+        close = _match_paren(toks, i + 1)
+        j = close + 1
+        # Chain form: selector(...).m(...) where m reaches the
+        # scheduler through its body (DET005 already owns m being
+        # schedule/schedule_at itself).
+        if j + 2 < n and toks[j].kind == PUNCT and \
+                toks[j].text in (".", "->") and \
+                toks[j + 1].kind == IDENT and \
+                toks[j + 2].kind == PUNCT and toks[j + 2].text == "(":
+            m = toks[j + 1].text
+            if m not in _SITE_MUTATORS and m in idx.reaches_schedule:
+                yield Finding(
+                    "CONC001", sf.path, t.line, t.col,
+                    f"`{t.text}(...)`.{m}(...) reaches "
+                    "Simulator::schedule through the call graph "
+                    f"(`{m}` -> ... -> schedule): cross-site causality "
+                    "must cross the LP boundary through the WAN channel "
+                    "API, not a call chain into another site's queue "
+                    "(DESIGN.md §13)")
+                continue
+        # Argument form: f(selector(...), ...) where f reaches the
+        # scheduler and is not an engine-aware runner.
+        caller = _enclosing_call_name(toks, i)
+        if caller and caller not in _SITE_SELECTORS and \
+                caller not in _SITE_MUTATORS and \
+                caller in idx.reaches_schedule and \
+                caller not in idx.engine_aware:
+            yield Finding(
+                "CONC001", sf.path, t.line, t.col,
+                f"`{t.text}(...)` passed to `{caller}`, which reaches "
+                "Simulator::schedule: the callee will inject events into "
+                "the selected site's queue without crossing a Channel — "
+                "make it engine-aware (take the SiteEngine) or route "
+                "through the WAN channel API (DESIGN.md §13)")
+
+
+# ---------------------------------------------------------------------------
+# CONC002 — site-local resources captured into cross-site callbacks.
+# ---------------------------------------------------------------------------
+
+# Types whose instances belong to exactly one LP.  A Channel::push
+# callback runs when the *destination* site pops the event, so touching
+# the source site's Simulator/metrics/traces/RNG from it is a data race
+# under --par-sites.
+_CONC002_TYPES = {"Simulator", "MetricsRegistry", "FlightRecorder", "Rng"}
+
+
+def rule_conc002(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    idx = ctx.index
+    if idx is None:
+        return
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text != "push":
+            continue
+        if _prev_punct(toks, i) not in (".", "->"):
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        close = _match_paren(toks, i + 1)
+        # Find lambda arguments: a '[' at paren depth 1.
+        depth = 0
+        k = i + 1
+        while k <= close:
+            tk = toks[k]
+            if tk.kind == PUNCT:
+                if tk.text == "(":
+                    depth += 1
+                elif tk.text == ")":
+                    depth -= 1
+                elif tk.text == "[" and depth == 1:
+                    # Capture list: idents up to the matching ']'.
+                    j = k + 1
+                    while j < n and not (toks[j].kind == PUNCT and
+                                         toks[j].text == "]"):
+                        cj = toks[j]
+                        if cj.kind == IDENT and cj.text != "this" and \
+                                cj.text in idx.resource_vars:
+                            ty, dp, dl = idx.resource_vars[cj.text]
+                            if ty in _CONC002_TYPES:
+                                yield Finding(
+                                    "CONC002", sf.path, cj.line, cj.col,
+                                    f"site-local `{ty}` `{cj.text}` "
+                                    f"(declared at "
+                                    f"{os.path.basename(dp)}:{dl}) captured "
+                                    "into a Channel::push callback: the "
+                                    "callback runs on the destination LP, "
+                                    "so this touches another site's state "
+                                    "without crossing the channel — capture "
+                                    "plain data and resolve the resource on "
+                                    "the receiving side (DESIGN.md §13)")
+                        j += 1
+                    k = j
+            k += 1
+
+
+# ---------------------------------------------------------------------------
+# CONC003 — mutable static state breaks site-parallel determinism.
+# ---------------------------------------------------------------------------
+
+# bench/examples/tools are single-threaded drivers; the rule guards the
+# library code that runs inside LPs.
+_CONC003_EXEMPT_ROOTS = {"bench", "examples", "tools"}
+_CONST_QUALS = {"const", "constexpr", "constinit"}
+
+
+def rule_conc003(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    if _CONC003_EXEMPT_ROOTS & set(os.path.normpath(sf.path).split(os.sep)):
+        return
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in ("static", "thread_local"):
+            continue
+        # `static thread_local X` — report once, at the first keyword.
+        if i > 0 and toks[i - 1].kind == IDENT and \
+                toks[i - 1].text in ("static", "thread_local"):
+            continue
+        is_const = False
+        is_func = False
+        name = None
+        j = i + 1
+        while j < n:
+            tj = toks[j]
+            if tj.kind == IDENT:
+                if tj.text in _CONST_QUALS:
+                    is_const = True
+                name = tj.text
+            elif tj.kind == PUNCT:
+                if tj.text == "<":
+                    j = _match_angle(toks, j)
+                elif tj.text == "(":
+                    is_func = True
+                    break
+                elif tj.text in (";", "=", "{"):
+                    break
+            j += 1
+        if is_func or is_const or name is None:
+            continue
+        kw = t.text
+        if i + 1 < n and toks[i + 1].kind == IDENT and \
+                toks[i + 1].text in ("static", "thread_local"):
+            kw = f"{kw} {toks[i + 1].text}"
+        yield Finding(
+            "CONC003", sf.path, t.line, t.col,
+            f"mutable `{kw}` state `{name}`: function-local/namespace "
+            "statics are shared across LPs and break determinism (or "
+            "race outright) under --par-sites — move the state into the "
+            "per-site Simulator/owning object, or suppress with the "
+            "single-threaded-setup reason if it is only touched before "
+            "the engine starts")
+
+
+# ---------------------------------------------------------------------------
+# UNIT001 — arithmetic mixing inferred time/byte/rate dimensions.
+# ---------------------------------------------------------------------------
+
+_UNIT_MIX_OPS = {"+", "-", "+=", "-=", "=", "<", ">", "<=", ">=",
+                 "==", "!="}
+_DIMENSION = {"ns": "time", "us": "time", "ms": "time",
+              "bytes": "bytes", "per_s": "rate"}
+# Multiplicative neighbors make the operand's dimension ambiguous
+# (`bytes + rate * time` is fine); member/scope access re-types it.
+_GUARD_BEFORE = {"*", "/", ".", "->", "::"}
+_GUARD_AFTER = {"*", "/", ".", "->", "::", "("}
+
+
+def rule_unit001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    idx = ctx.index
+    var_units = idx.var_units if idx is not None else {}
+    toks = sf.tokens
+    n = len(toks)
+    for i in range(1, n - 1):
+        op = toks[i]
+        if op.kind != PUNCT or op.text not in _UNIT_MIX_OPS:
+            continue
+        a, b = toks[i - 1], toks[i + 1]
+        if a.kind != IDENT or b.kind != IDENT:
+            continue
+        ua = unit_of(a.text) or var_units.get(a.text)
+        ub = unit_of(b.text) or var_units.get(b.text)
+        if ua is None or ub is None or ua == ub:
+            continue
+        if i >= 2 and toks[i - 2].kind == PUNCT and \
+                toks[i - 2].text in ("*", "/"):
+            continue  # `c * a_unit OP b` — a's term has another dimension
+        if i + 2 < n and toks[i + 2].kind == PUNCT and \
+                toks[i + 2].text in _GUARD_AFTER:
+            continue  # `a OP b_unit * c` / `a OP b.member(...)`
+        da, db = _DIMENSION[ua], _DIMENSION[ub]
+        if da != db:
+            yield Finding(
+                "UNIT001", sf.path, op.line, op.col,
+                f"`{a.text} {op.text} {b.text}` mixes "
+                f"{index_mod.UNIT_HUMAN[ua]} with "
+                f"{index_mod.UNIT_HUMAN[ub]}: both sides are plain "
+                "integers, so nothing stops this dimensional error — "
+                "convert explicitly or fix the operand")
+        else:
+            yield Finding(
+                "UNIT001", sf.path, op.line, op.col,
+                f"`{a.text} {op.text} {b.text}` mixes "
+                f"{index_mod.UNIT_HUMAN[ua]} with "
+                f"{index_mod.UNIT_HUMAN[ub]}: same dimension, different "
+                "scale — convert explicitly (e.g. `* 1000`) so the "
+                "factor is visible")
+
+
+# ---------------------------------------------------------------------------
+# UNIT002 — raw time literals in schedule/delay positions.
+# ---------------------------------------------------------------------------
+
+_TIME_CONSTS = {"kNanosecond", "kMicrosecond", "kMillisecond", "kSecond"}
+# An explicit cast/construction to the time types is an explicit unit
+# statement (Duration is defined as nanoseconds).
+_TIME_TYPES = {"Duration", "Time"}
+
+
+def _is_unitized_number(text: str) -> bool:
+    return text.endswith(("_ns", "_us", "_ms", "_s"))
+
+
+def _raw_number_value(text: str) -> Optional[int]:
+    t = text.replace("'", "").rstrip("uUlL")
+    try:
+        return int(t, 0)
+    except ValueError:
+        return None
+
+
+def rule_unit002(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    toks = sf.tokens
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text not in _SITE_MUTATORS:
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        close = _match_paren(toks, i + 1)
+        # First top-level argument.
+        arg: List[Token] = []
+        depth = 0
+        for k in range(i + 2, close):
+            tk = toks[k]
+            if tk.kind == PUNCT:
+                if tk.text in ("(", "[", "{"):
+                    depth += 1
+                elif tk.text in (")", "]", "}"):
+                    depth -= 1
+                elif tk.text == "," and depth == 0:
+                    break
+            arg.append(tk)
+        if not arg:
+            continue
+        has_marker = any(
+            (tk.kind == NUMBER and _is_unitized_number(tk.text)) or
+            (tk.kind == IDENT and
+             (tk.text in _TIME_CONSTS or tk.text in _TIME_TYPES or
+              (unit_of(tk.text) in ("ns", "us", "ms"))))
+            for tk in arg)
+        if has_marker:
+            continue
+        for tk in arg:
+            if tk.kind != NUMBER or _is_unitized_number(tk.text):
+                continue
+            v = _raw_number_value(tk.text)
+            if v == 0:
+                continue  # zero is scale-free ("now")
+            yield Finding(
+                "UNIT002", sf.path, tk.line, tk.col,
+                f"raw literal `{tk.text}` in a {t.text}() delay position: "
+                "nothing says whether this is ns, us or ms — use the "
+                "unit literals (`100_ns`, `10_us`; "
+                "`using namespace sim::literals`) or the kNanosecond/"
+                "kMicrosecond/kMillisecond constants")
+            break  # one finding per call is enough
+
+
+# ---------------------------------------------------------------------------
+# SCHEMA001 — metric/trace names must match docs/METRICS.md, both ways.
+# ---------------------------------------------------------------------------
+
+
+def rule_schema001(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    """Source side: every metric registration whose scope resolves to a
+    `.../layer` string, and every flight-recorder kind, must have a
+    docs/METRICS.md row with the same kind and unit.  The docs side
+    (documented-but-unregistered rows) is checked once per run by
+    `project_schema001`.  Needs `--metrics-docs`; silent without it."""
+    idx = ctx.index
+    docs = idx.docs if idx is not None else None
+    if docs is None:
+        return
+    summary = _summary_of(sf)
+    for m in summary.metrics:
+        if m["layer"] is None:
+            continue  # scope not statically resolvable (e.g. a param)
+        key = f"{m['layer']}/{m['leaf']}"
+        row = docs.metrics.get(key)
+        if row is None:
+            yield Finding(
+                "SCHEMA001", sf.path, m["line"], 1,
+                f"metric `{key}` ({m['kind']}, {m['unit']}) is registered "
+                f"here but has no row in {docs.path} — document it in the "
+                "metric inventory")
+        elif (row[0], row[1]) != (m["kind"], m["unit"]):
+            yield Finding(
+                "SCHEMA001", sf.path, m["line"], 1,
+                f"metric `{key}` is registered as ({m['kind']}, "
+                f"{m['unit']}) but {docs.path}:{row[2]} documents "
+                f"({row[0]}, {row[1]}) — the schema and the code "
+                "disagree")
+    for name, line in summary.traces:
+        if name == "?":
+            continue  # the unknown-kind fallback arm
+        if name not in docs.traces:
+            yield Finding(
+                "SCHEMA001", sf.path, line, 1,
+                f"trace kind `{name}` is emitted by the flight recorder "
+                f"but has no row in the {docs.path} flight-recorder "
+                "table — document it")
+
+
+def project_schema001(ctx: ProjectContext) -> Iterable[Finding]:
+    """Docs-side SCHEMA001: rows documenting metrics/trace kinds that no
+    scanned source registers.  Anchored at the stale docs row."""
+    idx = ctx.index
+    docs = idx.docs if idx is not None else None
+    if docs is None:
+        return
+    unresolved_leaves = {k.split("/", 1)[1]
+                        for k in idx.metric_regs if k.startswith("?/")}
+    for key, (kind, unit, line) in sorted(docs.metrics.items()):
+        if key in idx.metric_regs:
+            continue
+        leaf = key.rsplit("/", 1)[1]
+        if leaf in unresolved_leaves:
+            continue  # registered somewhere under a dynamic scope
+        yield Finding(
+            "SCHEMA001", docs.path, line, 1,
+            f"documented metric `{key}` ({kind}, {unit}) is not "
+            "registered anywhere in the scanned sources — delete the "
+            "row or restore the metric")
+    for name, line in sorted(docs.traces.items()):
+        if name not in idx.trace_kinds:
+            yield Finding(
+                "SCHEMA001", docs.path, line, 1,
+                f"documented trace kind `{name}` is not produced by "
+                "trace_kind_name() — delete the row or restore the kind")
+
+
+# ---------------------------------------------------------------------------
+# SCHEMA002 — metric/trace names must match the naming grammar.
+# ---------------------------------------------------------------------------
+
+
+def rule_schema002(sf: SourceFile, ctx: ProjectContext) -> Iterable[Finding]:
+    summary = _summary_of(sf)
+    for m in summary.metrics:
+        if m["layer"] is not None and \
+                not index_mod.LAYER_GRAMMAR.match(m["layer"]):
+            yield Finding(
+                "SCHEMA002", sf.path, m["line"], 1,
+                f"metric layer `{m['layer']}` violates the naming "
+                "grammar `layer.component` (lowercase dot-separated "
+                "segments, e.g. `net.link`, `ib.rc`)")
+        if not index_mod.LEAF_GRAMMAR.match(m["leaf"]):
+            yield Finding(
+                "SCHEMA002", sf.path, m["line"], 1,
+                f"metric name `{m['leaf']}` violates the naming grammar "
+                "`[a-z0-9_]+` (lowercase snake_case)")
+    for name, line in summary.traces:
+        if name == "?":
+            continue
+        if not index_mod.TRACE_GRAMMAR.match(name):
+            yield Finding(
+                "SCHEMA002", sf.path, line, 1,
+                f"trace kind `{name}` violates the naming grammar "
+                "`[a-z0-9]+(-[a-z0-9]+)*` (lowercase kebab-case)")
+
+
 RULES = {
     "DET001": rule_det001,
     "DET002": rule_det002,
     "DET003": rule_det003,
     "DET004": rule_det004,
     "DET005": rule_det005,
+    "CONC001": rule_conc001,
+    "CONC002": rule_conc002,
+    "CONC003": rule_conc003,
+    "UNIT001": rule_unit001,
+    "UNIT002": rule_unit002,
+    "SCHEMA001": rule_schema001,
+    "SCHEMA002": rule_schema002,
     "INV001": rule_inv001,
     "HDR001": rule_hdr001,
     "LNT001": rule_lnt001,
+}
+
+# Rules that run once per project (not per file); keyed by the same ids
+# so `--rules` selection covers both halves.
+PROJECT_RULES = {
+    "SCHEMA001": project_schema001,
 }
 
 RULE_DOCS = {
@@ -645,6 +1061,25 @@ RULE_DOCS = {
               "no <random> engines, no default-seeded sim::Rng locals.",
     "DET005": "Cross-site event injection must go through the WAN channel "
               "API; no site(i)/sim_of*/sim_for(...).schedule[_at](...).",
+    "CONC001": "No call chain from a site selector into another site's "
+               "scheduler (call-graph-deep DET005); engine-aware "
+               "functions taking a SiteEngine are exempt.",
+    "CONC002": "No site-local Simulator/MetricsRegistry/FlightRecorder/"
+               "Rng captured into Channel::push callbacks (they run on "
+               "the destination LP).",
+    "CONC003": "No mutable function-local/namespace static state in "
+               "library code: statics are shared across LPs under "
+               "--par-sites.",
+    "UNIT001": "No arithmetic/assignment mixing inferred time/byte/rate "
+               "units (`_ns`/`_bytes`/`_per_s` suffix inference).",
+    "UNIT002": "No raw numeric literals in schedule()/schedule_at() "
+               "delay positions; use `_ns`/`_us`/`_ms` literals or the "
+               "kNanosecond-family constants.",
+    "SCHEMA001": "Metric and trace names must match docs/METRICS.md "
+                 "rows both ways (kind and unit included); needs "
+                 "--metrics-docs.",
+    "SCHEMA002": "Metric layers are lowercase dot-separated, leaves "
+                 "snake_case, trace kinds kebab-case.",
     "INV001": "Conserved counters (`// lint:conserved`) are written only "
               "by their owning translation unit.",
     "HDR001": "Headers carry `#pragma once`/include guards and never "

@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one tool (`ibwan-lint`), one rule entry per catalogued rule,
+one result per finding.  Suppressed findings are emitted with a SARIF
+`suppressions` entry (kind "inSource") so code scanning shows them as
+reviewed rather than open.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from . import __version__
+from .model import Finding
+from .rules import RULE_DOCS
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+# GitHub maps SARIF levels onto annotation severities; everything this
+# linter ships is a correctness invariant, so findings are errors.
+_LEVEL = "error"
+
+
+def to_sarif(findings: List[Finding]) -> dict:
+    rules = [
+        {
+            "id": rid,
+            "name": rid,
+            "shortDescription": {"text": doc},
+            "defaultConfiguration": {"level": _LEVEL},
+        }
+        for rid, doc in sorted(RULE_DOCS.items())
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": _LEVEL,
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": max(1, f.col),
+                    },
+                },
+            }],
+        }
+        if f.suppressed:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": f.suppress_reason,
+            }]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "ibwan-lint",
+                    "version": __version__,
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(findings: List[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -5,11 +5,12 @@
 //
 // Registration is eager (layer constructors register their instruments
 // whether or not metrics are enabled), so merely constructing one of
-// every layer object enumerates the schema. CI diffs this output
-// against the inventory tables in docs/METRICS.md
-// (scripts/check_metrics_docs.py), which keeps the documentation
-// honest: a metric added in code without a docs row — or documented but
-// gone from code — fails the build.
+// every layer object enumerates the schema. The docs/METRICS.md
+// consistency check itself is now static: ibwan-lint's SCHEMA001 rule
+// resolves every registration site and diffs both directions against
+// the inventory tables without running anything. This dump remains as
+// a runtime cross-check / debugging aid for eyeballing the live
+// namespace.
 #include <cstdio>
 #include <set>
 #include <string>
