@@ -13,10 +13,11 @@
 //
 // Pass --pdes to run the site-parallel scaling suite instead: heavy
 // scenarios (NAS kernels at 2 x 16 ranks, the WAN KV service, an RC
-// incast on a 4-site hub/spoke graph) executed sequentially and
-// site-parallel (one LP per topology site), reporting wall-clock
-// speedup and asserting the simulated results and event counts match
-// exactly. Writes BENCH_pdes.json.
+// incast on a 4-site hub/spoke graph, quorum-replicated KV serving on
+// a 3-site mesh) executed sequentially and site-parallel (one LP per
+// topology site), reporting wall-clock speedup and asserting the
+// simulated results and event counts match exactly. Writes
+// BENCH_pdes.json.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -39,6 +40,9 @@
 #include "ib/hca.hpp"
 #include "ib/qp.hpp"
 #include "kv/kv.hpp"
+#include "kv/loadgen.hpp"
+#include "kv/replicated.hpp"
+#include "kv/slo.hpp"
 #include "mpi/mpi.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
@@ -448,6 +452,54 @@ PdesRun run_incast_scenario(int spokes, int iters) {
   return {tb.engine().events_executed(), goodput};
 }
 
+/// Quorum-replicated KV serving over an N-site full mesh (two nodes
+/// per site): R/W fan-out from a client LP to one replica LP per site,
+/// driven by the deterministic open-loop generator. Exercises the
+/// coroutine-heavy RPC quorum/timeout path under site parallelism.
+PdesRun run_serving_scenario(int sites, std::uint64_t total_ops) {
+  net::TopologyConfig topo = net::TopologyConfig::full_mesh(sites, 2);
+  core::Testbed tb(core::TestbedOptions{.topology = &topo,
+                                        .wan_delay = 1'000'000});
+  net::Fabric& fabric = tb.fabric();
+  const net::NodeId client_node = tb.node_at(0, 1);
+  ib::Hca client_hca(fabric.node(client_node), {});
+  std::vector<std::unique_ptr<ib::Hca>> hcas;
+  std::vector<std::unique_ptr<rpc::RdmaRpcServer>> servers;
+  std::vector<std::unique_ptr<kv::ReplicaServer>> replicas;
+  std::vector<std::unique_ptr<rpc::RdmaRpcClient>> clients;
+  std::vector<rpc::RpcClient*> channels;
+  for (int s = 0; s < sites; ++s) {
+    const net::NodeId node = tb.node_at(s);
+    hcas.push_back(
+        std::make_unique<ib::Hca>(fabric.node(node), ib::HcaConfig{}));
+    servers.push_back(std::make_unique<rpc::RdmaRpcServer>(*hcas.back()));
+    replicas.push_back(
+        std::make_unique<kv::ReplicaServer>(tb.sim_for(node), node));
+    servers.back()->set_handler(replicas.back()->handler());
+    clients.push_back(
+        std::make_unique<rpc::RdmaRpcClient>(client_hca, *servers.back()));
+    channels.push_back(clients.back().get());
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      replicas.back()->preload(k, 4096, kv::Version{1, 0});
+    }
+  }
+  kv::QuorumConfig qc;
+  qc.op_timeout = 250 * sim::kMillisecond;
+  kv::ReplicatedKv coord(tb.sim_for(client_node), client_node,
+                         std::move(channels), qc);
+  kv::LoadGenConfig lc;
+  lc.mode = kv::ArrivalMode::kOpen;
+  lc.offered_kops = 0.8;
+  lc.total_ops = total_ops;
+  lc.key_space = 64;
+  lc.value_bytes = 4096;
+  kv::LoadGen gen(tb.sim_for(client_node), coord, lc);
+  gen.start();
+  tb.run();
+  return {tb.engine().events_executed(),
+          kv::make_slo_report(gen.stats()).goodput_kops};
+}
+
 struct PdesResult {
   std::string name;
   std::uint64_t events = 0;
@@ -470,6 +522,7 @@ int run_pdes_suite() {
        [&] { return run_nas_scenario(apps::make_cg(nas_cfg), 16); }},
       {"ext_kv_16clients_1ms", [] { return run_kv_scenario(16, 300); }},
       {"incast_hub3spokes_1ms", [] { return run_incast_scenario(3, 2000); }},
+      {"kv_serving_3site_1ms", [] { return run_serving_scenario(3, 400); }},
   };
 
   // NOLINT-IBWAN(DET001): reported context for the perf gate — speedup

@@ -42,6 +42,7 @@ BENCHES=(
   ext_pfs_striping
   ext_sdr_fec
   ext_incast
+  ext_kv_serving
 )
 
 for b in "${BENCHES[@]}"; do

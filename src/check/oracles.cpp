@@ -455,6 +455,36 @@ void check_conservation(OracleReport& report, const std::string& context,
                        value(m, "dup_chunks");
       sdr_msgs_completed += value(m, "msgs_completed");
       sdr_msgs_delivered += value(m, "msgs_delivered");
+    } else if (ends_with(scope, "/kv.client")) {
+      // Every quorum op terminates (finite timeout + bounded retries +
+      // early abort), so the outcome split is exact at drain.
+      report.expect_eq_u64(
+          "kv-conservation", ctx + " ops",
+          value(m, "ops_completed") + value(m, "ops_timed_out") +
+              value(m, "ops_aborted"),
+          value(m, "ops_issued"));
+      // Replica calls resolve to ack/fail/late or are still suspended in
+      // a transport at drain (an RC client waiting forever on a severed
+      // WAN), hence one-sided.
+      const std::uint64_t resolved = value(m, "replica_acks") +
+                                     value(m, "replica_fails") +
+                                     value(m, "replica_late");
+      const std::uint64_t calls = value(m, "replica_calls");
+      report.expect_true("kv-conservation", ctx + " replica-calls",
+                         resolved <= calls,
+                         "acks+fails+late=" + std::to_string(resolved) +
+                             " replica_calls=" + std::to_string(calls));
+    } else if (ends_with(scope, "/kv.replica")) {
+      // The replica handler always replies, and classifies every
+      // request as exactly one of read / applied write / stale write.
+      const std::uint64_t requests = value(m, "requests");
+      report.expect_eq_u64("kv-conservation", ctx + " replies",
+                           value(m, "replies"), requests);
+      report.expect_eq_u64("kv-conservation", ctx + " ops",
+                           value(m, "reads_served") +
+                               value(m, "writes_applied") +
+                               value(m, "writes_stale"),
+                           requests);
     }
   }
   if (sdr_scopes > 0) {

@@ -42,6 +42,8 @@ T pick(sim::Rng& rng, const T (&options)[N]) {
   return options[rng.uniform(N)];
 }
 
+}  // namespace
+
 net::FaultPlanConfig generate_fault_plan(sim::Rng& rng) {
   net::FaultPlanConfig plan;
   if (rng.chance(0.5)) {
@@ -72,6 +74,8 @@ net::FaultPlanConfig generate_fault_plan(sim::Rng& rng) {
   if (!plan.any()) plan.jitter_max = 5 * sim::kMicrosecond;
   return plan;
 }
+
+namespace {
 
 core::Testbed make_testbed(const Scenario& s, const RunOptions& opt,
                            int nodes_per_cluster,

@@ -18,6 +18,7 @@
 #include "ib/perftest.hpp"
 #include "net/faults.hpp"
 #include "sim/metrics.hpp"
+#include "sim/rng.hpp"
 #include "sim/time.hpp"
 
 namespace ibwan::check {
@@ -68,6 +69,13 @@ struct Scenario {
 };
 
 Scenario generate_scenario(std::uint64_t seed, int index);
+
+/// Samples a never-empty fault-plan mix (Gilbert–Elliott loss, jitter,
+/// link flaps, buffer brownouts) from `rng` — the same distribution the
+/// scenario fuzzer applies. Exposed so property tests (e.g.
+/// tests/kv/quorum_property_test.cpp) can sweep the identical fault
+/// space from their own seeded streams.
+net::FaultPlanConfig generate_fault_plan(sim::Rng& rng);
 
 struct ScenarioResult {
   /// The measurement ran to completion. Fault plans can legitimately

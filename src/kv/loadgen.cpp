@@ -1,0 +1,104 @@
+#include "kv/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/task.hpp"
+
+namespace ibwan::kv {
+
+LoadGen::LoadGen(sim::Simulator& sim, ReplicatedKv& kv, LoadGenConfig config)
+    : sim_(sim),
+      kv_(kv),
+      config_(config),
+      arrivals_(sim.rng_stream("kv.load.arrivals")),
+      keys_(sim.rng_stream("kv.load.keys")) {
+  if (config_.zipf_s > 0.0 && config_.key_space > 1) {
+    zipf_cdf_.resize(config_.key_space);
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < config_.key_space; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_s);
+      zipf_cdf_[i] = sum;
+    }
+    for (double& c : zipf_cdf_) c /= sum;
+  }
+}
+
+std::uint64_t LoadGen::draw_key() {
+  if (zipf_cdf_.empty()) return keys_.uniform(config_.key_space);
+  const double u = keys_.uniform_double();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - zipf_cdf_.begin());
+}
+
+void LoadGen::start() {
+  if (config_.mode == ArrivalMode::kOpen) {
+    open_arrivals();
+    return;
+  }
+  const int workers = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(std::max(config_.concurrency, 1)),
+      config_.total_ops);
+  for (int i = 0; i < workers; ++i) worker();
+}
+
+sim::Task LoadGen::open_arrivals() {
+  // Poisson process at the offered rate: exponential inter-arrival gaps,
+  // op issued regardless of how many are already inflight — overload
+  // shows up as queueing (the SLO cliff), not as a slowed generator.
+  const double mean_gap_ns = 1.0e6 / std::max(config_.offered_kops, 1e-9);
+  while (launched_ < config_.total_ops) {
+    const auto gap =
+        static_cast<sim::Duration>(arrivals_.exponential(mean_gap_ns));
+    co_await sim::SleepAwaiter(sim_, gap);
+    ++launched_;
+    // Locals pin the draw order (argument evaluation order would not).
+    const std::uint64_t key = draw_key();
+    const bool is_get = keys_.uniform_double() < config_.get_fraction;
+    spawn_op(key, is_get);
+  }
+}
+
+sim::Task LoadGen::worker() {
+  while (launched_ < config_.total_ops) {
+    ++launched_;
+    // Draw key then op type, same order as the open-loop path, so the
+    // workload sequence depends only on the "kv.load.keys" stream.
+    const std::uint64_t key = draw_key();
+    const bool is_get = keys_.uniform_double() < config_.get_fraction;
+    co_await run_op(key, is_get);
+    if (config_.think_time > 0) {
+      co_await sim::SleepAwaiter(sim_, config_.think_time);
+    }
+  }
+}
+
+sim::Task LoadGen::spawn_op(std::uint64_t key, bool is_get) {
+  co_await run_op(key, is_get);
+}
+
+sim::Coro<void> LoadGen::run_op(std::uint64_t key, bool is_get) {
+  const sim::Time t0 = sim_.now();
+  if (stats_.issued == 0) stats_.first_issue = t0;
+  ++stats_.issued;
+  const OpResult r = is_get ? co_await kv_.get(key)
+                            : co_await kv_.put(key, config_.value_bytes);
+  switch (r.status) {
+    case OpStatus::kCompleted:
+      ++stats_.completed;
+      break;
+    case OpStatus::kTimedOut:
+      ++stats_.timed_out;
+      break;
+    case OpStatus::kAborted:
+      ++stats_.aborted;
+      break;
+  }
+  const sim::Time elapsed = sim_.now() - t0;
+  stats_.latency_ns.add(static_cast<std::uint64_t>(elapsed));
+  stats_.latency_us.add(static_cast<double>(elapsed) / 1000.0);
+  stats_.last_done = std::max(stats_.last_done, sim_.now());
+  ++resolved_;
+}
+
+}  // namespace ibwan::kv

@@ -1,0 +1,90 @@
+// Deterministic load generators for the replicated KV serving scenarios
+// (DESIGN.md §16): open-loop Poisson arrivals — the load model where SLO
+// cliffs appear, because arrivals do not slow down when the system does
+// — and closed-loop fixed-concurrency workers with think time, the
+// classic benchmark shape. Key popularity is Zipfian (s > 0) or uniform
+// (s == 0). All randomness comes from named RNG streams derived from
+// the run seed, so a given (seed, config) replays byte-identically,
+// sequential or site-parallel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/replicated.hpp"
+#include "sim/coro.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan::kv {
+
+enum class ArrivalMode : std::uint8_t {
+  kClosed = 0,  // fixed concurrency, optional think time between ops
+  kOpen = 1,    // Poisson arrivals at the offered rate, unbounded inflight
+};
+
+struct LoadGenConfig {
+  ArrivalMode mode = ArrivalMode::kClosed;
+  /// Closed loop: number of concurrent workers and the think time each
+  /// waits between an op resolving and the next being issued.
+  int concurrency = 8;
+  sim::Duration think_time = 0;
+  /// Open loop: offered load in thousands of ops per simulated second.
+  double offered_kops = 1.0;
+  /// Ops to issue in total (both modes terminate).
+  std::uint64_t total_ops = 200;
+  double get_fraction = 0.9;
+  std::uint64_t key_space = 256;
+  /// Zipf exponent for key popularity; 0 selects the uniform draw.
+  double zipf_s = 0.99;
+  std::uint64_t value_bytes = 65536;
+};
+
+/// Outcome of a finished run (valid after the simulator drains).
+struct LoadStats {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t aborted = 0;
+  /// Latency of every resolved op (any status), nanoseconds.
+  sim::LogHistogram latency_ns;
+  sim::OnlineStats latency_us;  // exact min/mean/max
+  sim::Time first_issue = 0;
+  sim::Time last_done = 0;
+};
+
+/// Drives one ReplicatedKv coordinator. start() spawns the generator
+/// tasks and returns; run the simulator (or the owning SiteEngine) to
+/// completion, then read stats().
+class LoadGen {
+ public:
+  LoadGen(sim::Simulator& sim, ReplicatedKv& kv, LoadGenConfig config);
+
+  void start();
+  bool done() const { return resolved_ == config_.total_ops; }
+  const LoadStats& stats() const { return stats_; }
+  const LoadGenConfig& config() const { return config_; }
+
+ private:
+  sim::Task open_arrivals();
+  sim::Task worker();
+  sim::Task spawn_op(std::uint64_t key, bool is_get);
+  sim::Coro<void> run_op(std::uint64_t key, bool is_get);
+  std::uint64_t draw_key();
+
+  sim::Simulator& sim_;
+  ReplicatedKv& kv_;
+  LoadGenConfig config_;
+  sim::Rng arrivals_;  // stream "kv.load.arrivals": inter-arrival gaps
+  sim::Rng keys_;      // stream "kv.load.keys": key + op-mix draws
+  /// Zipf CDF over key ranks (empty when uniform); draw_key binary
+  /// searches a uniform double against it.
+  std::vector<double> zipf_cdf_;
+  std::uint64_t launched_ = 0;
+  std::uint64_t resolved_ = 0;
+  LoadStats stats_;
+};
+
+}  // namespace ibwan::kv

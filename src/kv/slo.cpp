@@ -1,0 +1,56 @@
+#include "kv/slo.hpp"
+
+#include <cstdio>
+
+namespace ibwan::kv {
+
+SloReport make_slo_report(const LoadStats& stats) {
+  SloReport r;
+  r.issued = stats.issued;
+  r.completed = stats.completed;
+  r.timed_out = stats.timed_out;
+  r.aborted = stats.aborted;
+  const auto q_us = [&stats](double p) {
+    return static_cast<double>(stats.latency_ns.quantile(p)) / 1000.0;
+  };
+  r.p50_us = q_us(0.50);
+  r.p99_us = q_us(0.99);
+  r.p999_us = q_us(0.999);
+  r.mean_us = stats.latency_us.mean();
+  r.min_us = stats.latency_us.min();
+  r.max_us = stats.latency_us.max();
+  if (stats.last_done > stats.first_issue) {
+    const double ms = static_cast<double>(stats.last_done -
+                                          stats.first_issue) /
+                      1.0e6;
+    r.duration_ms = ms;
+    r.goodput_kops = static_cast<double>(r.completed) / ms;
+  }
+  if (r.issued > 0) {
+    r.timeout_rate =
+        static_cast<double>(r.timed_out) / static_cast<double>(r.issued);
+    r.abort_rate =
+        static_cast<double>(r.aborted) / static_cast<double>(r.issued);
+  }
+  return r;
+}
+
+std::string to_json(const SloReport& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"issued\":%llu,\"completed\":%llu,\"timed_out\":%llu,"
+      "\"aborted\":%llu,\"p50_us\":%.3f,\"p99_us\":%.3f,\"p999_us\":%.3f,"
+      "\"mean_us\":%.3f,\"min_us\":%.3f,\"max_us\":%.3f,"
+      "\"goodput_kops\":%.4f,\"timeout_rate\":%.6f,\"abort_rate\":%.6f,"
+      "\"duration_ms\":%.3f}",
+      static_cast<unsigned long long>(r.issued),
+      static_cast<unsigned long long>(r.completed),
+      static_cast<unsigned long long>(r.timed_out),
+      static_cast<unsigned long long>(r.aborted), r.p50_us, r.p99_us,
+      r.p999_us, r.mean_us, r.min_us, r.max_us, r.goodput_kops,
+      r.timeout_rate, r.abort_rate, r.duration_ms);
+  return buf;
+}
+
+}  // namespace ibwan::kv

@@ -1,0 +1,41 @@
+// SLO accounting for a finished serving run: tail-latency quantiles
+// from the log2 latency histogram, goodput, and failure-mode rates.
+// The JSON form is written per run by bench/ext_kv_serving so the SLO
+// cliff (p99 vs offered load) can be read without re-running anything.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kv/loadgen.hpp"
+
+namespace ibwan::kv {
+
+struct SloReport {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t aborted = 0;
+  /// Quantiles are lower log2-bin edges (true value within 2x), in
+  /// microseconds; mean/min/max are exact.
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double mean_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+  /// Completed ops per millisecond of run (== kops/s of goodput).
+  double goodput_kops = 0;
+  double timeout_rate = 0;
+  double abort_rate = 0;
+  double duration_ms = 0;
+};
+
+/// Folds a drained run's LoadStats into the report.
+SloReport make_slo_report(const LoadStats& stats);
+
+/// One-line JSON object (stable key order, fixed float formatting) —
+/// deterministic for the byte-identity checks.
+std::string to_json(const SloReport& report);
+
+}  // namespace ibwan::kv

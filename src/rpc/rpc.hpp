@@ -13,6 +13,7 @@
 #include "ib/cq.hpp"
 #include "ib/hca.hpp"
 #include "ib/qp.hpp"
+#include "sdr/sdr.hpp"
 #include "sim/coro.hpp"
 #include "sim/metrics.hpp"
 #include "sim/task.hpp"
@@ -203,6 +204,77 @@ class RdmaRpcClient : public RpcClient {
   // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.rdma".
   struct Obs {
     sim::Counter* calls;
+    sim::Counter* call_failures;
+    sim::Gauge* inflight;
+    sim::Histogram* call_ns;
+  };
+  Obs obs_;
+  char trace_tag_[12];  // "rpc-c<lid>"
+};
+
+// ---------------------------------------------------------------------------
+// SDR transport (RPC over software-defined reliability, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+//
+// Call and reply each travel as one reliable SDR message (header + args
+// + bulk data), so FEC repairs WAN loss locally at the receiver instead
+// of stalling an RC window — the serving-scenario alternative measured
+// by bench/ext_kv_serving. A hard send failure (probe exhaustion on a
+// severed WAN) surfaces as ReplyInfo::ok == false, like the other
+// transports' give-up paths.
+
+class SdrRpcServer {
+ public:
+  explicit SdrRpcServer(ib::Hca& hca, sdr::SdrConfig config = {});
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  /// Address clients send calls to (out-of-band exchange, as for CM).
+  ib::UdDest dest() const { return ep_.dest(); }
+  sdr::SdrEndpoint& endpoint() { return ep_; }
+
+ private:
+  friend class SdrRpcClient;
+  struct CallMsg;
+  struct ReplyMsg;
+  // CallMsg passes by value: coroutine parameters must not reference
+  // storage owned by the triggering delivery event.
+  sim::Task serve(CallMsg call);
+
+  ib::Hca& hca_;
+  Handler handler_;
+  sdr::SdrEndpoint ep_;
+  sim::Counter* obs_calls_served_;  // "node<lid>/rpc.sdr" calls_served
+};
+
+class SdrRpcClient : public RpcClient {
+ public:
+  SdrRpcClient(ib::Hca& hca, SdrRpcServer& server,
+               sdr::SdrConfig config = {});
+
+  sim::Coro<ReplyInfo> call(CallArgs args) override;
+
+  void set_retry(const RpcRetryConfig& retry) { retry_ = retry; }
+
+ private:
+  struct Pending;
+  void on_message(const std::shared_ptr<const void>& app);
+  /// The transport reported the request undeliverable (probe budget
+  /// exhausted): fail the call immediately instead of waiting out the
+  /// timeout ladder.
+  void fail_call(std::uint64_t xid);
+
+  ib::Hca& hca_;
+  sim::Simulator& sim_;
+  sdr::SdrEndpoint ep_;
+  ib::UdDest server_;
+  std::uint64_t next_xid_ = 1;
+  RpcRetryConfig retry_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+
+  // Registered metrics (docs/METRICS.md §rpc); scope "node<lid>/rpc.sdr".
+  struct Obs {
+    sim::Counter* calls;
+    sim::Counter* retries;
     sim::Counter* call_failures;
     sim::Gauge* inflight;
     sim::Histogram* call_ns;

@@ -153,12 +153,14 @@ int SdrEndpoint::next_parity() const {
 }
 
 std::uint64_t SdrEndpoint::send(ib::UdDest dst, std::uint64_t bytes,
-                                CompletionFn done) {
+                                CompletionFn done,
+                                std::shared_ptr<const void> app) {
   assert(bytes > 0);
   const std::uint64_t id = next_msg_id_++;
   TxMsg& m = tx_[id];
   m.dst = dst;
   m.bytes = bytes;
+  m.app = std::move(app);
   m.total_data = static_cast<std::uint32_t>((bytes + chunk_payload_ - 1) /
                                             chunk_payload_);
   // Fits: construction validated group_data_chunks <= 255.
@@ -222,6 +224,7 @@ void SdrEndpoint::post_chunk(TxMsg& m, const TxChunk& c) {
   d->scheme = cfg_.scheme;
   d->parity = c.parity;
   d->retrans = c.retrans;
+  d->app = m.app;
   std::uint32_t payload = 0;
   if (c.parity) {
     d->group = c.chunk >> 8;
@@ -401,6 +404,9 @@ void SdrEndpoint::on_chunk(const RxKey& key, const SdrDatagram& d,
     return;
   }
   RxMsg& m = ensure_rx(key, d, src);
+  // Receive state can be created by a probe (which carries no payload
+  // descriptor); adopt it from the first chunk that brings one.
+  if (m.app == nullptr && d.app != nullptr) m.app = d.app;
   ++m.rx_chunks;
   m.last_arrival = sim_.now();
   RxGroup& g = m.groups[d.group];
@@ -500,8 +506,13 @@ void SdrEndpoint::finish_rx(const RxKey& key, RxMsg& m) {
   ++stats_.dones_sent;
   obs_.dones_sent->add();
   const ib::UdDest src = m.src;
+  const std::uint64_t msg_bytes = m.msg_bytes;
+  const std::shared_ptr<const void> app = std::move(m.app);
   rx_.erase(key);
   send_ctrl(src, std::move(d), kSdrCtrlBytes);
+  // Upper-layer hand-off last: the handler may send() right back on
+  // this endpoint, and all message state is already retired above.
+  if (on_deliver_) on_deliver_(src, msg_bytes, app);
 }
 
 void SdrEndpoint::arm_nack_timer(const RxKey& key, RxMsg& m,

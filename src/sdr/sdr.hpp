@@ -146,6 +146,11 @@ struct SdrDatagram {
   std::uint16_t idx_in_group = 0;
   bool parity = false;
   bool retrans = false;
+  // Application payload descriptor (chunk datagrams only): the typed
+  // message the upper layer attached to send(); every chunk carries the
+  // same shared pointer, so whichever chunks survive the WAN reconstruct
+  // it at the receiver (the simulator moves byte counts, not bytes).
+  std::shared_ptr<const void> app;
   // NACK: missing global data-chunk indices (capped per datagram).
   std::vector<std::uint32_t> missing;
   // DONE: receiver-side loss feedback for the adaptive policy.
@@ -159,6 +164,15 @@ struct SdrDatagram {
 class SdrEndpoint {
  public:
   using CompletionFn = std::function<void(bool ok)>;
+  /// Upper-layer delivery hook: fires once per fully delivered message
+  /// (the same instant `msgs_delivered` ticks), with the sender's
+  /// address, the message size, and the application payload attached to
+  /// send() (null when the sender attached none). Runs after the
+  /// endpoint's own bookkeeping, so the handler may immediately send()
+  /// on this endpoint (request/reply protocols, rpc/sdr_transport.cpp).
+  using DeliveryFn = std::function<void(
+      const ib::UdDest& src, std::uint64_t bytes,
+      const std::shared_ptr<const void>& app)>;
 
   SdrEndpoint(ib::Hca& hca, SdrConfig config = {});
   ~SdrEndpoint();
@@ -172,8 +186,14 @@ class SdrEndpoint {
   /// Starts a reliable transfer of `bytes` to `dst`; `done(true)` fires
   /// when the receiver confirmed full delivery, `done(false)` when the
   /// probe budget is exhausted (severed WAN). Returns the message id.
+  /// `app` is an opaque payload descriptor handed to the receiver's
+  /// delivery handler with the completed message.
   std::uint64_t send(ib::UdDest dst, std::uint64_t bytes,
-                     CompletionFn done = {});
+                     CompletionFn done = {},
+                     std::shared_ptr<const void> app = {});
+
+  /// Registers the receive-side delivery hook (at most one).
+  void set_delivery_handler(DeliveryFn fn) { on_deliver_ = std::move(fn); }
 
   const SdrConfig& config() const { return cfg_; }
   const SdrStats& stats() const { return stats_; }
@@ -199,6 +219,7 @@ class SdrEndpoint {
     bool probe_armed = false;
     sim::Time start = 0;
     CompletionFn done;
+    std::shared_ptr<const void> app;
   };
   struct RxGroup {
     std::vector<bool> data_present;
@@ -223,6 +244,7 @@ class SdrEndpoint {
     sim::EventId nack_timer = 0;
     bool nack_armed = false;
     int quiet_rounds = 0;
+    std::shared_ptr<const void> app;
   };
   struct DoneInfo {
     ib::UdDest src;
@@ -273,6 +295,7 @@ class SdrEndpoint {
   std::uint32_t chunk_payload_;
   sim::Rng adaptive_rng_;
   double loss_ewma_ = 0.0;
+  DeliveryFn on_deliver_;
 
   std::uint64_t next_msg_id_ = 1;
   std::map<std::uint64_t, TxMsg> tx_;

@@ -1,0 +1,113 @@
+// Single-server RDMA key-value service (moved from ext/kv_pfs_test.cpp
+// when the replicated serving suite split the KV tests out).
+#include <gtest/gtest.h>
+
+#include "ib/hca.hpp"
+#include "kv/kv.hpp"
+#include "net/fabric.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace ibwan {
+namespace {
+
+using namespace ibwan::sim::literals;
+
+struct KvWorld {
+  explicit KvWorld(sim::Duration delay = 0)
+      : fabric(sim, {.nodes_a = 1, .nodes_b = 1}),
+        server_hca(fabric.node(0), {}),
+        client_hca(fabric.node(1), {}),
+        rpc_server(server_hca),
+        rpc_client(client_hca, rpc_server),
+        server(sim),
+        client(rpc_client) {
+    fabric.set_wan_delay(delay);
+    rpc_server.set_handler(server.handler());
+  }
+  sim::Simulator sim;
+  net::Fabric fabric;
+  ib::Hca server_hca, client_hca;
+  rpc::RdmaRpcServer rpc_server;
+  rpc::RdmaRpcClient rpc_client;
+  kv::KvServer server;
+  kv::KvClient client;
+};
+
+TEST(Kv, GetReturnsValueSizeAndMissReturnsZero) {
+  KvWorld w;
+  w.server.preload(5, 4096);
+  std::uint64_t hit = 1, miss = 1;
+  [](KvWorld& kw, std::uint64_t* h, std::uint64_t* m) -> sim::Task {
+    *h = co_await kw.client.get(5);
+    *m = co_await kw.client.get(6);
+  }(w, &hit, &miss);
+  w.sim.run();
+  EXPECT_EQ(hit, 4096u);
+  EXPECT_EQ(miss, 0u);
+  EXPECT_EQ(w.server.stats().gets, 2u);
+  EXPECT_EQ(w.server.stats().misses, 1u);
+}
+
+TEST(Kv, PutStoresValue) {
+  KvWorld w;
+  [](KvWorld& kw) -> sim::Task {
+    co_await kw.client.put(9, 100'000);
+  }(w);
+  w.sim.run();
+  EXPECT_EQ(w.server.value_size(9), 100'000u);
+  EXPECT_EQ(w.server.stats().puts, 1u);
+}
+
+TEST(Kv, GetLatencyTracksWanDelay) {
+  auto latency_us = [](sim::Duration delay) {
+    KvWorld w(delay);
+    w.server.preload(1, 128);
+    sim::Time t0 = 0, t1 = 0;
+    [](KvWorld& kw, sim::Time* a, sim::Time* b) -> sim::Task {
+      *a = kw.sim.now();
+      co_await kw.client.get(1);
+      *b = kw.sim.now();
+    }(w, &t0, &t1);
+    w.sim.run();
+    return sim::to_microseconds(t1 - t0);
+  };
+  const double lan = latency_us(0);
+  const double wan = latency_us(1000_us);
+  EXPECT_GT(wan, 2000.0);  // one RPC round trip
+  EXPECT_LT(wan, 2100.0);
+  EXPECT_LT(lan, 100.0);
+}
+
+TEST(Kv, WorkloadRunsAllOps) {
+  KvWorld w(100_us);
+  for (std::uint64_t k = 0; k < 64; ++k) w.server.preload(k, 4096);
+  const kv::KvWorkloadConfig cfg{.clients = 4,
+                                 .ops_per_client = 50,
+                                 .get_fraction = 0.8,
+                                 .value_bytes = 4096,
+                                 .key_space = 64};
+  const auto r = kv::run_kv_workload(w.sim, w.client, cfg);
+  EXPECT_EQ(r.ops, 200u);
+  EXPECT_GT(r.kops_per_sec, 0.0);
+  EXPECT_GT(r.avg_latency_us, 200.0);  // at least the RTT
+  EXPECT_EQ(w.server.stats().gets + w.server.stats().puts, 200u);
+}
+
+TEST(Kv, MoreClientsRaiseThroughputUnderDelay) {
+  auto kops = [](int clients) {
+    KvWorld w(1000_us);
+    for (std::uint64_t k = 0; k < 64; ++k) w.server.preload(k, 1024);
+    return kv::run_kv_workload(w.sim, w.client,
+                               {.clients = clients,
+                                .ops_per_client = 40,
+                                .value_bytes = 1024,
+                                .key_space = 64})
+        .kops_per_sec;
+  };
+  EXPECT_GT(kops(8), 4.0 * kops(1));
+}
+
+}  // namespace
+}  // namespace ibwan
